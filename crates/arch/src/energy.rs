@@ -1,0 +1,192 @@
+use crate::params::{MemoryParams, Ns, Pj};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Add;
+
+/// Energy consumed by a simulated run, broken down the way the paper's
+/// Fig. 5 reports it: leakage, read/write (access) energy, and shift energy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Static leakage over the run's duration.
+    pub leakage: Pj,
+    /// Dynamic energy of read and write accesses.
+    pub read_write: Pj,
+    /// Dynamic energy of shift operations.
+    pub shift: Pj,
+}
+
+impl EnergyBreakdown {
+    /// Creates a breakdown from operation counts and a run duration.
+    ///
+    /// `reads`/`writes`/`shifts` are operation counts; `duration` is the
+    /// total busy time the leakage integrates over.
+    pub fn from_counts(
+        params: &MemoryParams,
+        reads: u64,
+        writes: u64,
+        shifts: u64,
+        duration: Ns,
+    ) -> Self {
+        Self {
+            leakage: params.leakage_power.leak_over(duration),
+            read_write: params.read_energy * reads as f64 + params.write_energy * writes as f64,
+            shift: params.shift_energy * shifts as f64,
+        }
+    }
+
+    /// Total energy.
+    pub fn total(&self) -> Pj {
+        self.leakage + self.read_write + self.shift
+    }
+
+    /// Fraction contributed by shifts, in `[0, 1]` (0 for an empty run).
+    pub fn shift_fraction(&self) -> f64 {
+        let t = self.total().value();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.shift.value() / t
+        }
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+    fn add(self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            leakage: self.leakage + rhs.leakage,
+            read_write: self.read_write + rhs.read_write,
+            shift: self.shift + rhs.shift,
+        }
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total {:.1} (leak {:.1}, r/w {:.1}, shift {:.1})",
+            self.total(),
+            self.leakage,
+            self.read_write,
+            self.shift
+        )
+    }
+}
+
+/// Latency totals of a simulated run (§IV-C of the paper).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyReport {
+    /// Time spent in read accesses.
+    pub read: Ns,
+    /// Time spent in write accesses.
+    pub write: Ns,
+    /// Time spent shifting.
+    pub shift: Ns,
+}
+
+impl LatencyReport {
+    /// Creates a report from operation counts.
+    pub fn from_counts(params: &MemoryParams, reads: u64, writes: u64, shifts: u64) -> Self {
+        Self {
+            read: params.read_latency * reads as f64,
+            write: params.write_latency * writes as f64,
+            shift: params.shift_latency * shifts as f64,
+        }
+    }
+
+    /// Total access latency (reads + writes + shifts, serialized — the
+    /// trace-driven model of `rtm-sim`).
+    pub fn total(&self) -> Ns {
+        self.read + self.write + self.shift
+    }
+
+    /// Fraction of the run spent shifting, in `[0, 1]`.
+    pub fn shift_fraction(&self) -> f64 {
+        let t = self.total().value();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.shift.value() / t
+        }
+    }
+}
+
+impl Add for LatencyReport {
+    type Output = LatencyReport;
+    fn add(self, rhs: LatencyReport) -> LatencyReport {
+        LatencyReport {
+            read: self.read + rhs.read,
+            write: self.write + rhs.write,
+            shift: self.shift + rhs.shift,
+        }
+    }
+}
+
+impl fmt::Display for LatencyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total {:.1} (read {:.1}, write {:.1}, shift {:.1})",
+            self.total(),
+            self.read,
+            self.write,
+            self.shift
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table1;
+
+    #[test]
+    fn energy_from_counts() {
+        let p = table1::preset(2).unwrap();
+        // 10 reads, 5 writes, 20 shifts, 100 ns busy.
+        let e = EnergyBreakdown::from_counts(&p, 10, 5, 20, Ns(100.0));
+        assert!((e.read_write.value() - (10.0 * 2.26 + 5.0 * 3.42)).abs() < 1e-9);
+        assert!((e.shift.value() - 20.0 * 2.18).abs() < 1e-9);
+        assert!((e.leakage.value() - 339.0).abs() < 1e-9);
+        assert!(e.total().value() > e.shift.value());
+        assert!(e.shift_fraction() > 0.0 && e.shift_fraction() < 1.0);
+    }
+
+    #[test]
+    fn latency_from_counts() {
+        let p = table1::preset(4).unwrap();
+        let l = LatencyReport::from_counts(&p, 3, 2, 10);
+        assert!((l.read.value() - 3.0 * 0.84).abs() < 1e-9);
+        assert!((l.write.value() - 2.0 * 1.14).abs() < 1e-9);
+        assert!((l.shift.value() - 10.0 * 0.92).abs() < 1e-9);
+        assert!((l.total().value() - (l.read.value() + l.write.value() + l.shift.value())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn addition_accumulates() {
+        let p = table1::preset(2).unwrap();
+        let a = EnergyBreakdown::from_counts(&p, 1, 0, 1, Ns(1.0));
+        let b = EnergyBreakdown::from_counts(&p, 0, 1, 2, Ns(2.0));
+        let c = a + b;
+        assert!((c.total().value() - (a.total().value() + b.total().value())).abs() < 1e-9);
+        let la = LatencyReport::from_counts(&p, 1, 0, 1);
+        let lb = LatencyReport::from_counts(&p, 0, 1, 0);
+        assert!(((la + lb).total().value() - (la.total().value() + lb.total().value())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_fractions_are_zero() {
+        assert_eq!(EnergyBreakdown::default().shift_fraction(), 0.0);
+        assert_eq!(LatencyReport::default().shift_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let p = table1::preset(2).unwrap();
+        let e = EnergyBreakdown::from_counts(&p, 1, 1, 1, Ns(1.0));
+        assert!(e.to_string().contains("shift"));
+        let l = LatencyReport::from_counts(&p, 1, 1, 1);
+        assert!(l.to_string().contains("read"));
+    }
+}

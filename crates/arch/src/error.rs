@@ -1,0 +1,85 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when an RTM configuration is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The number of DBCs must be at least 1.
+    ZeroDbcs,
+    /// Each DBC needs at least one track.
+    ZeroTracks,
+    /// Each nanotrack needs at least one domain.
+    ZeroDomains,
+    /// Each nanotrack needs at least one access port.
+    ZeroPorts,
+    /// More ports than domains on a track.
+    TooManyPorts {
+        /// Requested ports per track.
+        ports: usize,
+        /// Domains per track.
+        domains: usize,
+    },
+    /// The requested capacity is not divisible into the requested geometry.
+    CapacityMismatch {
+        /// Requested total capacity in bytes.
+        capacity_bytes: usize,
+        /// Number of DBCs requested.
+        dbcs: usize,
+        /// Tracks per DBC requested.
+        tracks_per_dbc: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroDbcs => write!(f, "number of DBCs must be at least 1"),
+            ConfigError::ZeroTracks => write!(f, "tracks per DBC must be at least 1"),
+            ConfigError::ZeroDomains => write!(f, "domains per track must be at least 1"),
+            ConfigError::ZeroPorts => write!(f, "ports per track must be at least 1"),
+            ConfigError::TooManyPorts { ports, domains } => write!(
+                f,
+                "requested {ports} ports per track but tracks only have {domains} domains"
+            ),
+            ConfigError::CapacityMismatch {
+                capacity_bytes,
+                dbcs,
+                tracks_per_dbc,
+            } => write!(
+                f,
+                "capacity of {capacity_bytes} bytes is not divisible into {dbcs} DBCs x {tracks_per_dbc} tracks"
+            ),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_without_period() {
+        let msgs = [
+            ConfigError::ZeroDbcs.to_string(),
+            ConfigError::ZeroTracks.to_string(),
+            ConfigError::TooManyPorts {
+                ports: 9,
+                domains: 4,
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.ends_with('.'));
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
+    }
+}

@@ -1,0 +1,250 @@
+use crate::error::ConfigError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Geometry of an RTM subarray: the structural parameters of §II-A of the
+/// paper (Fig. 2).
+///
+/// A subarray contains `dbcs` Domain Block Clusters; each DBC groups
+/// `tracks_per_dbc` nanotracks (`T` in the paper) that shift in lock-step;
+/// each track stores `domains_per_track` domains (`K`), so a DBC offers `K`
+/// locations of `T`-bit memory objects; each track carries
+/// `ports_per_track` access ports.
+///
+/// # Example
+///
+/// ```
+/// use rtm_arch::RtmGeometry;
+///
+/// let geom = RtmGeometry::new(4, 32, 256, 1)?;
+/// assert_eq!(geom.capacity_bytes(), 4096);
+/// assert_eq!(geom.locations_per_dbc(), 256);
+/// # Ok::<(), rtm_arch::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RtmGeometry {
+    dbcs: usize,
+    tracks_per_dbc: usize,
+    domains_per_track: usize,
+    ports_per_track: usize,
+}
+
+impl RtmGeometry {
+    /// Creates a geometry, validating every field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any count is zero or there are more ports
+    /// than domains on a track.
+    pub fn new(
+        dbcs: usize,
+        tracks_per_dbc: usize,
+        domains_per_track: usize,
+        ports_per_track: usize,
+    ) -> Result<Self, ConfigError> {
+        if dbcs == 0 {
+            return Err(ConfigError::ZeroDbcs);
+        }
+        if tracks_per_dbc == 0 {
+            return Err(ConfigError::ZeroTracks);
+        }
+        if domains_per_track == 0 {
+            return Err(ConfigError::ZeroDomains);
+        }
+        if ports_per_track == 0 {
+            return Err(ConfigError::ZeroPorts);
+        }
+        if ports_per_track > domains_per_track {
+            return Err(ConfigError::TooManyPorts {
+                ports: ports_per_track,
+                domains: domains_per_track,
+            });
+        }
+        Ok(Self {
+            dbcs,
+            tracks_per_dbc,
+            domains_per_track,
+            ports_per_track,
+        })
+    }
+
+    /// The paper's iso-capacity 4 KiB configuration with 32 tracks per DBC
+    /// and a single port per track: `dbcs ∈ {2, 4, 8, 16}` gives
+    /// 512/256/128/64 domains per DBC respectively.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::CapacityMismatch`] if 4 KiB does not divide
+    /// evenly into `dbcs` DBCs of 32 tracks.
+    pub fn paper_4kib(dbcs: usize) -> Result<Self, ConfigError> {
+        Self::iso_capacity(4096, dbcs, 32, 1)
+    }
+
+    /// Builds a geometry holding exactly `capacity_bytes` with the given DBC
+    /// and track counts, deriving the domains per track.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::CapacityMismatch`] if the capacity is not
+    /// divisible, or any other [`ConfigError`] for zero/overflowing fields.
+    pub fn iso_capacity(
+        capacity_bytes: usize,
+        dbcs: usize,
+        tracks_per_dbc: usize,
+        ports_per_track: usize,
+    ) -> Result<Self, ConfigError> {
+        if dbcs == 0 {
+            return Err(ConfigError::ZeroDbcs);
+        }
+        if tracks_per_dbc == 0 {
+            return Err(ConfigError::ZeroTracks);
+        }
+        let bits = capacity_bytes * 8;
+        let per_dbc_bits = tracks_per_dbc; // bits stored per location
+        if !bits.is_multiple_of(dbcs * per_dbc_bits) {
+            return Err(ConfigError::CapacityMismatch {
+                capacity_bytes,
+                dbcs,
+                tracks_per_dbc,
+            });
+        }
+        let domains = bits / (dbcs * per_dbc_bits);
+        Self::new(dbcs, tracks_per_dbc, domains, ports_per_track)
+    }
+
+    /// Number of DBCs (`q` in the paper's Algorithm 1).
+    pub fn dbcs(&self) -> usize {
+        self.dbcs
+    }
+
+    /// Tracks per DBC (`T`).
+    pub fn tracks_per_dbc(&self) -> usize {
+        self.tracks_per_dbc
+    }
+
+    /// Domains per track (`K`), i.e. addressable locations per DBC.
+    pub fn domains_per_track(&self) -> usize {
+        self.domains_per_track
+    }
+
+    /// Synonym for [`domains_per_track`](Self::domains_per_track): the number
+    /// of memory objects a DBC can hold (`N` in Algorithm 1).
+    pub fn locations_per_dbc(&self) -> usize {
+        self.domains_per_track
+    }
+
+    /// Access ports per track.
+    pub fn ports_per_track(&self) -> usize {
+        self.ports_per_track
+    }
+
+    /// Total capacity in bits.
+    pub fn capacity_bits(&self) -> usize {
+        self.dbcs * self.tracks_per_dbc * self.domains_per_track
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bits() / 8
+    }
+
+    /// Total number of variable slots across all DBCs.
+    pub fn total_locations(&self) -> usize {
+        self.dbcs * self.domains_per_track
+    }
+
+    /// The `i`-th port's home position on a track, with ports spread evenly.
+    ///
+    /// With a single port the home position is 0 (the track head). With `p`
+    /// ports on `K` domains, port `i` sits at `i * K / p` — the layout used
+    /// by multi-port proposals the paper cites (e.g. Chen's fixed multi-port
+    /// architecture).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port >= ports_per_track`.
+    pub fn port_home(&self, port: usize) -> usize {
+        assert!(port < self.ports_per_track, "port index out of range");
+        port * self.domains_per_track / self.ports_per_track
+    }
+
+    /// Worst-case single-access shift distance: the longest stretch of
+    /// domains served by one port.
+    pub fn max_shift_distance(&self) -> usize {
+        self.domains_per_track.div_ceil(self.ports_per_track)
+    }
+}
+
+impl fmt::Display for RtmGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} DBCs x {} tracks x {} domains, {} port(s)/track ({} B)",
+            self.dbcs,
+            self.tracks_per_dbc,
+            self.domains_per_track,
+            self.ports_per_track,
+            self.capacity_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_match_table1_domains() {
+        for (dbcs, domains) in [(2, 512), (4, 256), (8, 128), (16, 64)] {
+            let g = RtmGeometry::paper_4kib(dbcs).unwrap();
+            assert_eq!(g.domains_per_track(), domains);
+            assert_eq!(g.capacity_bytes(), 4096);
+            assert_eq!(g.tracks_per_dbc(), 32);
+            assert_eq!(g.locations_per_dbc(), domains);
+            assert_eq!(g.total_locations(), dbcs * domains);
+        }
+    }
+
+    #[test]
+    fn new_validates() {
+        assert_eq!(RtmGeometry::new(0, 1, 1, 1), Err(ConfigError::ZeroDbcs));
+        assert_eq!(RtmGeometry::new(1, 0, 1, 1), Err(ConfigError::ZeroTracks));
+        assert_eq!(RtmGeometry::new(1, 1, 0, 1), Err(ConfigError::ZeroDomains));
+        assert_eq!(RtmGeometry::new(1, 1, 1, 0), Err(ConfigError::ZeroPorts));
+        assert!(matches!(
+            RtmGeometry::new(1, 1, 4, 5),
+            Err(ConfigError::TooManyPorts { .. })
+        ));
+    }
+
+    #[test]
+    fn iso_capacity_rejects_indivisible() {
+        assert!(matches!(
+            RtmGeometry::iso_capacity(4096, 3, 32, 1),
+            Err(ConfigError::CapacityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn port_homes_are_evenly_spread() {
+        let g = RtmGeometry::new(1, 32, 64, 4).unwrap();
+        assert_eq!(g.port_home(0), 0);
+        assert_eq!(g.port_home(1), 16);
+        assert_eq!(g.port_home(2), 32);
+        assert_eq!(g.port_home(3), 48);
+        assert_eq!(g.max_shift_distance(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "port index out of range")]
+    fn port_home_panics_out_of_range() {
+        let g = RtmGeometry::new(1, 32, 64, 2).unwrap();
+        g.port_home(2);
+    }
+
+    #[test]
+    fn display_mentions_capacity() {
+        let g = RtmGeometry::paper_4kib(4).unwrap();
+        assert!(g.to_string().contains("4096 B"));
+    }
+}

@@ -1,0 +1,43 @@
+//! Racetrack-memory architecture model.
+//!
+//! This crate is the workspace's substitute for the **DESTINY** circuit
+//! simulator used by the DATE 2020 paper: the paper only consumes DESTINY's
+//! *outputs* — the per-configuration latency / energy / area numbers of its
+//! Table I — so this crate reproduces that table verbatim
+//! ([`table1::preset`]) and provides a smooth analytic model
+//! ([`ScalingModel`]) fitted to the table for configurations the paper does
+//! not tabulate.
+//!
+//! The second half of the crate models RTM *geometry*: how many Domain Block
+//! Clusters (DBCs) a subarray has, how many tracks and domains per DBC, and
+//! how many access ports each track carries ([`RtmGeometry`]).
+//!
+//! # Example
+//!
+//! ```
+//! use rtm_arch::{table1, RtmGeometry};
+//!
+//! // The paper's 4-DBC configuration of Table I.
+//! let params = table1::preset(4).expect("tabulated");
+//! assert_eq!(params.domains_per_dbc, 256);
+//!
+//! let geom = RtmGeometry::paper_4kib(4)?;
+//! assert_eq!(geom.capacity_bytes(), 4096);
+//! # Ok::<(), rtm_arch::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod energy;
+mod error;
+mod geometry;
+mod params;
+mod scaling;
+pub mod table1;
+
+pub use energy::{EnergyBreakdown, LatencyReport};
+pub use error::ConfigError;
+pub use geometry::RtmGeometry;
+pub use params::{MemoryParams, Mm2, Mw, Ns, Pj};
+pub use scaling::ScalingModel;

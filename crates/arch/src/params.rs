@@ -1,0 +1,216 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+macro_rules! unit_newtype {
+    ($(#[$meta:meta])* $name:ident, $suffix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, Default, PartialEq, PartialOrd, Serialize, Deserialize,
+        )]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The raw numeric value.
+            pub fn value(self) -> f64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $suffix)
+                } else {
+                    write!(f, "{} {}", self.0, $suffix)
+                }
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|x| x.0).sum())
+            }
+        }
+    };
+}
+
+unit_newtype!(
+    /// Nanoseconds — the latency unit of Table I.
+    Ns,
+    "ns"
+);
+unit_newtype!(
+    /// Picojoules — the per-operation energy unit of Table I.
+    Pj,
+    "pJ"
+);
+unit_newtype!(
+    /// Milliwatts — the leakage-power unit of Table I.
+    Mw,
+    "mW"
+);
+unit_newtype!(
+    /// Square millimeters — the area unit of Table I.
+    Mm2,
+    "mm^2"
+);
+
+impl Ns {
+    /// Converts a latency to seconds.
+    pub fn to_seconds(self) -> f64 {
+        self.0 * 1e-9
+    }
+}
+
+impl Mw {
+    /// Energy in picojoules leaked over `duration`:
+    /// `mW × ns = 1e-3 J/s × 1e-9 s = 1e-12 J = pJ`.
+    pub fn leak_over(self, duration: Ns) -> Pj {
+        Pj(self.0 * duration.0)
+    }
+}
+
+/// Per-configuration memory-system parameters — one column of the paper's
+/// Table I (4 KiB RTM, 32 nm technology, 32 tracks per DBC).
+///
+/// These numbers were produced by the DESTINY circuit simulator in the paper
+/// and "include the latency incurred and the energy consumed by the
+/// DBC/domain decoders, access ports, multiplexers, write and shift drivers".
+/// We treat them as ground truth; see [`crate::ScalingModel`] for
+/// configurations outside the table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryParams {
+    /// Number of DBCs in the subarray.
+    pub dbcs: usize,
+    /// Number of domains (bits) per nanotrack, i.e. locations per DBC.
+    pub domains_per_dbc: usize,
+    /// Static leakage power of the whole memory.
+    pub leakage_power: Mw,
+    /// Energy per write access.
+    pub write_energy: Pj,
+    /// Energy per read access.
+    pub read_energy: Pj,
+    /// Energy per single-position shift.
+    pub shift_energy: Pj,
+    /// Latency per read access.
+    pub read_latency: Ns,
+    /// Latency per write access.
+    pub write_latency: Ns,
+    /// Latency per single-position shift.
+    pub shift_latency: Ns,
+    /// Die area of the memory.
+    pub area: Mm2,
+}
+
+impl MemoryParams {
+    /// Validates internal consistency (all values strictly positive).
+    pub fn validate(&self) -> Result<(), String> {
+        let checks: [(&str, f64); 8] = [
+            ("leakage_power", self.leakage_power.0),
+            ("write_energy", self.write_energy.0),
+            ("read_energy", self.read_energy.0),
+            ("shift_energy", self.shift_energy.0),
+            ("read_latency", self.read_latency.0),
+            ("write_latency", self.write_latency.0),
+            ("shift_latency", self.shift_latency.0),
+            ("area", self.area.0),
+        ];
+        for (name, v) in checks {
+            // `!(v > 0.0)` deliberately also catches NaN.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(v > 0.0) {
+                return Err(format!("{name} must be positive, got {v}"));
+            }
+        }
+        if self.dbcs == 0 || self.domains_per_dbc == 0 {
+            return Err("geometry fields must be nonzero".to_owned());
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for MemoryParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} DBCs x {} domains: R {:.2}/{:.2}, W {:.2}/{:.2}, S {:.2}/{:.2} (ns/pJ), leak {:.2}, area {:.4}",
+            self.dbcs,
+            self.domains_per_dbc,
+            self.read_latency.0,
+            self.read_energy.0,
+            self.write_latency.0,
+            self.write_energy.0,
+            self.shift_latency.0,
+            self.shift_energy.0,
+            self.leakage_power.0,
+            self.area.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_arithmetic() {
+        assert_eq!((Ns(1.0) + Ns(2.0)).value(), 3.0);
+        assert_eq!((Pj(2.0) * 3.0).value(), 6.0);
+        let total: Ns = [Ns(1.0), Ns(2.5)].into_iter().sum();
+        assert_eq!(total.value(), 3.5);
+        let mut x = Mw(1.0);
+        x += Mw(0.5);
+        assert_eq!(x.value(), 1.5);
+    }
+
+    #[test]
+    fn leakage_unit_conversion() {
+        // 2 mW over 100 ns = 2e-3 * 100e-9 J = 2e-10 J = 200 pJ.
+        assert!((Mw(2.0).leak_over(Ns(100.0)).value() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ns_to_seconds() {
+        assert!((Ns(10.0).to_seconds() - 1e-8).abs() < 1e-20);
+    }
+
+    #[test]
+    fn display_formats_with_suffix() {
+        assert_eq!(Ns(0.99).to_string(), "0.99 ns");
+        assert_eq!(format!("{:.1}", Pj(2.18)), "2.2 pJ");
+        assert_eq!(Mm2(0.0159).to_string(), "0.0159 mm^2");
+        assert_eq!(Mw(3.39).to_string(), "3.39 mW");
+    }
+
+    #[test]
+    fn validate_rejects_nonpositive() {
+        let mut p = crate::table1::preset(2).unwrap();
+        assert!(p.validate().is_ok());
+        p.shift_energy = Pj(0.0);
+        assert!(p.validate().is_err());
+        p.shift_energy = Pj(f64::NAN);
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! The paper's Table I: memory-system parameters of a 4 KiB RTM at 32 nm
+//! with 32 tracks per DBC, for 2/4/8/16 DBCs, as produced by the DESTINY
+//! circuit simulator.
+//!
+//! These four columns are copied verbatim from the paper and are the ground
+//! truth for all energy/latency/area results. Use [`preset`] for a tabulated
+//! configuration and [`crate::ScalingModel`] for anything else.
+
+use crate::params::{MemoryParams, Mm2, Mw, Ns, Pj};
+
+/// DBC counts tabulated by the paper.
+pub const TABULATED_DBCS: [usize; 4] = [2, 4, 8, 16];
+
+/// All four Table I columns in DBC order (2, 4, 8, 16).
+pub fn all() -> [MemoryParams; 4] {
+    [
+        MemoryParams {
+            dbcs: 2,
+            domains_per_dbc: 512,
+            leakage_power: Mw(3.39),
+            write_energy: Pj(3.42),
+            read_energy: Pj(2.26),
+            shift_energy: Pj(2.18),
+            read_latency: Ns(0.81),
+            write_latency: Ns(1.08),
+            shift_latency: Ns(0.99),
+            area: Mm2(0.0159),
+        },
+        MemoryParams {
+            dbcs: 4,
+            domains_per_dbc: 256,
+            leakage_power: Mw(4.33),
+            write_energy: Pj(3.65),
+            read_energy: Pj(2.39),
+            shift_energy: Pj(2.03),
+            read_latency: Ns(0.84),
+            write_latency: Ns(1.14),
+            shift_latency: Ns(0.92),
+            area: Mm2(0.0186),
+        },
+        MemoryParams {
+            dbcs: 8,
+            domains_per_dbc: 128,
+            leakage_power: Mw(6.56),
+            write_energy: Pj(3.79),
+            read_energy: Pj(2.47),
+            shift_energy: Pj(1.97),
+            read_latency: Ns(0.86),
+            write_latency: Ns(1.17),
+            shift_latency: Ns(0.86),
+            area: Mm2(0.0226),
+        },
+        MemoryParams {
+            dbcs: 16,
+            domains_per_dbc: 64,
+            leakage_power: Mw(8.94),
+            write_energy: Pj(3.94),
+            read_energy: Pj(2.54),
+            shift_energy: Pj(1.86),
+            read_latency: Ns(0.89),
+            write_latency: Ns(1.20),
+            shift_latency: Ns(0.78),
+            area: Mm2(0.0279),
+        },
+    ]
+}
+
+/// Returns the Table I column for `dbcs`, or `None` if the paper does not
+/// tabulate that configuration.
+///
+/// # Example
+///
+/// ```
+/// let p = rtm_arch::table1::preset(8).expect("8 DBCs is tabulated");
+/// assert_eq!(p.domains_per_dbc, 128);
+/// assert!(rtm_arch::table1::preset(6).is_none());
+/// ```
+pub fn preset(dbcs: usize) -> Option<MemoryParams> {
+    all().into_iter().find(|p| p.dbcs == dbcs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_presets_are_tabulated() {
+        for d in TABULATED_DBCS {
+            let p = preset(d).unwrap();
+            assert_eq!(p.dbcs, d);
+            p.validate().unwrap();
+        }
+        assert!(preset(3).is_none());
+        assert!(preset(0).is_none());
+    }
+
+    #[test]
+    fn iso_capacity_invariant() {
+        // All configurations store 4 KiB: dbcs * domains * 32 tracks = 32768 bits.
+        for p in all() {
+            assert_eq!(p.dbcs * p.domains_per_dbc * 32, 4096 * 8, "{}", p.dbcs);
+        }
+    }
+
+    #[test]
+    fn monotone_trends_match_the_paper() {
+        let t = all();
+        for w in t.windows(2) {
+            let (lo, hi) = (&w[0], &w[1]);
+            // More DBCs => more ports => more leakage, more area, slower
+            // reads/writes, but faster & cheaper shifts (shorter tracks).
+            assert!(hi.leakage_power.value() > lo.leakage_power.value());
+            assert!(hi.area.value() > lo.area.value());
+            assert!(hi.read_latency.value() > lo.read_latency.value());
+            assert!(hi.write_latency.value() > lo.write_latency.value());
+            assert!(hi.shift_latency.value() < lo.shift_latency.value());
+            assert!(hi.shift_energy.value() < lo.shift_energy.value());
+            assert!(hi.read_energy.value() > lo.read_energy.value());
+            assert!(hi.write_energy.value() > lo.write_energy.value());
+        }
+    }
+
+    #[test]
+    fn spot_check_table_values() {
+        let p2 = preset(2).unwrap();
+        assert_eq!(p2.shift_latency.value(), 0.99);
+        assert_eq!(p2.area.value(), 0.0159);
+        let p16 = preset(16).unwrap();
+        assert_eq!(p16.leakage_power.value(), 8.94);
+        assert_eq!(p16.shift_energy.value(), 1.86);
+    }
+}

@@ -1,0 +1,61 @@
+//! Cost of the search-based placers: GA generations and random-walk
+//! iterations per second, quantifying why the paper calls them baselines
+//! rather than compiler passes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtm_offsetstone::Benchmark;
+use rtm_placement::random_walk::{self, RandomWalkConfig};
+use rtm_placement::{CostModel, GaConfig, GeneticPlacer};
+use std::hint::black_box;
+
+fn ga_generation_cost(c: &mut Criterion) {
+    let seq = Benchmark::by_name("adpcm").expect("in suite").trace();
+    let mut group = c.benchmark_group("ga");
+    group.sample_size(10);
+    for generations in [5usize, 20] {
+        let cfg = GaConfig {
+            mu: 32,
+            lambda: 32,
+            generations,
+            ..GaConfig::paper()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("generations", generations),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    black_box(
+                        GeneticPlacer::new(*cfg)
+                            .run(&seq, 4, 4096)
+                            .expect("fits"),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn random_walk_cost(c: &mut Criterion) {
+    let seq = Benchmark::by_name("adpcm").expect("in suite").trace();
+    let mut group = c.benchmark_group("random_walk");
+    group.sample_size(10);
+    for iters in [500usize, 2000] {
+        let cfg = RandomWalkConfig {
+            iterations: iters,
+            seed: 3,
+        };
+        group.bench_with_input(BenchmarkId::new("iterations", iters), &cfg, |b, cfg| {
+            b.iter(|| {
+                black_box(
+                    random_walk::search(&seq, 4, 4096, CostModel::single_port(), *cfg)
+                        .expect("fits"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ga_generation_cost, random_walk_cost);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Runtime scaling of the placement heuristics — backing the paper's claim
+//! that DMA is a "novel *fast* heuristic" practical inside a compiler,
+//! unlike the GA.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtm_offsetstone::{Benchmark, GeneratorConfig};
+use rtm_placement::{PlacementProblem, Strategy};
+use std::hint::black_box;
+
+fn heuristics_on_suite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heuristics_suite");
+    for name in ["adpcm", "gzip", "mpeg2"] {
+        let seq = Benchmark::by_name(name).expect("in suite").trace();
+        let problem = PlacementProblem::new(seq, 4, 4096);
+        for strat in [
+            Strategy::AfdOfu,
+            Strategy::DmaOfu,
+            Strategy::DmaChen,
+            Strategy::DmaSr,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(strat.name(), name),
+                &problem,
+                |b, p| b.iter(|| black_box(p.solve(&strat).expect("fits"))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn dma_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dma_scaling");
+    for len in [500usize, 1000, 2000, 4000] {
+        let seq = GeneratorConfig::new(len / 4, len).generate(11);
+        let problem = PlacementProblem::new(seq, 8, 4096);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &problem, |b, p| {
+            b.iter(|| black_box(p.solve(&Strategy::DmaSr).expect("fits")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, heuristics_on_suite, dma_scaling);
+criterion_main!(benches);

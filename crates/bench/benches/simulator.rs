@@ -1,0 +1,52 @@
+//! Throughput of the trace-driven simulator (RTSim substitute): accesses
+//! replayed per second for the paper's four Table I configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rtm_bench::experiments::{capacity_for, simulator_for};
+use rtm_offsetstone::Benchmark;
+use rtm_placement::{PlacementProblem, Strategy};
+use std::hint::black_box;
+
+fn simulator_throughput(c: &mut Criterion) {
+    let seq = Benchmark::by_name("gzip").expect("in suite").trace();
+    let mut group = c.benchmark_group("simulator_replay");
+    group.throughput(Throughput::Elements(seq.len() as u64));
+    for dbcs in [2usize, 4, 8, 16] {
+        let capacity = capacity_for(dbcs, seq.vars().len());
+        let placement = PlacementProblem::new(seq.clone(), dbcs, capacity)
+            .solve(&Strategy::DmaSr)
+            .expect("fits")
+            .placement;
+        let sim = simulator_for(dbcs, capacity);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(dbcs),
+            &placement,
+            |b, p| b.iter(|| black_box(sim.run(&seq, p).expect("valid"))),
+        );
+    }
+    group.finish();
+}
+
+fn cost_model_vs_simulator(c: &mut Criterion) {
+    // The analytic evaluator is the GA's inner loop; compare it against the
+    // full simulator on the same workload.
+    let seq = Benchmark::by_name("gzip").expect("in suite").trace();
+    let capacity = capacity_for(4, seq.vars().len());
+    let problem = PlacementProblem::new(seq.clone(), 4, capacity);
+    let placement = problem
+        .solve(&Strategy::DmaSr)
+        .expect("fits")
+        .placement;
+    let sim = simulator_for(4, capacity);
+    let mut group = c.benchmark_group("evaluator");
+    group.bench_function("cost_model", |b| {
+        b.iter(|| black_box(problem.evaluate(&placement)))
+    });
+    group.bench_function("simulator", |b| {
+        b.iter(|| black_box(sim.run(&seq, &placement).expect("valid")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, simulator_throughput, cost_model_vs_simulator);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates the design-choice ablation study. See `DESIGN.md` §4.
+
+fn main() -> std::io::Result<()> {
+    let opts = rtm_bench::ExperimentOpts::from_args();
+    rtm_bench::experiments::ablation::run(&opts).emit(&opts)
+}

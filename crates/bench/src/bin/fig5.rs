@@ -1,0 +1,6 @@
+//! Regenerates the paper's `fig5` results. See `DESIGN.md` §4.
+
+fn main() -> std::io::Result<()> {
+    let opts = rtm_bench::ExperimentOpts::from_args();
+    rtm_bench::experiments::fig5::run(&opts).emit(&opts)
+}

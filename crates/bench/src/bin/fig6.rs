@@ -1,0 +1,6 @@
+//! Regenerates the paper's `fig6` results. See `DESIGN.md` §4.
+
+fn main() -> std::io::Result<()> {
+    let opts = rtm_bench::ExperimentOpts::from_args();
+    rtm_bench::experiments::fig6::run(&opts).emit(&opts)
+}

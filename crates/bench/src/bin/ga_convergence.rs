@@ -1,0 +1,6 @@
+//! Regenerates the paper's `ga_convergence` results. See `DESIGN.md` §4.
+
+fn main() -> std::io::Result<()> {
+    let opts = rtm_bench::ExperimentOpts::from_args();
+    rtm_bench::experiments::ga_convergence::run(&opts).emit(&opts)
+}

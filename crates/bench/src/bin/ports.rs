@@ -1,0 +1,7 @@
+//! Regenerates the port-count ablation (the paper's "independent of the
+//! number of ports" generalization claim). See `DESIGN.md` §4.
+
+fn main() -> std::io::Result<()> {
+    let opts = rtm_bench::ExperimentOpts::from_args();
+    rtm_bench::experiments::ports::run(&opts).emit(&opts)
+}

@@ -1,0 +1,168 @@
+//! One module per table/figure of the paper's evaluation.
+
+pub mod ablation;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod ga_convergence;
+pub mod latency;
+pub mod ports;
+pub mod table1;
+
+use crate::ExperimentOpts;
+use crate::Table;
+use rtm_arch::{table1 as arch_table1, MemoryParams, RtmGeometry, ScalingModel};
+use rtm_offsetstone::{suite, Benchmark};
+use rtm_placement::{PlacementProblem, Solution, Strategy};
+use rtm_sim::{SimStats, Simulator};
+use rtm_trace::AccessSequence;
+
+/// A finished experiment: named tables ready for printing and CSV export.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentResult {
+    /// `(name, table)` pairs, in presentation order.
+    pub tables: Vec<(String, Table)>,
+}
+
+impl ExperimentResult {
+    /// Prints every table to stdout and writes `<name>.csv` files under
+    /// `opts.out_dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the CSV export.
+    pub fn emit(&self, opts: &ExperimentOpts) -> std::io::Result<()> {
+        for (name, table) in &self.tables {
+            println!("\n== {name} ==\n");
+            println!("{}", table.to_markdown());
+            table.write_csv(&opts.out_dir.join(format!("{name}.csv")))?;
+        }
+        Ok(())
+    }
+}
+
+/// Locations per DBC used by the experiments for a benchmark with `vars`
+/// variables on a `dbcs`-DBC configuration.
+///
+/// The paper's 4 KiB subarray offers `1024 / dbcs · … ` — concretely
+/// 512/256/128/64 locations for 2/4/8/16 DBCs. A few OffsetStone sequences
+/// (up to 1336 variables) exceed the subarray; the paper does not describe
+/// special handling, so the experiments grow the track length just enough to
+/// fit while keeping the per-operation Table I parameters (the spill is
+/// documented in `DESIGN.md` §3; it affects both sides of every comparison
+/// equally).
+pub fn capacity_for(dbcs: usize, vars: usize) -> usize {
+    let table_capacity = 4096 * 8 / (dbcs * 32);
+    table_capacity.max(vars.div_ceil(dbcs))
+}
+
+/// The per-operation parameters for a DBC count: Table I when tabulated,
+/// the [`ScalingModel`] fit otherwise.
+pub fn params_for(dbcs: usize) -> MemoryParams {
+    arch_table1::preset(dbcs).unwrap_or_else(|| ScalingModel::from_table1().params(dbcs))
+}
+
+/// Builds a simulator for `dbcs` DBCs with tracks long enough for
+/// `capacity` locations.
+///
+/// # Panics
+///
+/// Panics if the geometry is degenerate (zero counts) — impossible for the
+/// experiment sweeps.
+pub fn simulator_for(dbcs: usize, capacity: usize) -> Simulator {
+    let geometry = RtmGeometry::new(dbcs, 32, capacity, 1).expect("valid geometry");
+    Simulator::new(geometry, params_for(dbcs)).expect("matching params")
+}
+
+/// Solves one benchmark trace for one configuration with one strategy and
+/// simulates the result.
+///
+/// # Panics
+///
+/// Panics if the strategy fails (capacities are sized by
+/// [`capacity_for`], so this indicates a bug).
+pub fn solve_and_simulate(
+    seq: &AccessSequence,
+    dbcs: usize,
+    strategy: &Strategy,
+) -> (Solution, SimStats) {
+    let capacity = capacity_for(dbcs, seq.vars().len());
+    let problem = PlacementProblem::new(seq.clone(), dbcs, capacity);
+    let solution = problem
+        .solve(strategy)
+        .expect("experiment capacities always fit");
+    let stats = simulator_for(dbcs, capacity)
+        .run(seq, &solution.placement)
+        .expect("solution placements are valid");
+    (solution, stats)
+}
+
+/// The benchmarks selected by `opts`, with their canonical traces.
+pub fn selected_benchmarks(opts: &ExperimentOpts) -> Vec<(Benchmark, AccessSequence)> {
+    suite()
+        .into_iter()
+        .filter(|b| opts.selects(b.name()))
+        .map(|b| {
+            let t = b.trace();
+            (b, t)
+        })
+        .collect()
+}
+
+/// Like [`selected_benchmarks`], but under `--multi-seq` every benchmark
+/// contributes *all* of its access sequences (the canonical large one plus
+/// the small per-function style ones), matching the real OffsetStone
+/// suite's composition more closely.
+pub fn selected_sequences(opts: &ExperimentOpts) -> Vec<(Benchmark, Vec<AccessSequence>)> {
+    suite()
+        .into_iter()
+        .filter(|b| opts.selects(b.name()))
+        .map(|b| {
+            let seqs = if opts.multi_seq {
+                b.sequences()
+            } else {
+                vec![b.trace()]
+            };
+            (b, seqs)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_covers_table_and_spill() {
+        assert_eq!(capacity_for(2, 100), 512);
+        assert_eq!(capacity_for(16, 100), 64);
+        // mpeg2: 1336 vars on 16 DBCs -> needs 84 per DBC.
+        assert_eq!(capacity_for(16, 1336), 84);
+    }
+
+    #[test]
+    fn params_for_all_sweep_points() {
+        for d in [2, 4, 8, 12, 16] {
+            let p = params_for(d);
+            assert_eq!(p.dbcs, d);
+            p.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn solve_and_simulate_agree_on_shifts() {
+        let seq = Benchmark::by_name("adpcm").unwrap().trace();
+        let (sol, stats) = solve_and_simulate(&seq, 4, &Strategy::DmaSr);
+        assert_eq!(sol.shifts, stats.shifts);
+    }
+
+    #[test]
+    fn benchmark_filter_applies() {
+        let opts = ExperimentOpts {
+            benchmarks: vec!["gzip".into(), "dct".into()],
+            ..ExperimentOpts::default()
+        };
+        let sel = selected_benchmarks(&opts);
+        assert_eq!(sel.len(), 2);
+    }
+}

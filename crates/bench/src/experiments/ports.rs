@@ -1,0 +1,114 @@
+//! Ablation: access-port count. The paper's motivation for *generalized*
+//! placement is that Chen's multi-DBC heuristic "is designed for RTMs with
+//! two or more access ports per track" while DMA "is independent of the
+//! number of ports" (§II-B, §III). This experiment sweeps 1/2/4 ports per
+//! track at a fixed DBC count and checks that DMA's advantage over AFD
+//! persists across port counts.
+//!
+//! Placements are produced with the single-port cost model (the heuristics
+//! are port-agnostic, which is the point) and then *evaluated* under the
+//! multi-port model where the whole track still shifts as one unit but any
+//! port can serve an access.
+
+use super::{capacity_for, selected_benchmarks, ExperimentResult};
+use crate::{geomean, ExperimentOpts, Table};
+use rtm_placement::{CostModel, PlacementProblem, Strategy};
+use std::collections::BTreeMap;
+
+/// Port counts swept.
+pub const PORT_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Collects `(strategy, ports) -> per-benchmark shift counts`.
+pub fn collect(opts: &ExperimentOpts) -> BTreeMap<(String, usize), Vec<f64>> {
+    let dbcs = opts.dbcs.first().copied().unwrap_or(4);
+    let mut out: BTreeMap<(String, usize), Vec<f64>> = BTreeMap::new();
+    for (_, seq) in selected_benchmarks(opts) {
+        let capacity = capacity_for(dbcs, seq.vars().len());
+        for strat in [Strategy::AfdOfu, Strategy::DmaSr] {
+            // The placement itself is computed port-agnostically…
+            let problem = PlacementProblem::new(seq.clone(), dbcs, capacity);
+            let sol = problem.solve(&strat).expect("capacity fits");
+            // …and evaluated under each port model.
+            for ports in PORT_COUNTS {
+                let model = if ports == 1 {
+                    CostModel::single_port()
+                } else {
+                    CostModel::multi_port(ports, capacity)
+                };
+                let shifts = model.shift_cost(&sol.placement, seq.accesses());
+                out.entry((strat.name().to_owned(), ports))
+                    .or_default()
+                    .push(shifts.max(1) as f64);
+            }
+        }
+    }
+    out
+}
+
+/// Runs the ablation: geomean shifts per port count and the DMA-SR vs
+/// AFD-OFU improvement factor.
+pub fn run(opts: &ExperimentOpts) -> ExperimentResult {
+    let data = collect(opts);
+    let mut t = Table::new(vec![
+        "ports".into(),
+        "AFD-OFU geomean shifts".into(),
+        "DMA-SR geomean shifts".into(),
+        "DMA-SR improvement".into(),
+    ]);
+    for ports in PORT_COUNTS {
+        let afd = geomean(&data[&("AFD-OFU".to_owned(), ports)]);
+        let dma = geomean(&data[&("DMA-SR".to_owned(), ports)]);
+        t.row(vec![
+            ports.to_string(),
+            format!("{afd:.1}"),
+            format!("{dma:.1}"),
+            format!("{:.2}x", afd / dma.max(1e-12)),
+        ]);
+    }
+    ExperimentResult {
+        tables: vec![("ports_ablation".into(), t)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> ExperimentOpts {
+        ExperimentOpts {
+            quick: true,
+            dbcs: vec![4],
+            benchmarks: vec!["adpcm".into(), "gzip".into(), "fft".into()],
+            ..ExperimentOpts::default()
+        }
+    }
+
+    #[test]
+    fn dma_advantage_persists_across_port_counts() {
+        let data = collect(&quick_opts());
+        for ports in PORT_COUNTS {
+            let afd = crate::geomean(&data[&("AFD-OFU".to_owned(), ports)]);
+            let dma = crate::geomean(&data[&("DMA-SR".to_owned(), ports)]);
+            assert!(
+                dma < afd,
+                "{ports} ports: DMA-SR {dma:.0} should beat AFD-OFU {afd:.0}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_ports_reduce_shifts_for_both() {
+        let data = collect(&quick_opts());
+        for strat in ["AFD-OFU", "DMA-SR"] {
+            let one = crate::geomean(&data[&(strat.to_owned(), 1)]);
+            let four = crate::geomean(&data[&(strat.to_owned(), 4)]);
+            assert!(four <= one, "{strat}: 4 ports {four:.0} > 1 port {one:.0}");
+        }
+    }
+
+    #[test]
+    fn table_renders() {
+        let r = run(&quick_opts());
+        assert_eq!(r.tables[0].1.len(), PORT_COUNTS.len());
+    }
+}

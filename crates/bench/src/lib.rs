@@ -1,0 +1,29 @@
+//! Experiment harness for the DATE 2020 reproduction.
+//!
+//! One binary per table/figure of the paper's evaluation (see `DESIGN.md`
+//! §4 for the experiment index):
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `table1` | Table I — memory system parameters |
+//! | `fig4` | Fig. 4 — shifts per benchmark, normalized to GA |
+//! | `fig5` | Fig. 5 — energy breakdown normalized to AFD-OFU |
+//! | `fig6` | Fig. 6 — DBC-count trade-off for DMA-SR |
+//! | `latency` | §IV-C — latency improvement over AFD-OFU |
+//! | `ga_convergence` | §IV-B — long-GA optimality-gap study |
+//!
+//! All binaries accept `--quick` (reduced GA/RW budgets), `--dbcs 2,4,8,16`,
+//! `--seed N`, `--benchmarks a,b,c` and write CSV next to the printed table
+//! under `target/experiments/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod opts;
+mod stats;
+mod table;
+
+pub use opts::ExperimentOpts;
+pub use stats::{geomean, mean};
+pub use table::Table;

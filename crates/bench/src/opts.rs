@@ -1,0 +1,185 @@
+use rtm_placement::{GaConfig, RandomWalkConfig};
+use std::path::PathBuf;
+
+/// Command-line options shared by every experiment binary.
+///
+/// Parsed by hand (flags only, no external dependency):
+///
+/// * `--quick` — reduced GA/RW budgets for smoke runs;
+/// * `--dbcs 2,4,8,16` — DBC configurations to sweep;
+/// * `--seed N` — base RNG seed;
+/// * `--benchmarks gzip,dct` — restrict the benchmark set;
+/// * `--generations N` — GA generations override (`ga_convergence`);
+/// * `--out DIR` — output directory (default `target/experiments`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentOpts {
+    /// DBC configurations to sweep.
+    pub dbcs: Vec<usize>,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Use reduced search budgets.
+    pub quick: bool,
+    /// Benchmark-name filter (empty = all).
+    pub benchmarks: Vec<String>,
+    /// GA generation override.
+    pub generations: Option<usize>,
+    /// Use every per-benchmark access sequence (not just the canonical
+    /// large one) — closer to the real OffsetStone suite's composition.
+    pub multi_seq: bool,
+    /// Output directory for CSV files.
+    pub out_dir: PathBuf,
+}
+
+impl Default for ExperimentOpts {
+    fn default() -> Self {
+        Self {
+            dbcs: vec![2, 4, 8, 16],
+            seed: 1,
+            quick: false,
+            benchmarks: Vec::new(),
+            generations: None,
+            multi_seq: false,
+            out_dir: PathBuf::from("target/experiments"),
+        }
+    }
+}
+
+impl ExperimentOpts {
+    /// Parses `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments (acceptable for
+    /// an experiment binary).
+    pub fn from_args() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable core of
+    /// [`from_args`](Self::from_args)).
+    #[allow(clippy::should_implement_trait)] // not a collection conversion
+    pub fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut opts = Self::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let mut value = |flag: &str| -> String {
+                it.next()
+                    .unwrap_or_else(|| panic!("{flag} requires a value"))
+            };
+            match arg.as_str() {
+                "--quick" => opts.quick = true,
+                "--multi-seq" => opts.multi_seq = true,
+                "--dbcs" => {
+                    opts.dbcs = value("--dbcs")
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("--dbcs takes integers"))
+                        .collect();
+                }
+                "--seed" => opts.seed = value("--seed").parse().expect("--seed takes an integer"),
+                "--benchmarks" => {
+                    opts.benchmarks = value("--benchmarks")
+                        .split(',')
+                        .map(|s| s.trim().to_owned())
+                        .collect();
+                }
+                "--generations" => {
+                    opts.generations =
+                        Some(value("--generations").parse().expect("--generations takes an integer"));
+                }
+                "--out" => opts.out_dir = PathBuf::from(value("--out")),
+                other => panic!("unknown argument `{other}`"),
+            }
+        }
+        opts
+    }
+
+    /// The GA budget implied by the options: the paper's configuration, or
+    /// a reduced one under `--quick`.
+    pub fn ga_config(&self) -> GaConfig {
+        let base = if self.quick {
+            GaConfig::quick()
+        } else {
+            GaConfig::paper()
+        };
+        let base = base.with_seed(self.seed ^ 0x6A5);
+        match self.generations {
+            Some(g) => base.with_generations(g),
+            None => base,
+        }
+    }
+
+    /// The RW budget implied by the options.
+    pub fn rw_config(&self) -> RandomWalkConfig {
+        let base = if self.quick {
+            RandomWalkConfig::quick()
+        } else {
+            RandomWalkConfig::paper()
+        };
+        base.with_seed(self.seed ^ 0x125)
+    }
+
+    /// Whether `name` passes the benchmark filter.
+    pub fn selects(&self, name: &str) -> bool {
+        self.benchmarks.is_empty() || self.benchmarks.iter().any(|b| b == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> ExperimentOpts {
+        ExperimentOpts::from_iter(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]);
+        assert_eq!(o.dbcs, vec![2, 4, 8, 16]);
+        assert!(!o.quick);
+        assert!(o.selects("anything"));
+    }
+
+    #[test]
+    fn parses_flags() {
+        let o = parse(&[
+            "--quick",
+            "--dbcs",
+            "2,8",
+            "--seed",
+            "99",
+            "--benchmarks",
+            "gzip, dct",
+            "--generations",
+            "2000",
+            "--out",
+            "/tmp/x",
+        ]);
+        assert!(o.quick);
+        assert_eq!(o.dbcs, vec![2, 8]);
+        assert_eq!(o.seed, 99);
+        assert!(o.selects("gzip") && o.selects("dct") && !o.selects("fft"));
+        assert_eq!(o.generations, Some(2000));
+        assert_eq!(o.out_dir, PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn quick_shrinks_budgets() {
+        let q = parse(&["--quick"]);
+        let f = parse(&[]);
+        assert!(q.ga_config().generations < f.ga_config().generations);
+        assert!(q.rw_config().iterations < f.rw_config().iterations);
+    }
+
+    #[test]
+    fn generations_override_applies() {
+        let o = parse(&["--generations", "7"]);
+        assert_eq!(o.ga_config().generations, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn rejects_unknown() {
+        parse(&["--bogus"]);
+    }
+}

@@ -1,0 +1,42 @@
+/// Geometric mean of a slice (0 if empty; zero entries are clamped to a
+/// tiny epsilon so an occasional zero-shift benchmark does not zero the
+/// whole mean, matching common practice for normalized-cost geomeans).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = xs.iter().map(|&x| x.max(1e-12).ln()).sum();
+    (sum / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean (0 if empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_survives_zero() {
+        let g = geomean(&[0.0, 4.0]);
+        assert!(g.is_finite());
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,85 @@
+//! Minimal `--key value` argument parsing (no external dependency).
+
+use std::collections::HashMap;
+use std::str::FromStr;
+
+/// Parsed `--key value` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct CliArgs {
+    values: HashMap<String, String>,
+}
+
+impl CliArgs {
+    /// Parses the remaining argv after the subcommand.
+    pub fn parse(argv: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut values = HashMap::new();
+        let mut it = argv;
+        while let Some(arg) = it.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("expected an option, got `{arg}`"));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| format!("option --{key} requires a value"))?;
+            values.insert(key.to_owned(), value);
+        }
+        Ok(Self { values })
+    }
+
+    /// Raw string value of an option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Parsed value of an option, `None` if absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the value does not parse.
+    pub fn get_parsed<T: FromStr>(&self, key: &str) -> Result<Option<T>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.values.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|e| format!("invalid value for --{key}: {e}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliArgs, String> {
+        CliArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let a = parse(&["--trace", "x.txt", "--dbcs", "8"]).unwrap();
+        assert_eq!(a.get("trace"), Some("x.txt"));
+        assert_eq!(a.get_parsed::<usize>("dbcs").unwrap(), Some(8));
+        assert_eq!(a.get("missing"), None);
+        assert_eq!(a.get_parsed::<usize>("missing").unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_bare_values() {
+        assert!(parse(&["oops"]).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        assert!(parse(&["--trace"]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_parse() {
+        let a = parse(&["--dbcs", "many"]).unwrap();
+        assert!(a.get_parsed::<usize>("dbcs").is_err());
+    }
+}

@@ -1,0 +1,196 @@
+//! The five subcommands.
+
+use crate::args::CliArgs;
+use crate::{build_problem, build_simulator, parse_strategy, read_trace};
+use rtm_offsetstone::{suite as bench_suite, Benchmark};
+use rtm_placement::{GaConfig, RandomWalkConfig, Strategy};
+
+type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+/// `rtm place` — solve the placement and print the layout.
+pub fn place(args: &CliArgs) -> CmdResult {
+    let seq = read_trace(args)?;
+    let (problem, dbcs, capacity) = build_problem(args, &seq)?;
+    let strategy = parse_strategy(args.get("strategy").unwrap_or("dma-sr"))?;
+    let sol = problem.solve(&strategy)?;
+    println!(
+        "strategy {} on {} DBCs x {} locations: {} shifts",
+        strategy.name(),
+        dbcs,
+        capacity,
+        sol.shifts
+    );
+    for (d, list) in sol.placement.dbc_lists().iter().enumerate() {
+        let names: Vec<&str> = list.iter().map(|&v| seq.vars().name(v)).collect();
+        println!("DBC{d} ({} shifts): {}", sol.per_dbc_shifts[d], names.join(" "));
+    }
+    Ok(())
+}
+
+/// `rtm simulate` — place and replay, printing latency/energy.
+pub fn simulate(args: &CliArgs) -> CmdResult {
+    let seq = read_trace(args)?;
+    let (problem, dbcs, capacity) = build_problem(args, &seq)?;
+    let strategy = parse_strategy(args.get("strategy").unwrap_or("dma-sr"))?;
+    let sol = problem.solve(&strategy)?;
+    let sim = build_simulator(dbcs, capacity)?;
+    let stats = sim.run(&seq, &sol.placement)?;
+    println!("strategy {}: {stats}", strategy.name());
+    println!("runtime {:.1} (incl. compute gaps)", stats.runtime());
+    Ok(())
+}
+
+/// `rtm stats` — trace shape summary.
+pub fn stats(args: &CliArgs) -> CmdResult {
+    let seq = read_trace(args)?;
+    let st = seq.stats();
+    println!("accesses:            {}", st.length);
+    println!("variables:           {}", st.variables);
+    println!("distinct edges:      {}", st.distinct_transitions);
+    println!("self transitions:    {}", st.self_transitions);
+    println!("mean frequency:      {:.2}", st.mean_frequency);
+    println!("max frequency:       {}", st.max_frequency);
+    println!("mean lifespan:       {:.1}", st.mean_lifespan);
+    println!(
+        "disjoint pairs:      {:.1}%  (DMA's raw material)",
+        st.disjoint_pair_fraction * 100.0
+    );
+    Ok(())
+}
+
+/// `rtm suite` — list the synthetic OffsetStone suite or show one entry.
+pub fn suite(args: &CliArgs) -> CmdResult {
+    match args.get("benchmark") {
+        Some(name) => {
+            let b = Benchmark::by_name(name)
+                .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+            let p = b.profile();
+            let trace = b.trace();
+            println!("{} ({}):", b.name(), p.class);
+            println!("  variables {} / length {}", p.variables, p.length);
+            println!("  phases {} / zipf {:.1}", p.phases, p.zipf_exponent);
+            println!("  generated: {}", trace.stats());
+        }
+        None => {
+            println!("{:10} {:>6} {:>7}  class", "name", "vars", "length");
+            for b in bench_suite() {
+                let p = b.profile();
+                println!(
+                    "{:10} {:>6} {:>7}  {}",
+                    b.name(),
+                    p.variables,
+                    p.length,
+                    p.class
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `rtm strategies` — list strategy names with one-line descriptions.
+pub fn strategies() -> CmdResult {
+    let entries: [(&str, &str); 9] = [
+        ("afd", "AFD inter-DBC distribution, deal order (Chen'16 baseline)"),
+        ("afd-ofu", "AFD + order-of-first-use intra placement"),
+        ("dma", "DMA (Algorithm 1) with its native orders"),
+        ("dma-ofu", "DMA + OFU on non-disjoint DBCs"),
+        ("dma-chen", "DMA + Chen's frequency-seeded grouping"),
+        ("dma-sr", "DMA + ShiftsReduce (best heuristic, the default)"),
+        ("dma-multi-sr", "multi-chain DMA (paper's future work) + ShiftsReduce"),
+        ("ga", "genetic algorithm, paper budget (mu=lambda=100, 200 gens)"),
+        ("rw", "random walk, 60000 samples"),
+    ];
+    for (name, desc) in entries {
+        println!("{name:14} {desc}");
+    }
+    // Keep the listing in sync with the library.
+    let _ = (
+        Strategy::evaluation_set(GaConfig::quick(), RandomWalkConfig::quick()),
+        Strategy::DmaMultiSr,
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(pairs: &[(&str, &str)]) -> CliArgs {
+        let argv: Vec<String> = pairs
+            .iter()
+            .flat_map(|(k, v)| [format!("--{k}"), v.to_string()])
+            .collect();
+        CliArgs::parse(argv.into_iter()).unwrap()
+    }
+
+    fn trace_file(content: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "rtm_cli_test_{}_{}.txt",
+            std::process::id(),
+            content.len()
+        ));
+        std::fs::write(&path, content).unwrap();
+        path
+    }
+
+    #[test]
+    fn place_runs_on_a_file() {
+        let f = trace_file("a b a b c c a");
+        let a = args(&[("trace", f.to_str().unwrap()), ("dbcs", "2")]);
+        place(&a).unwrap();
+        let _ = std::fs::remove_file(f);
+    }
+
+    #[test]
+    fn simulate_runs_with_strategy_choice() {
+        let f = trace_file("x y x y z z");
+        let a = args(&[
+            ("trace", f.to_str().unwrap()),
+            ("dbcs", "4"),
+            ("strategy", "afd-ofu"),
+        ]);
+        simulate(&a).unwrap();
+        let _ = std::fs::remove_file(f);
+    }
+
+    #[test]
+    fn stats_runs() {
+        let f = trace_file("a a b b");
+        stats(&args(&[("trace", f.to_str().unwrap())])).unwrap();
+        let _ = std::fs::remove_file(f);
+    }
+
+    #[test]
+    fn suite_lists_and_describes() {
+        suite(&args(&[])).unwrap();
+        suite(&args(&[("benchmark", "gzip")])).unwrap();
+        assert!(suite(&args(&[("benchmark", "nope")])).is_err());
+    }
+
+    #[test]
+    fn strategies_prints() {
+        strategies().unwrap();
+    }
+
+    #[test]
+    fn missing_trace_is_an_error() {
+        assert!(place(&args(&[])).is_err());
+    }
+
+    #[test]
+    fn unknown_strategy_is_an_error() {
+        let f = trace_file("a b");
+        let a = args(&[("trace", f.to_str().unwrap()), ("strategy", "bogus")]);
+        assert!(place(&a).is_err());
+        let _ = std::fs::remove_file(f);
+    }
+
+    #[test]
+    fn zero_dbcs_is_an_error() {
+        let f = trace_file("a b");
+        let a = args(&[("trace", f.to_str().unwrap()), ("dbcs", "0")]);
+        assert!(place(&a).is_err());
+        let _ = std::fs::remove_file(f);
+    }
+}

@@ -1,0 +1,131 @@
+//! `rtm` — command-line front end for racetrack-memory data placement.
+//!
+//! ```text
+//! rtm place    --trace FILE [--dbcs N] [--capacity N] [--strategy NAME]
+//! rtm simulate --trace FILE [--dbcs N] [--strategy NAME]
+//! rtm stats    --trace FILE
+//! rtm suite    [--benchmark NAME]
+//! rtm strategies
+//! ```
+//!
+//! Traces are whitespace-separated variable names with optional `:r`/`:w`
+//! suffixes; `--trace -` reads stdin.
+
+use rtm_placement::{GaConfig, PlacementProblem, RandomWalkConfig, Strategy};
+use rtm_sim::Simulator;
+use rtm_trace::AccessSequence;
+use std::io::Read;
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+use args::CliArgs;
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let args = match CliArgs::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "place" => commands::place(&args),
+        "simulate" => commands::simulate(&args),
+        "stats" => commands::stats(&args),
+        "suite" => commands::suite(&args),
+        "strategies" => commands::strategies(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "rtm — racetrack-memory data placement
+
+USAGE:
+    rtm place     --trace FILE [--dbcs N] [--capacity N] [--strategy NAME]
+    rtm simulate  --trace FILE [--dbcs N] [--strategy NAME]
+    rtm stats     --trace FILE
+    rtm suite     [--benchmark NAME]
+    rtm strategies
+
+OPTIONS:
+    --trace FILE      trace file (`-` for stdin)
+    --dbcs N          number of DBCs (default 4)
+    --capacity N      locations per DBC (default: fit the 4 KiB subarray)
+    --strategy NAME   afd-ofu | dma-ofu | dma-chen | dma-sr | dma-multi-sr |
+                      ga | rw  (default dma-sr)
+    --benchmark NAME  one benchmark of the OffsetStone-style suite";
+
+/// Reads the trace named by `--trace` (stdin for `-`).
+fn read_trace(args: &CliArgs) -> Result<AccessSequence, Box<dyn std::error::Error>> {
+    let path = args
+        .get("trace")
+        .ok_or("missing required option --trace")?;
+    let text = if path == "-" {
+        let mut s = String::new();
+        std::io::stdin().read_to_string(&mut s)?;
+        s
+    } else {
+        std::fs::read_to_string(path)?
+    };
+    Ok(AccessSequence::parse(&text)?)
+}
+
+/// Resolves a strategy name.
+fn parse_strategy(name: &str) -> Result<Strategy, String> {
+    Ok(match name {
+        "afd" => Strategy::AfdNative,
+        "afd-ofu" => Strategy::AfdOfu,
+        "dma" => Strategy::DmaNative,
+        "dma-ofu" => Strategy::DmaOfu,
+        "dma-chen" => Strategy::DmaChen,
+        "dma-sr" => Strategy::DmaSr,
+        "dma-multi-sr" => Strategy::DmaMultiSr,
+        "ga" => Strategy::Ga(GaConfig::paper()),
+        "rw" => Strategy::RandomWalk(RandomWalkConfig::paper()),
+        other => return Err(format!("unknown strategy `{other}` (see `rtm strategies`)")),
+    })
+}
+
+/// Builds the placement problem implied by the options.
+fn build_problem(
+    args: &CliArgs,
+    seq: &AccessSequence,
+) -> Result<(PlacementProblem, usize, usize), Box<dyn std::error::Error>> {
+    let dbcs: usize = args.get_parsed("dbcs")?.unwrap_or(4);
+    if dbcs == 0 {
+        return Err("--dbcs must be at least 1".into());
+    }
+    let default_cap = (4096 * 8 / (dbcs * 32)).max(seq.vars().len().div_ceil(dbcs));
+    let capacity: usize = args.get_parsed("capacity")?.unwrap_or(default_cap);
+    Ok((
+        PlacementProblem::new(seq.clone(), dbcs, capacity),
+        dbcs,
+        capacity,
+    ))
+}
+
+/// Builds a simulator matching the problem geometry.
+fn build_simulator(dbcs: usize, capacity: usize) -> Result<Simulator, Box<dyn std::error::Error>> {
+    let geometry = rtm_arch::RtmGeometry::new(dbcs, 32, capacity, 1)?;
+    let params = rtm_arch::table1::preset(dbcs)
+        .unwrap_or_else(|| rtm_arch::ScalingModel::from_table1().params(dbcs));
+    Ok(Simulator::new(geometry, params)?)
+}

@@ -1,0 +1,300 @@
+use crate::placement::Placement;
+use rtm_trace::VarId;
+use serde::{Deserialize, Serialize};
+
+/// Where each DBC's access port starts before the first access.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InitialAlignment {
+    /// The port aligns to the first-accessed variable at no cost.
+    ///
+    /// This is the convention of the paper's worked example: with it,
+    /// Fig. 3(c) costs exactly 24 + 15 = 39 shifts and Fig. 3(d) exactly
+    /// 4 + 7 = 11.
+    #[default]
+    FirstAccess,
+    /// The port starts at offset 0 (track head) and pays for the initial
+    /// movement like any other shift.
+    TrackHead,
+}
+
+/// The shift-cost model of the paper (§II-B): "The shift cost between two
+/// accesses `u` and `v` in `S` is the absolute difference of their exact
+/// locations in a DBC".
+///
+/// Accesses to different DBCs are independent — each DBC keeps its own port
+/// state, so the trace is implicitly partitioned into per-DBC subsequences
+/// (`S_0`, `S_1`, … in Fig. 3).
+///
+/// With more than one port per track the whole track still shifts as one
+/// unit, but a domain can align to *any* port; the cost of an access is the
+/// minimum displacement change over all ports. `track_length` must be given
+/// for multi-port models so port home positions can be spread evenly.
+///
+/// # Example
+///
+/// ```
+/// use rtm_placement::{CostModel, Placement};
+/// use rtm_trace::{AccessSequence, VarId};
+///
+/// let seq = AccessSequence::parse("a b a")?;
+/// let v = |i| VarId::from_index(i);
+/// let p = Placement::from_dbc_lists(vec![vec![v(0), v(1)]]); // a@0, b@1
+/// let cost = CostModel::single_port().shift_cost(&p, seq.accesses());
+/// assert_eq!(cost, 2); // a->b then b->a
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Access ports per track (≥ 1).
+    ports_per_track: usize,
+    /// Track length in domains; required when `ports_per_track > 1`.
+    track_length: Option<usize>,
+    /// Initial port alignment policy.
+    initial: InitialAlignment,
+}
+
+impl CostModel {
+    /// The paper's default model: one port per track, free initial
+    /// alignment.
+    pub fn single_port() -> Self {
+        Self {
+            ports_per_track: 1,
+            track_length: None,
+            initial: InitialAlignment::FirstAccess,
+        }
+    }
+
+    /// A multi-port model with `ports` evenly spread over `track_length`
+    /// domains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports == 0` or `ports > track_length`.
+    pub fn multi_port(ports: usize, track_length: usize) -> Self {
+        assert!(ports >= 1, "need at least one port");
+        assert!(ports <= track_length, "more ports than domains");
+        Self {
+            ports_per_track: ports,
+            track_length: Some(track_length),
+            initial: InitialAlignment::FirstAccess,
+        }
+    }
+
+    /// Sets the initial-alignment policy.
+    pub fn with_initial(mut self, initial: InitialAlignment) -> Self {
+        self.initial = initial;
+        self
+    }
+
+    /// Ports per track.
+    pub fn ports_per_track(&self) -> usize {
+        self.ports_per_track
+    }
+
+    /// Initial alignment policy.
+    pub fn initial(&self) -> InitialAlignment {
+        self.initial
+    }
+
+    /// Home position of port `i` (evenly spread).
+    fn port_home(&self, i: usize) -> usize {
+        match self.track_length {
+            Some(len) => i * len / self.ports_per_track,
+            None => 0,
+        }
+    }
+
+    /// Total shifts needed to serve `accesses` under `placement`.
+    ///
+    /// Accesses to unplaced variables are ignored (this makes it easy to
+    /// evaluate a single DBC by passing a full trace against a partial
+    /// placement — exactly the per-DBC subsequence semantics of the paper).
+    pub fn shift_cost(&self, placement: &Placement, accesses: &[VarId]) -> u64 {
+        self.per_dbc_costs(placement, accesses).into_iter().sum()
+    }
+
+    /// Shift count per DBC.
+    ///
+    /// Each DBC tracks its own displacement: `disp` is how far the track is
+    /// currently shifted relative to its rest position. Accessing the domain
+    /// at `offset` requires `disp' = offset − home(p)` for some port `p`; the
+    /// cost is `|disp' − disp|`, minimized over ports.
+    pub fn per_dbc_costs(&self, placement: &Placement, accesses: &[VarId]) -> Vec<u64> {
+        // Displacement state per DBC; None = untouched.
+        let mut disp: Vec<Option<i64>> = vec![None; placement.dbc_count()];
+        let mut costs = vec![0u64; placement.dbc_count()];
+        for &v in accesses {
+            let Some(loc) = placement.location(v) else {
+                continue;
+            };
+            let (cost, new_disp) = self.access_cost(disp[loc.dbc], loc.offset);
+            costs[loc.dbc] += cost;
+            disp[loc.dbc] = Some(new_disp);
+        }
+        costs
+    }
+
+    /// Cost of one access given the DBC's current displacement; returns
+    /// `(shifts, new_displacement)`.
+    fn access_cost(&self, disp: Option<i64>, offset: usize) -> (u64, i64) {
+        // Candidate displacements that align `offset` with some port.
+        let best_target = |from: i64| -> (u64, i64) {
+            (0..self.ports_per_track)
+                .map(|p| {
+                    let target = offset as i64 - self.port_home(p) as i64;
+                    ((from - target).unsigned_abs(), target)
+                })
+                .min()
+                .expect("at least one port")
+        };
+        match disp {
+            Some(d) => best_target(d),
+            None => match self.initial {
+                InitialAlignment::FirstAccess => {
+                    // Align for free: pick the smallest-|displacement| port
+                    // target (deterministic; irrelevant for cost).
+                    let (_, target) = best_target(0);
+                    (0, target)
+                }
+                InitialAlignment::TrackHead => best_target(0),
+            },
+        }
+    }
+
+    /// Worst-case cost bound for `accesses`: every access pays the maximum
+    /// span of its DBC. Useful as a sanity ceiling in tests.
+    pub fn worst_case_bound(&self, placement: &Placement, accesses: &[VarId]) -> u64 {
+        let span = placement
+            .dbc_lists()
+            .iter()
+            .map(|l| l.len().saturating_sub(1) as u64)
+            .max()
+            .unwrap_or(0);
+        span * accesses.len() as u64
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::single_port()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtm_trace::AccessSequence;
+
+    fn ids(seq: &AccessSequence, names: &[&str]) -> Vec<VarId> {
+        names.iter().map(|n| seq.vars().id(n).unwrap()).collect()
+    }
+
+    const PAPER_SEQ: &str = "a b a b c a c a d d a i e f e f g e g h g i h i";
+
+    #[test]
+    fn paper_fig3c_afd_costs_39() {
+        let s = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let dbc0 = ids(&s, &["a", "g", "b", "d", "h"]);
+        let dbc1 = ids(&s, &["e", "i", "c", "f"]);
+        let p = Placement::from_dbc_lists(vec![dbc0, dbc1]);
+        let costs = CostModel::single_port().per_dbc_costs(&p, s.accesses());
+        assert_eq!(costs, vec![24, 15]);
+    }
+
+    #[test]
+    fn paper_fig3d_dma_costs_11() {
+        let s = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let dbc0 = ids(&s, &["b", "c", "d", "e", "h"]);
+        let dbc1 = ids(&s, &["a", "f", "g", "i"]);
+        let p = Placement::from_dbc_lists(vec![dbc0, dbc1]);
+        let costs = CostModel::single_port().per_dbc_costs(&p, s.accesses());
+        assert_eq!(costs, vec![4, 7]);
+        assert_eq!(
+            CostModel::single_port().shift_cost(&p, s.accesses()),
+            11
+        );
+    }
+
+    #[test]
+    fn self_accesses_are_free() {
+        let s = AccessSequence::parse("x x x x").unwrap();
+        let p = Placement::from_dbc_lists(vec![vec![VarId::from_index(0)]]);
+        assert_eq!(CostModel::single_port().shift_cost(&p, s.accesses()), 0);
+    }
+
+    #[test]
+    fn track_head_start_pays_initial_shift() {
+        let s = AccessSequence::parse("b a").unwrap();
+        // layout: a@0, b@1 (note trace ids: b=0, a=1 by first occurrence).
+        let b = VarId::from_index(0);
+        let a = VarId::from_index(1);
+        let p = Placement::from_dbc_lists(vec![vec![a, b]]);
+        let free = CostModel::single_port().shift_cost(&p, s.accesses());
+        let paid = CostModel::single_port()
+            .with_initial(InitialAlignment::TrackHead)
+            .shift_cost(&p, s.accesses());
+        assert_eq!(free, 1); // b -> a
+        assert_eq!(paid, 2); // head -> b, b -> a
+    }
+
+    #[test]
+    fn unplaced_accesses_are_ignored() {
+        let s = AccessSequence::parse("a b a b").unwrap();
+        let a = VarId::from_index(0);
+        let p = Placement::from_dbc_lists(vec![vec![a]]);
+        assert_eq!(CostModel::single_port().shift_cost(&p, s.accesses()), 0);
+    }
+
+    #[test]
+    fn two_ports_shorten_long_hops() {
+        // Two hot variables at opposite ends of a track of length 8, with
+        // ports at 0 and 4. Trace ids: x=0, y=1.
+        let s = AccessSequence::parse("x y x y").unwrap();
+        let filler: Vec<VarId> = (2..8).map(VarId::from_index).collect();
+        let layout = vec![
+            VarId::from_index(0), // x @ 0
+            filler[0],
+            filler[1],
+            filler[2],
+            filler[3],
+            filler[4],
+            VarId::from_index(1), // y @ 6
+            filler[5],
+        ];
+        let p = Placement::from_dbc_lists(vec![layout]);
+        // single port: x@0 <-> y@6 costs 6 per hop, 3 hops = 18.
+        let c1 = CostModel::single_port().shift_cost(&p, s.accesses());
+        assert_eq!(c1, 18);
+        // two ports (homes 0 and 4): y@6 aligns to port 1 at displacement 2,
+        // so each hop costs 2 -> 6 total.
+        let c2 = CostModel::multi_port(2, 8).shift_cost(&p, s.accesses());
+        assert_eq!(c2, 6);
+    }
+
+    #[test]
+    fn multi_port_never_worse_than_single() {
+        let s = AccessSequence::parse("a b c d a c b d a d").unwrap();
+        let vars: Vec<VarId> = (0..4).map(VarId::from_index).collect();
+        let p = Placement::from_dbc_lists(vec![vars]);
+        let c1 = CostModel::single_port().shift_cost(&p, s.accesses());
+        for ports in 2..=4 {
+            let cp = CostModel::multi_port(ports, 4).shift_cost(&p, s.accesses());
+            assert!(cp <= c1, "{ports} ports: {cp} > {c1}");
+        }
+    }
+
+    #[test]
+    fn worst_case_bound_holds() {
+        let s = AccessSequence::parse("a b c a b c a").unwrap();
+        let vars: Vec<VarId> = (0..3).map(VarId::from_index).collect();
+        let p = Placement::from_dbc_lists(vec![vars]);
+        let m = CostModel::single_port();
+        assert!(m.shift_cost(&p, s.accesses()) <= m.worst_case_bound(&p, s.accesses()));
+    }
+
+    #[test]
+    #[should_panic(expected = "more ports than domains")]
+    fn multi_port_validates() {
+        CostModel::multi_port(9, 4);
+    }
+}

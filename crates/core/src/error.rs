@@ -1,0 +1,88 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when constructing or solving a placement problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlacementError {
+    /// The variables do not fit: `vars > dbcs × capacity`.
+    InsufficientCapacity {
+        /// Number of variables to place.
+        vars: usize,
+        /// Number of DBCs available.
+        dbcs: usize,
+        /// Locations per DBC.
+        capacity: usize,
+    },
+    /// A placement places the same variable more than once.
+    DuplicateVariable(String),
+    /// A placement misses a variable that the trace accesses.
+    MissingVariable(String),
+    /// A single DBC holds more variables than it has locations.
+    DbcOverflow {
+        /// Index of the offending DBC.
+        dbc: usize,
+        /// Variables assigned to it.
+        assigned: usize,
+        /// Its capacity.
+        capacity: usize,
+    },
+    /// The problem was constructed with zero DBCs or zero capacity.
+    EmptyGeometry,
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::InsufficientCapacity {
+                vars,
+                dbcs,
+                capacity,
+            } => write!(
+                f,
+                "{vars} variables do not fit into {dbcs} DBCs of {capacity} locations"
+            ),
+            PlacementError::DuplicateVariable(v) => {
+                write!(f, "variable `{v}` is placed more than once")
+            }
+            PlacementError::MissingVariable(v) => {
+                write!(f, "variable `{v}` is accessed but not placed")
+            }
+            PlacementError::DbcOverflow {
+                dbc,
+                assigned,
+                capacity,
+            } => write!(
+                f,
+                "DBC {dbc} holds {assigned} variables but has only {capacity} locations"
+            ),
+            PlacementError::EmptyGeometry => {
+                write!(f, "placement problem needs at least one DBC and one location")
+            }
+        }
+    }
+}
+
+impl Error for PlacementError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = PlacementError::InsufficientCapacity {
+            vars: 10,
+            dbcs: 2,
+            capacity: 4,
+        };
+        assert!(e.to_string().contains("10 variables"));
+        assert!(PlacementError::EmptyGeometry.to_string().contains("at least one"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PlacementError>();
+    }
+}

@@ -1,0 +1,244 @@
+//! Exact (exhaustive) placement solver for small instances.
+//!
+//! Finding the optimal multi-DBC placement is NP-complete (the paper cites
+//! Chen'16 for the reduction), so no polynomial exact algorithm exists —
+//! but for instances of up to a dozen variables the full space of
+//! `(assignment, permutation)` pairs is enumerable. This module provides
+//! that enumeration as a *ground-truth oracle*: the property tests of this
+//! crate check that every heuristic stays within its expected distance of
+//! the optimum and that the GA converges to it on small inputs.
+//!
+//! The search enumerates ordered DBC contents directly (every way to split
+//! the variable sequence across `q` DBCs in every order), pruning branches
+//! whose partial cost already exceeds the incumbent.
+
+use crate::cost::CostModel;
+use crate::error::PlacementError;
+use crate::inter::check_fit;
+use crate::placement::Placement;
+use rtm_trace::{AccessSequence, VarId};
+
+/// Hard cap on the exhaustive search size: `vars.len()` beyond which
+/// [`solve`] refuses to run (the space grows as `q^n · n!`).
+pub const MAX_EXACT_VARS: usize = 10;
+
+/// Finds a provably optimal placement by exhaustive search with
+/// branch-and-bound pruning.
+///
+/// # Errors
+///
+/// Returns [`PlacementError`] when the variables cannot fit the geometry.
+///
+/// # Panics
+///
+/// Panics if the trace has more than [`MAX_EXACT_VARS`] distinct variables
+/// — call sites must guard; this is an oracle for tests and tiny inputs,
+/// not a production solver.
+///
+/// # Example
+///
+/// ```
+/// use rtm_placement::exact;
+/// use rtm_placement::{CostModel, PlacementProblem, Strategy};
+/// use rtm_trace::AccessSequence;
+///
+/// let seq = AccessSequence::parse("a b a c b a")?;
+/// let (best, optimal) = exact::solve(&seq, 2, 4, CostModel::single_port())?;
+/// let dma = PlacementProblem::new(seq, 2, 4).solve(&Strategy::DmaSr)?;
+/// assert!(optimal <= dma.shifts);
+/// assert!(best.validate_capacity(4));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn solve(
+    seq: &AccessSequence,
+    dbcs: usize,
+    capacity: usize,
+    cost: CostModel,
+) -> Result<(ExactPlacement, u64), PlacementError> {
+    let vars = seq.liveness().by_first_occurrence();
+    assert!(
+        vars.len() <= MAX_EXACT_VARS,
+        "exact solver limited to {MAX_EXACT_VARS} variables, got {}",
+        vars.len()
+    );
+    check_fit(vars.len(), dbcs, capacity)?;
+
+    let mut best_cost = u64::MAX;
+    let mut best: Vec<Vec<VarId>> = vec![Vec::new(); dbcs];
+    let mut current: Vec<Vec<VarId>> = vec![Vec::new(); dbcs];
+    search(
+        seq,
+        &vars,
+        0,
+        dbcs,
+        capacity,
+        &cost,
+        &mut current,
+        &mut best,
+        &mut best_cost,
+    );
+    Ok((ExactPlacement { lists: best }, best_cost))
+}
+
+/// Recursive enumeration: place `vars[i..]`, each variable at every DBC and
+/// every insertion position, pruning on the incumbent.
+#[allow(clippy::too_many_arguments)]
+fn search(
+    seq: &AccessSequence,
+    vars: &[VarId],
+    i: usize,
+    dbcs: usize,
+    capacity: usize,
+    cost: &CostModel,
+    current: &mut Vec<Vec<VarId>>,
+    best: &mut Vec<Vec<VarId>>,
+    best_cost: &mut u64,
+) {
+    if i == vars.len() {
+        let p = Placement::from_dbc_lists(current.clone());
+        let c = cost.shift_cost(&p, seq.accesses());
+        if c < *best_cost {
+            *best_cost = c;
+            *best = current.clone();
+        }
+        return;
+    }
+    // Partial-cost bound: the cost of the already-placed variables only
+    // grows as more variables join (their accesses add port movement), so
+    // the restricted cost is a valid lower bound.
+    if *best_cost != u64::MAX {
+        let p = Placement::from_dbc_lists(current.clone());
+        let partial = cost.shift_cost(&p, seq.accesses());
+        if partial >= *best_cost {
+            return;
+        }
+    }
+    let v = vars[i];
+    for d in 0..dbcs {
+        if current[d].len() >= capacity {
+            continue;
+        }
+        // Symmetry breaking: all empty DBCs are interchangeable, try only
+        // the first one.
+        if current[d].is_empty() && current[..d].iter().any(Vec::is_empty) {
+            continue;
+        }
+        for pos in 0..=current[d].len() {
+            current[d].insert(pos, v);
+            search(
+                seq, vars, i + 1, dbcs, capacity, cost, current, best, best_cost,
+            );
+            current[d].remove(pos);
+        }
+    }
+}
+
+/// An optimal placement found by [`solve`], kept as raw lists so callers
+/// can inspect or convert it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExactPlacement {
+    lists: Vec<Vec<VarId>>,
+}
+
+impl ExactPlacement {
+    /// The per-DBC ordered variable lists.
+    pub fn dbc_lists(&self) -> &[Vec<VarId>] {
+        &self.lists
+    }
+
+    /// Converts into a [`Placement`].
+    pub fn into_placement(self) -> Placement {
+        Placement::from_dbc_lists(self.lists)
+    }
+
+    /// Whether every DBC holds at most `capacity` variables.
+    pub fn validate_capacity(&self, capacity: usize) -> bool {
+        self.lists.iter().all(|l| l.len() <= capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ga::GaConfig;
+    use crate::strategy::{PlacementProblem, Strategy};
+
+    #[test]
+    fn optimum_on_trivial_trace_is_zero() {
+        // Two variables, each accessed in a run: one shift at most, and with
+        // 2 DBCs they separate for zero.
+        let seq = AccessSequence::parse("a a a b b b").unwrap();
+        let (_, c) = solve(&seq, 2, 4, CostModel::single_port()).unwrap();
+        assert_eq!(c, 0);
+    }
+
+    #[test]
+    fn optimum_on_alternating_pair_in_one_dbc() {
+        let seq = AccessSequence::parse("a b a b a b").unwrap();
+        let (p, c) = solve(&seq, 1, 2, CostModel::single_port()).unwrap();
+        assert_eq!(c, 5); // adjacent placement, 5 transitions
+        assert_eq!(p.dbc_lists()[0].len(), 2);
+    }
+
+    #[test]
+    fn heuristics_never_beat_the_oracle() {
+        let traces = [
+            "a b a c b a c c",
+            "x y z x z y y x",
+            "p q p r s p q s r r",
+            "m n m n o o m",
+        ];
+        for t in traces {
+            let seq = AccessSequence::parse(t).unwrap();
+            let n = seq.vars().len();
+            let (_, optimal) = solve(&seq, 2, n, CostModel::single_port()).unwrap();
+            let problem = PlacementProblem::new(seq.clone(), 2, n);
+            for strat in [Strategy::AfdOfu, Strategy::DmaOfu, Strategy::DmaSr] {
+                let sol = problem.solve(&strat).unwrap();
+                assert!(
+                    sol.shifts >= optimal,
+                    "{t}: {} found {} below optimal {optimal}",
+                    strat.name(),
+                    sol.shifts
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ga_reaches_the_optimum_on_small_instances() {
+        let seq = AccessSequence::parse("a b a c b a c c d d a").unwrap();
+        let n = seq.vars().len();
+        let (_, optimal) = solve(&seq, 2, n, CostModel::single_port()).unwrap();
+        let problem = PlacementProblem::new(seq.clone(), 2, n);
+        let ga = problem.solve(&Strategy::Ga(GaConfig::quick())).unwrap();
+        assert_eq!(ga.shifts, optimal, "GA should find the optimum here");
+    }
+
+    #[test]
+    fn respects_capacity() {
+        let seq = AccessSequence::parse("a b c a b c").unwrap();
+        let (p, _) = solve(&seq, 3, 1, CostModel::single_port()).unwrap();
+        assert!(p.validate_capacity(1));
+        assert!(solve(&seq, 1, 2, CostModel::single_port()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "exact solver limited")]
+    fn refuses_large_instances() {
+        let text: String = (0..12).map(|i| format!("v{i} ")).collect();
+        let seq = AccessSequence::parse(&text).unwrap();
+        let _ = solve(&seq, 2, 12, CostModel::single_port());
+    }
+
+    #[test]
+    fn paper_example_lower_bound() {
+        // The Fig. 3 example has 9 variables — still feasible. The paper's
+        // DMA layout costs 11; the true optimum can only be lower.
+        let seq =
+            AccessSequence::parse("a b a b c a c a d d a i e f e f g e g h g i h i").unwrap();
+        let (_, optimal) = solve(&seq, 2, 9, CostModel::single_port()).unwrap();
+        assert!(optimal <= 11, "optimum {optimal} must be <= DMA's 11");
+        assert!(optimal >= 5, "sanity: {optimal} suspiciously low");
+    }
+}

@@ -1,0 +1,567 @@
+//! Genetic-algorithm placement (§III-C of the paper).
+//!
+//! Individuals are complete placements `I = (DBC_1, …, DBC_q)`; fitness is
+//! the shift cost of the placement. The paper's configuration:
+//!
+//! * µ + λ evolution with µ = λ = 100;
+//! * tournament selection of size 4;
+//! * a 2-fold crossover that swaps the DBC membership of a contiguous range
+//!   of variables (in first-appearance order) between two parents while
+//!   preserving intra-DBC orders of untouched variables;
+//! * three mutations, chosen with weights 10 : 10 : 3 — move a variable to
+//!   another DBC (appended at the tail), transpose two variables within one
+//!   DBC, randomly permute every DBC;
+//! * 200 generations for the main evaluation, 2000 for the optimality-gap
+//!   study;
+//! * the initial population is seeded with heuristic placements ("our
+//!   heuristic result as initial population") plus random individuals.
+
+use crate::cost::CostModel;
+use crate::error::PlacementError;
+use crate::inter::{check_fit, Dma, InterHeuristic};
+use crate::placement::Placement;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rtm_trace::{AccessSequence, VarId};
+
+/// Configuration of the genetic algorithm.
+///
+/// [`GaConfig::paper`] reproduces §III-C; [`GaConfig::quick`] is a reduced
+/// budget for tests and smoke runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaConfig {
+    /// Population size µ.
+    pub mu: usize,
+    /// Offspring per generation λ.
+    pub lambda: usize,
+    /// Tournament size for parent and survivor selection.
+    pub tournament: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Probability that an offspring is produced by crossover (otherwise it
+    /// is a mutated copy of one parent). The paper does not give this rate;
+    /// 0.9 is the customary choice and is documented in `DESIGN.md`.
+    pub crossover_rate: f64,
+    /// Probability that an offspring is additionally mutated.
+    pub mutation_rate: f64,
+    /// RNG seed (the GA is fully deterministic given the seed).
+    pub seed: u64,
+    /// Seed the initial population with the DMA and AFD heuristic results.
+    pub seed_with_heuristics: bool,
+}
+
+impl GaConfig {
+    /// The paper's configuration: µ = λ = 100, tournament 4, 200
+    /// generations.
+    pub fn paper() -> Self {
+        Self {
+            mu: 100,
+            lambda: 100,
+            tournament: 4,
+            generations: 200,
+            crossover_rate: 0.9,
+            mutation_rate: 0.4,
+            seed: 0xDA7E_2020,
+            seed_with_heuristics: true,
+        }
+    }
+
+    /// A small budget for unit tests and `--quick` experiment runs.
+    pub fn quick() -> Self {
+        Self {
+            mu: 24,
+            lambda: 24,
+            generations: 40,
+            ..Self::paper()
+        }
+    }
+
+    /// Returns the config with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the config with a different generation count (the paper uses
+    /// 2000 for its optimality-gap study).
+    pub fn with_generations(mut self, generations: usize) -> Self {
+        self.generations = generations;
+        self
+    }
+
+    /// Upper bound on fitness evaluations: `(µ + λ·generations)`.
+    ///
+    /// The paper sizes its random-walk budget (60 000) as "the upper bound
+    /// on the number of individuals that could be evaluated by GA".
+    pub fn max_evaluations(&self) -> usize {
+        self.mu + self.lambda * self.generations
+    }
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Result of a GA run: the best placement found, its cost, and the
+/// per-generation best-fitness history (for convergence plots).
+#[derive(Debug, Clone)]
+pub struct GaOutcome {
+    /// Best placement found over the whole run.
+    pub best: Placement,
+    /// Its shift cost.
+    pub best_cost: u64,
+    /// Best fitness after each generation (length = `generations + 1`,
+    /// entry 0 is the initial population's best).
+    pub history: Vec<u64>,
+    /// Total fitness evaluations performed.
+    pub evaluations: usize,
+}
+
+/// One individual: per-DBC ordered variable lists plus cached fitness.
+#[derive(Debug, Clone)]
+struct Individual {
+    dbcs: Vec<Vec<VarId>>,
+    cost: u64,
+}
+
+/// The genetic-algorithm solver.
+#[derive(Debug, Clone)]
+pub struct GeneticPlacer {
+    config: GaConfig,
+    cost: CostModel,
+}
+
+impl GeneticPlacer {
+    /// Creates a solver with the given configuration and the default
+    /// single-port cost model.
+    pub fn new(config: GaConfig) -> Self {
+        Self {
+            config,
+            cost: CostModel::single_port(),
+        }
+    }
+
+    /// Overrides the cost model (e.g. multi-port).
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Runs the GA on `seq` for `dbcs` DBCs of `capacity` locations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError`] if the variables cannot fit the geometry.
+    pub fn run(
+        &self,
+        seq: &AccessSequence,
+        dbcs: usize,
+        capacity: usize,
+    ) -> Result<GaOutcome, PlacementError> {
+        self.run_seeded(seq, dbcs, capacity, &[])
+    }
+
+    /// Like [`run`](Self::run), but additionally seeds the initial
+    /// population with the given placements (the paper seeds the GA with
+    /// "our heuristic result"; the evaluation harness passes all four
+    /// composite heuristic solutions).
+    ///
+    /// Invalid seeds (wrong DBC count or overflowing a DBC) are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError`] if the variables cannot fit the geometry.
+    pub fn run_seeded(
+        &self,
+        seq: &AccessSequence,
+        dbcs: usize,
+        capacity: usize,
+        seeds: &[Placement],
+    ) -> Result<GaOutcome, PlacementError> {
+        let live = seq.liveness();
+        let vars = live.by_first_occurrence(); // first-appearance order, as §III-C indexes V
+        check_fit(vars.len(), dbcs, capacity)?;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let mut evaluations = 0usize;
+
+        let evaluate = |dbcs_lists: &[Vec<VarId>], evals: &mut usize| -> u64 {
+            *evals += 1;
+            let p = Placement::from_dbc_lists(dbcs_lists.to_vec());
+            self.cost.shift_cost(&p, seq.accesses())
+        };
+
+        // ---- Initial population -------------------------------------------
+        let mut population: Vec<Individual> = Vec::with_capacity(self.config.mu);
+        for seed_placement in seeds {
+            let lists = seed_placement.dbc_lists().to_vec();
+            let valid = lists.len() == dbcs
+                && lists.iter().all(|l| l.len() <= capacity)
+                && seed_placement.validate(seq, capacity).is_ok();
+            if valid && population.len() < self.config.mu {
+                let cost = evaluate(&lists, &mut evaluations);
+                population.push(Individual { dbcs: lists, cost });
+            }
+        }
+        if self.config.seed_with_heuristics {
+            for dist in [
+                Dma.distribute(seq, dbcs, capacity),
+                crate::inter::Afd.distribute(seq, dbcs, capacity),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                let cost = evaluate(&dist, &mut evaluations);
+                population.push(Individual { dbcs: dist, cost });
+            }
+        }
+        while population.len() < self.config.mu {
+            let dbcs_lists = random_assignment(&vars, dbcs, capacity, &mut rng);
+            let cost = evaluate(&dbcs_lists, &mut evaluations);
+            population.push(Individual {
+                dbcs: dbcs_lists,
+                cost,
+            });
+        }
+
+        let mut best = population
+            .iter()
+            .min_by_key(|i| i.cost)
+            .expect("population nonempty")
+            .clone();
+        let mut history = Vec::with_capacity(self.config.generations + 1);
+        history.push(best.cost);
+
+        // ---- Generations ---------------------------------------------------
+        for _ in 0..self.config.generations {
+            let mut offspring = Vec::with_capacity(self.config.lambda);
+            while offspring.len() < self.config.lambda {
+                let a = tournament(&population, self.config.tournament, &mut rng);
+                if rng.gen_bool(self.config.crossover_rate) {
+                    let b = tournament(&population, self.config.tournament, &mut rng);
+                    let (mut c1, mut c2) =
+                        crossover(&population[a].dbcs, &population[b].dbcs, &vars, capacity, &mut rng);
+                    if rng.gen_bool(self.config.mutation_rate) {
+                        mutate(&mut c1, capacity, &mut rng);
+                    }
+                    if rng.gen_bool(self.config.mutation_rate) {
+                        mutate(&mut c2, capacity, &mut rng);
+                    }
+                    let cost1 = evaluate(&c1, &mut evaluations);
+                    offspring.push(Individual { dbcs: c1, cost: cost1 });
+                    if offspring.len() < self.config.lambda {
+                        let cost2 = evaluate(&c2, &mut evaluations);
+                        offspring.push(Individual { dbcs: c2, cost: cost2 });
+                    }
+                } else {
+                    let mut c = population[a].dbcs.clone();
+                    mutate(&mut c, capacity, &mut rng);
+                    let cost = evaluate(&c, &mut evaluations);
+                    offspring.push(Individual { dbcs: c, cost });
+                }
+            }
+
+            // µ+λ survivor selection: best of the union (elitist truncation;
+            // the paper's tournament selection is used for parents).
+            population.extend(offspring);
+            population.sort_by_key(|i| i.cost);
+            population.truncate(self.config.mu);
+
+            if population[0].cost < best.cost {
+                best = population[0].clone();
+            }
+            history.push(best.cost);
+        }
+
+        Ok(GaOutcome {
+            best: Placement::from_dbc_lists(best.dbcs),
+            best_cost: best.cost,
+            history,
+            evaluations,
+        })
+    }
+}
+
+/// Tournament selection: index of the best of `k` random individuals.
+fn tournament(pop: &[Individual], k: usize, rng: &mut impl Rng) -> usize {
+    let mut best = rng.gen_range(0..pop.len());
+    for _ in 1..k {
+        let c = rng.gen_range(0..pop.len());
+        if pop[c].cost < pop[best].cost {
+            best = c;
+        }
+    }
+    best
+}
+
+/// Uniformly random valid assignment: shuffle variables, deal round-robin,
+/// then shuffle each DBC.
+pub(crate) fn random_assignment(
+    vars: &[VarId],
+    dbcs: usize,
+    capacity: usize,
+    rng: &mut impl Rng,
+) -> Vec<Vec<VarId>> {
+    let mut shuffled = vars.to_vec();
+    shuffled.shuffle(rng);
+    let mut out: Vec<Vec<VarId>> = vec![Vec::new(); dbcs];
+    let mut d = 0usize;
+    for v in shuffled {
+        while out[d].len() >= capacity {
+            d = (d + 1) % dbcs;
+        }
+        out[d].push(v);
+        d = (d + 1) % dbcs;
+    }
+    for l in &mut out {
+        l.shuffle(rng);
+    }
+    out
+}
+
+/// The paper's 2-fold crossover: pick `v_f, v_l` (`f < l`) in
+/// first-appearance order; for every variable in the enclosed range whose
+/// DBC differs between the parents, swap the DBC memberships (the variable
+/// is appended at the tail of its new DBC). Offspring remain valid
+/// placements; moves that would overflow `capacity` are skipped.
+fn crossover(
+    a: &[Vec<VarId>],
+    b: &[Vec<VarId>],
+    vars: &[VarId],
+    capacity: usize,
+    rng: &mut impl Rng,
+) -> (Vec<Vec<VarId>>, Vec<Vec<VarId>>) {
+    let n = vars.len();
+    let mut c1 = a.to_vec();
+    let mut c2 = b.to_vec();
+    if n < 2 {
+        return (c1, c2);
+    }
+    let f = rng.gen_range(0..n - 1);
+    let l = rng.gen_range(f + 1..n);
+
+    // Location lookup per child (var index -> dbc).
+    let dbc_of = |lists: &[Vec<VarId>], v: VarId| -> usize {
+        lists
+            .iter()
+            .position(|l| l.contains(&v))
+            .expect("valid placement contains every variable")
+    };
+
+    for &v in &vars[f..=l] {
+        let da = dbc_of(&c1, v);
+        let db = dbc_of(&c2, v);
+        if da == db {
+            continue;
+        }
+        // Move v to the other parent's DBC in each child, capacity
+        // permitting (both moves free one slot in the source DBC first).
+        if c1[db].len() < capacity {
+            c1[da].retain(|&x| x != v);
+            c1[db].push(v);
+        }
+        if c2[da].len() < capacity {
+            c2[db].retain(|&x| x != v);
+            c2[da].push(v);
+        }
+    }
+    (c1, c2)
+}
+
+/// The paper's three mutations, weighted 10 : 10 : 3.
+fn mutate(dbcs: &mut [Vec<VarId>], capacity: usize, rng: &mut impl Rng) {
+    // Weighted choice over (move, transpose, permute-all).
+    let roll = rng.gen_range(0..23u32);
+    if roll < 10 {
+        move_mutation(dbcs, capacity, rng);
+    } else if roll < 20 {
+        transpose_mutation(dbcs, rng);
+    } else {
+        for l in dbcs.iter_mut() {
+            l.shuffle(rng);
+        }
+    }
+}
+
+/// Move a random variable to the tail of another DBC.
+fn move_mutation(dbcs: &mut [Vec<VarId>], capacity: usize, rng: &mut impl Rng) {
+    if dbcs.len() < 2 {
+        return;
+    }
+    let nonempty: Vec<usize> = (0..dbcs.len()).filter(|&d| !dbcs[d].is_empty()).collect();
+    if nonempty.is_empty() {
+        return;
+    }
+    let src = nonempty[rng.gen_range(0..nonempty.len())];
+    let candidates: Vec<usize> = (0..dbcs.len())
+        .filter(|&d| d != src && dbcs[d].len() < capacity)
+        .collect();
+    if candidates.is_empty() {
+        return;
+    }
+    let dst = candidates[rng.gen_range(0..candidates.len())];
+    let i = rng.gen_range(0..dbcs[src].len());
+    let v = dbcs[src].remove(i);
+    dbcs[dst].push(v);
+}
+
+/// Swap two variables within one DBC.
+fn transpose_mutation(dbcs: &mut [Vec<VarId>], rng: &mut impl Rng) {
+    let eligible: Vec<usize> = (0..dbcs.len()).filter(|&d| dbcs[d].len() >= 2).collect();
+    if eligible.is_empty() {
+        return;
+    }
+    let d = eligible[rng.gen_range(0..eligible.len())];
+    let n = dbcs[d].len();
+    let i = rng.gen_range(0..n);
+    let mut j = rng.gen_range(0..n);
+    if i == j {
+        j = (j + 1) % n;
+    }
+    dbcs[d].swap(i, j);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inter::InterHeuristic;
+
+    const PAPER_SEQ: &str = "a b a b c a c a d d a i e f e f g e g h g i h i";
+
+    fn assert_valid(dbcs: &[Vec<VarId>], seq: &AccessSequence, capacity: usize) {
+        let p = Placement::from_dbc_lists(dbcs.to_vec());
+        p.validate(seq, capacity).unwrap();
+    }
+
+    #[test]
+    fn ga_finds_at_least_heuristic_quality() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let out = GeneticPlacer::new(GaConfig::quick())
+            .run(&seq, 2, 512)
+            .unwrap();
+        // Seeded with DMA (cost <= 11), GA can only improve.
+        assert!(out.best_cost <= 11, "GA cost {} > 11", out.best_cost);
+        out.best.validate(&seq, 512).unwrap();
+    }
+
+    #[test]
+    fn ga_beats_afd_on_paper_example() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let out = GeneticPlacer::new(GaConfig::quick())
+            .run(&seq, 2, 512)
+            .unwrap();
+        assert!(out.best_cost < 39);
+    }
+
+    #[test]
+    fn history_is_monotone_nonincreasing() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let out = GeneticPlacer::new(GaConfig::quick())
+            .run(&seq, 4, 512)
+            .unwrap();
+        assert_eq!(out.history.len(), GaConfig::quick().generations + 1);
+        for w in out.history.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let a = GeneticPlacer::new(GaConfig::quick().with_seed(7))
+            .run(&seq, 2, 512)
+            .unwrap();
+        let b = GeneticPlacer::new(GaConfig::quick().with_seed(7))
+            .run(&seq, 2, 512)
+            .unwrap();
+        assert_eq!(a.best_cost, b.best_cost);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn evaluations_within_bound() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let cfg = GaConfig::quick();
+        let out = GeneticPlacer::new(cfg).run(&seq, 2, 512).unwrap();
+        // +1 slack per generation because crossover yields 2 children.
+        assert!(out.evaluations <= cfg.max_evaluations() + cfg.generations + 2);
+    }
+
+    #[test]
+    fn crossover_preserves_validity() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let vars = seq.liveness().by_first_occurrence();
+        let a = Dma.distribute(&seq, 3, 4).unwrap();
+        let b = crate::inter::Afd.distribute(&seq, 3, 4).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..50 {
+            let (c1, c2) = crossover(&a, &b, &vars, 4, &mut rng);
+            assert_valid(&c1, &seq, 4);
+            assert_valid(&c2, &seq, 4);
+        }
+    }
+
+    #[test]
+    fn mutations_preserve_validity() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut dbcs = Dma.distribute(&seq, 3, 4).unwrap();
+        for _ in 0..200 {
+            mutate(&mut dbcs, 4, &mut rng);
+            assert_valid(&dbcs, &seq, 4);
+        }
+    }
+
+    #[test]
+    fn mutate_handles_degenerate_shapes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        // Single DBC: move is a no-op, transpose still works.
+        let v: Vec<VarId> = (0..3).map(VarId::from_index).collect();
+        let mut single = vec![v.clone()];
+        for _ in 0..50 {
+            mutate(&mut single, 8, &mut rng);
+            assert_eq!(single[0].len(), 3);
+        }
+        // Empty DBCs alongside a singleton.
+        let mut sparse = vec![vec![VarId::from_index(0)], vec![], vec![]];
+        for _ in 0..50 {
+            mutate(&mut sparse, 1, &mut rng);
+            let total: usize = sparse.iter().map(Vec::len).sum();
+            assert_eq!(total, 1);
+        }
+    }
+
+    #[test]
+    fn random_assignment_is_valid() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let vars = seq.liveness().by_first_occurrence();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..20 {
+            let dbcs = random_assignment(&vars, 3, 3, &mut rng);
+            assert_valid(&dbcs, &seq, 3);
+        }
+    }
+
+    #[test]
+    fn rejects_impossible_geometry() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        assert!(GeneticPlacer::new(GaConfig::quick())
+            .run(&seq, 2, 2)
+            .is_err());
+    }
+
+    #[test]
+    fn more_generations_never_hurt() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let short = GeneticPlacer::new(GaConfig::quick().with_generations(5).with_seed(9))
+            .run(&seq, 2, 512)
+            .unwrap();
+        let long = GeneticPlacer::new(GaConfig::quick().with_generations(60).with_seed(9))
+            .run(&seq, 2, 512)
+            .unwrap();
+        assert!(long.best_cost <= short.best_cost);
+    }
+}

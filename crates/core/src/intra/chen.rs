@@ -1,0 +1,124 @@
+use super::grouping::{bidirectional_grouping, LocalGraph, Seed};
+use super::{append_unaccessed, IntraHeuristic};
+use rtm_trace::VarId;
+
+/// Chen's single-DBC placement heuristic (Chen et al., TVLSI'16).
+///
+/// As described in the racetrack placement literature (the ShiftsReduce
+/// paper summarizes it; the original TVLSI'16 text was not available to
+/// this reproduction — see `DESIGN.md`), Chen's heuristic places the most
+/// frequently accessed variable at the center of the track and then grows
+/// the layout outwards, repeatedly appending the variable with the highest
+/// access *affinity* (summed access-graph edge weight) to the already
+/// placed set, at whichever end increases the expected shift distance
+/// least.
+///
+/// It differs from [`ShiftsReduce`](super::ShiftsReduce) in two ways: the
+/// seed is chosen by raw frequency rather than adjacency mass, and there is
+/// no local-search refinement pass — which is why `DMA-SR` consistently
+/// edges out `DMA-Chen` in the paper's Fig. 4 (and in this reproduction).
+///
+/// # Example
+///
+/// ```
+/// use rtm_placement::intra::{Chen, IntraHeuristic};
+/// use rtm_trace::AccessSequence;
+///
+/// let seq = AccessSequence::parse("a a a b a c b c")?;
+/// let vars = seq.liveness().by_first_occurrence();
+/// let order = Chen.order(&vars, seq.accesses());
+/// // the hot variable `a` anchors the layout; its heaviest partner sits
+/// // next to it.
+/// let pos = |n: &str| order.iter().position(|&v| v == seq.vars().id(n).unwrap()).unwrap() as i64;
+/// assert_eq!((pos("a") - pos("b")).abs(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Chen;
+
+impl IntraHeuristic for Chen {
+    fn name(&self) -> &'static str {
+        "Chen"
+    }
+
+    fn order(&self, vars: &[VarId], sub: &[VarId]) -> Vec<VarId> {
+        let g = LocalGraph::of(sub);
+        let layout = bidirectional_grouping(&g, Seed::Frequency);
+        let ordered: Vec<VarId> = layout.into_iter().map(|v| g.vars[v]).collect();
+        append_unaccessed(ordered, vars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::intra::test_util::*;
+    use crate::intra::Ofu;
+    use crate::placement::Placement;
+
+    fn cost_of(order: Vec<VarId>, s: &rtm_trace::AccessSequence) -> u64 {
+        let p = Placement::from_dbc_lists(vec![order]);
+        CostModel::single_port().shift_cost(&p, s.accesses())
+    }
+
+    #[test]
+    fn result_is_permutation() {
+        let (s, ids) = trace("a b c d e a a a a b b c");
+        let order = Chen.order(&ids, s.accesses());
+        assert_permutation(&order, &ids);
+    }
+
+    #[test]
+    fn hot_variable_neighbors_its_partners() {
+        let (s, ids) = trace("h x h x h y h y h z h z");
+        let order = Chen.order(&ids, s.accesses());
+        let pos = |n: &str| {
+            let v = s.vars().id(n).unwrap();
+            order.iter().position(|&x| x == v).unwrap() as i64
+        };
+        // h is the hub: x, y, z must all sit within distance 2 of it.
+        for n in ["x", "y", "z"] {
+            assert!((pos(n) - pos("h")).abs() <= 2, "{n} too far from hub");
+        }
+    }
+
+    #[test]
+    fn result_includes_unaccessed() {
+        let (s, _) = trace("a b a");
+        let extra = VarId::from_index(9);
+        let vars = vec![
+            s.vars().id("a").unwrap(),
+            s.vars().id("b").unwrap(),
+            extra,
+        ];
+        let order = Chen.order(&vars, s.accesses());
+        assert_eq!(order.len(), 3);
+        assert!(order.contains(&extra));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        assert!(Chen.order(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn beats_ofu_on_hub_workload() {
+        // One hot hub bouncing between many cold partners: OFU strings the
+        // partners out in first-use order; Chen clusters them around the hub.
+        let (s, ids) =
+            trace("p q r s t u v h p h q h r h s h t h u h v h p h q h r h s h t h u h v");
+        let chen = cost_of(Chen.order(&ids, s.accesses()), &s);
+        let ofu = cost_of(Ofu.order(&ids, s.accesses()), &s);
+        assert!(chen < ofu, "chen={chen} should beat ofu={ofu}");
+    }
+
+    #[test]
+    fn deterministic_for_ties() {
+        let (s, ids) = trace("a b c a b c");
+        assert_eq!(
+            Chen.order(&ids, s.accesses()),
+            Chen.order(&ids, s.accesses())
+        );
+    }
+}

@@ -1,0 +1,233 @@
+use crate::error::PlacementError;
+use rtm_trace::{AccessSequence, VarId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Location of a variable inside an RTM subarray: which DBC and at which
+/// offset (domain index) along the track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Location {
+    /// DBC index, `0 ≤ dbc < q`.
+    pub dbc: usize,
+    /// Offset within the DBC, `0 ≤ offset < N`.
+    pub offset: usize,
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DBC{}[{}]", self.dbc, self.offset)
+    }
+}
+
+/// A complete data placement: the paper's individual
+/// `I = (DBC_1, …, DBC_q)` where each `DBC_i` is an ordered list of
+/// variables (the list index is the variable's offset on the track).
+///
+/// A placement is *valid* for a trace when every accessed variable appears
+/// exactly once across all DBCs and no DBC exceeds its capacity —
+/// [`validate`](Self::validate) checks exactly this, and the property tests
+/// of this crate assert that every strategy and every GA operator preserves
+/// it.
+///
+/// # Example
+///
+/// ```
+/// use rtm_placement::Placement;
+/// use rtm_trace::VarId;
+///
+/// let v = |i| VarId::from_index(i);
+/// let p = Placement::from_dbc_lists(vec![vec![v(0), v(2)], vec![v(1)]]);
+/// assert_eq!(p.location(v(2)).unwrap().offset, 1);
+/// assert_eq!(p.dbc_count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    dbcs: Vec<Vec<VarId>>,
+    /// Lazily sized lookup table: var index -> location.
+    locations: Vec<Option<Location>>,
+}
+
+impl Placement {
+    /// Builds a placement from per-DBC ordered variable lists.
+    pub fn from_dbc_lists(dbcs: Vec<Vec<VarId>>) -> Self {
+        let max_var = dbcs
+            .iter()
+            .flatten()
+            .map(|v| v.index())
+            .max()
+            .map_or(0, |m| m + 1);
+        let mut locations = vec![None; max_var];
+        for (d, list) in dbcs.iter().enumerate() {
+            for (off, &v) in list.iter().enumerate() {
+                locations[v.index()] = Some(Location {
+                    dbc: d,
+                    offset: off,
+                });
+            }
+        }
+        Self { dbcs, locations }
+    }
+
+    /// The per-DBC ordered variable lists.
+    pub fn dbc_lists(&self) -> &[Vec<VarId>] {
+        &self.dbcs
+    }
+
+    /// Consumes the placement, returning the per-DBC lists.
+    pub fn into_dbc_lists(self) -> Vec<Vec<VarId>> {
+        self.dbcs
+    }
+
+    /// Number of DBCs (including empty ones).
+    pub fn dbc_count(&self) -> usize {
+        self.dbcs.len()
+    }
+
+    /// Number of placed variables.
+    pub fn var_count(&self) -> usize {
+        self.dbcs.iter().map(Vec::len).sum()
+    }
+
+    /// The location of `v`, or `None` if `v` is not placed.
+    pub fn location(&self, v: VarId) -> Option<Location> {
+        self.locations.get(v.index()).copied().flatten()
+    }
+
+    /// Validates this placement against a trace and a geometry.
+    ///
+    /// # Errors
+    ///
+    /// * [`PlacementError::DuplicateVariable`] if a variable appears twice,
+    /// * [`PlacementError::MissingVariable`] if the trace accesses an
+    ///   unplaced variable,
+    /// * [`PlacementError::DbcOverflow`] if a DBC exceeds `capacity`.
+    pub fn validate(&self, seq: &AccessSequence, capacity: usize) -> Result<(), PlacementError> {
+        let mut seen = vec![false; seq.vars().len().max(self.locations.len())];
+        for (d, list) in self.dbcs.iter().enumerate() {
+            if list.len() > capacity {
+                return Err(PlacementError::DbcOverflow {
+                    dbc: d,
+                    assigned: list.len(),
+                    capacity,
+                });
+            }
+            for &v in list {
+                if seen[v.index()] {
+                    let name = if v.index() < seq.vars().len() {
+                        seq.vars().name(v).to_owned()
+                    } else {
+                        v.to_string()
+                    };
+                    return Err(PlacementError::DuplicateVariable(name));
+                }
+                seen[v.index()] = true;
+            }
+        }
+        for &v in seq.accesses() {
+            if !seen[v.index()] {
+                return Err(PlacementError::MissingVariable(
+                    seq.vars().name(v).to_owned(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the placement with variable names, e.g.
+    /// `DBC0: [a, g, b] | DBC1: [c]`.
+    pub fn display_with<'a>(&'a self, seq: &'a AccessSequence) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Placement, &'a AccessSequence);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                for (d, list) in self.0.dbcs.iter().enumerate() {
+                    if d > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "DBC{d}: [")?;
+                    for (i, &v) in list.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{}", self.1.vars().name(v))?;
+                    }
+                    write!(f, "]")?;
+                }
+                Ok(())
+            }
+        }
+        D(self, seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtm_trace::AccessSequence;
+
+    fn v(i: usize) -> VarId {
+        VarId::from_index(i)
+    }
+
+    #[test]
+    fn lookup_matches_lists() {
+        let p = Placement::from_dbc_lists(vec![vec![v(3), v(0)], vec![], vec![v(1)]]);
+        assert_eq!(p.location(v(3)), Some(Location { dbc: 0, offset: 0 }));
+        assert_eq!(p.location(v(0)), Some(Location { dbc: 0, offset: 1 }));
+        assert_eq!(p.location(v(1)), Some(Location { dbc: 2, offset: 0 }));
+        assert_eq!(p.location(v(2)), None);
+        assert_eq!(p.location(v(99)), None);
+        assert_eq!(p.dbc_count(), 3);
+        assert_eq!(p.var_count(), 3);
+    }
+
+    #[test]
+    fn validate_accepts_complete_placement() {
+        let s = AccessSequence::parse("a b c a").unwrap();
+        let p = Placement::from_dbc_lists(vec![vec![v(0), v(1)], vec![v(2)]]);
+        p.validate(&s, 2).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_duplicate() {
+        let s = AccessSequence::parse("a b").unwrap();
+        let p = Placement::from_dbc_lists(vec![vec![v(0)], vec![v(0), v(1)]]);
+        assert_eq!(
+            p.validate(&s, 4),
+            Err(PlacementError::DuplicateVariable("a".into()))
+        );
+    }
+
+    #[test]
+    fn validate_rejects_missing() {
+        let s = AccessSequence::parse("a b").unwrap();
+        let p = Placement::from_dbc_lists(vec![vec![v(0)]]);
+        assert_eq!(
+            p.validate(&s, 4),
+            Err(PlacementError::MissingVariable("b".into()))
+        );
+    }
+
+    #[test]
+    fn validate_rejects_overflow() {
+        let s = AccessSequence::parse("a b c").unwrap();
+        let p = Placement::from_dbc_lists(vec![vec![v(0), v(1), v(2)]]);
+        assert!(matches!(
+            p.validate(&s, 2),
+            Err(PlacementError::DbcOverflow { dbc: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn display_with_names() {
+        let s = AccessSequence::parse("a b").unwrap();
+        let p = Placement::from_dbc_lists(vec![vec![v(1), v(0)]]);
+        assert_eq!(p.display_with(&s).to_string(), "DBC0: [b, a]");
+    }
+
+    #[test]
+    fn into_dbc_lists_roundtrip() {
+        let lists = vec![vec![v(0)], vec![v(1), v(2)]];
+        let p = Placement::from_dbc_lists(lists.clone());
+        assert_eq!(p.into_dbc_lists(), lists);
+    }
+}

@@ -1,0 +1,177 @@
+//! Random-walk search (§III-C): "generates random placement of variables to
+//! DBCs and then creates random permutations within every DBC, selecting the
+//! best individual".
+//!
+//! The paper runs it for 60 000 iterations — the upper bound on individuals
+//! its GA could evaluate — to put the GA results in perspective (RW serves
+//! as the "how good is blind sampling" baseline in Fig. 4).
+
+use crate::cost::CostModel;
+use crate::error::PlacementError;
+use crate::ga::random_assignment;
+use crate::inter::check_fit;
+use crate::placement::Placement;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rtm_trace::AccessSequence;
+
+/// Configuration of the random-walk search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomWalkConfig {
+    /// Number of random placements to sample.
+    pub iterations: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RandomWalkConfig {
+    /// The paper's budget: 60 000 iterations.
+    pub fn paper() -> Self {
+        Self {
+            iterations: 60_000,
+            seed: 0x5EED_2020,
+        }
+    }
+
+    /// A small budget for tests and `--quick` runs.
+    pub fn quick() -> Self {
+        Self {
+            iterations: 2_000,
+            ..Self::paper()
+        }
+    }
+
+    /// Returns the config with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for RandomWalkConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Runs the random-walk search; returns the best placement and its cost.
+///
+/// # Errors
+///
+/// Returns [`PlacementError`] if the variables cannot fit the geometry.
+///
+/// # Example
+///
+/// ```
+/// use rtm_placement::random_walk::{self, RandomWalkConfig};
+/// use rtm_placement::CostModel;
+/// use rtm_trace::AccessSequence;
+///
+/// let seq = AccessSequence::parse("a b a c b a")?;
+/// let (best, cost) = random_walk::search(
+///     &seq, 2, 8, CostModel::single_port(), RandomWalkConfig::quick(),
+/// )?;
+/// assert!(best.validate(&seq, 8).is_ok());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn search(
+    seq: &AccessSequence,
+    dbcs: usize,
+    capacity: usize,
+    cost: CostModel,
+    config: RandomWalkConfig,
+) -> Result<(Placement, u64), PlacementError> {
+    let vars = seq.liveness().by_first_occurrence();
+    check_fit(vars.len(), dbcs, capacity)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut best: Option<(Placement, u64)> = None;
+    for _ in 0..config.iterations.max(1) {
+        let lists = random_assignment(&vars, dbcs, capacity, &mut rng);
+        let p = Placement::from_dbc_lists(lists);
+        let c = cost.shift_cost(&p, seq.accesses());
+        if best.as_ref().is_none_or(|(_, bc)| c < *bc) {
+            best = Some((p, c));
+        }
+    }
+    Ok(best.expect("at least one iteration"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_SEQ: &str = "a b a b c a c a d d a i e f e f g e g h g i h i";
+
+    #[test]
+    fn finds_valid_placement() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let (p, c) = search(
+            &seq,
+            2,
+            512,
+            CostModel::single_port(),
+            RandomWalkConfig::quick(),
+        )
+        .unwrap();
+        p.validate(&seq, 512).unwrap();
+        assert!(c < 100); // sanity: random search finds something reasonable
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let cfg = RandomWalkConfig::quick().with_seed(3);
+        let a = search(&seq, 2, 512, CostModel::single_port(), cfg).unwrap();
+        let b = search(&seq, 2, 512, CostModel::single_port(), cfg).unwrap();
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.0, b.0);
+    }
+
+    #[test]
+    fn more_iterations_never_hurt() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let small = search(
+            &seq,
+            2,
+            512,
+            CostModel::single_port(),
+            RandomWalkConfig {
+                iterations: 10,
+                seed: 5,
+            },
+        )
+        .unwrap();
+        let large = search(
+            &seq,
+            2,
+            512,
+            CostModel::single_port(),
+            RandomWalkConfig {
+                iterations: 1000,
+                seed: 5,
+            },
+        )
+        .unwrap();
+        assert!(large.1 <= small.1);
+    }
+
+    #[test]
+    fn rejects_impossible_geometry() {
+        let seq = AccessSequence::parse("a b c").unwrap();
+        assert!(search(
+            &seq,
+            1,
+            2,
+            CostModel::single_port(),
+            RandomWalkConfig::quick()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn paper_budget_matches_ga_bound() {
+        // 60 000 >= mu + lambda * generations of the paper GA.
+        let ga = crate::ga::GaConfig::paper();
+        assert!(RandomWalkConfig::paper().iterations >= ga.max_evaluations() / 2);
+    }
+}

@@ -1,0 +1,374 @@
+use crate::cost::CostModel;
+use crate::error::PlacementError;
+use crate::ga::{GaConfig, GeneticPlacer};
+use crate::inter::{Afd, Dma, InterHeuristic};
+use crate::intra::{Chen, IntraHeuristic, Ofu, ShiftsReduce};
+use crate::placement::Placement;
+use crate::random_walk::{self, RandomWalkConfig};
+use rtm_trace::{AccessSequence, VarId};
+use std::fmt;
+
+/// The placement strategies evaluated in §IV of the paper, plus the two
+/// "native" orders used in the Fig. 3 walkthrough.
+///
+/// | Variant | Inter-DBC | Intra-DBC |
+/// |---|---|---|
+/// | `AfdNative` | AFD | deal order (Fig. 3(c)) |
+/// | `AfdOfu` | AFD | order of first use |
+/// | `DmaNative` | DMA | access order / AFD order (Fig. 3(d)) |
+/// | `DmaOfu` | DMA | OFU on non-disjoint DBCs |
+/// | `DmaChen` | DMA | Chen on non-disjoint DBCs |
+/// | `DmaSr` | DMA | ShiftsReduce on non-disjoint DBCs |
+/// | `Ga` | joint (genetic algorithm) | joint |
+/// | `RandomWalk` | random sampling | random sampling |
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Strategy {
+    /// AFD distribution with its native deal order.
+    AfdNative,
+    /// AFD distribution + OFU intra placement (the paper's baseline
+    /// `AFD-OFU`).
+    AfdOfu,
+    /// DMA distribution with its native orders.
+    DmaNative,
+    /// DMA + OFU on non-disjoint DBCs (`DMA-OFU`).
+    DmaOfu,
+    /// DMA + Chen on non-disjoint DBCs (`DMA-Chen`).
+    DmaChen,
+    /// DMA + ShiftsReduce on non-disjoint DBCs (`DMA-SR`).
+    DmaSr,
+    /// Multi-chain DMA (the paper's §VI future-work extension) +
+    /// ShiftsReduce on the leftover DBCs (`DMA-Multi-SR`).
+    DmaMultiSr,
+    /// Genetic algorithm (`GA`).
+    Ga(GaConfig),
+    /// Random-walk search (`RW`).
+    RandomWalk(RandomWalkConfig),
+}
+
+impl Strategy {
+    /// The six configurations of the paper's evaluation, with the given
+    /// search budgets.
+    pub fn evaluation_set(ga: GaConfig, rw: RandomWalkConfig) -> Vec<Strategy> {
+        vec![
+            Strategy::AfdOfu,
+            Strategy::DmaOfu,
+            Strategy::DmaChen,
+            Strategy::DmaSr,
+            Strategy::Ga(ga),
+            Strategy::RandomWalk(rw),
+        ]
+    }
+
+    /// Short, stable name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::AfdNative => "AFD",
+            Strategy::AfdOfu => "AFD-OFU",
+            Strategy::DmaNative => "DMA",
+            Strategy::DmaOfu => "DMA-OFU",
+            Strategy::DmaChen => "DMA-Chen",
+            Strategy::DmaSr => "DMA-SR",
+            Strategy::DmaMultiSr => "DMA-Multi-SR",
+            Strategy::Ga(_) => "GA",
+            Strategy::RandomWalk(_) => "RW",
+        }
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A solved placement: the layout plus its shift cost under the problem's
+/// cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// The placement.
+    pub placement: Placement,
+    /// Total shifts to serve the problem's trace.
+    pub shifts: u64,
+    /// Shifts per DBC.
+    pub per_dbc_shifts: Vec<u64>,
+}
+
+/// A data-placement problem instance: a trace plus the RTM geometry
+/// (number of DBCs `q`, locations per DBC `N`) and a cost model.
+///
+/// # Example
+///
+/// ```
+/// use rtm_placement::{PlacementProblem, Strategy};
+/// use rtm_trace::AccessSequence;
+///
+/// let seq = AccessSequence::parse("a b a b c c c a")?;
+/// let problem = PlacementProblem::new(seq, 2, 64);
+/// let sol = problem.solve(&Strategy::DmaSr)?;
+/// assert!(sol.shifts <= problem.solve(&Strategy::AfdOfu)?.shifts);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlacementProblem {
+    seq: AccessSequence,
+    dbcs: usize,
+    capacity: usize,
+    cost: CostModel,
+}
+
+impl PlacementProblem {
+    /// Creates a problem over `dbcs` DBCs of `capacity` locations with the
+    /// default single-port cost model.
+    pub fn new(seq: AccessSequence, dbcs: usize, capacity: usize) -> Self {
+        Self {
+            seq,
+            dbcs,
+            capacity,
+            cost: CostModel::single_port(),
+        }
+    }
+
+    /// Overrides the cost model.
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// The trace.
+    pub fn seq(&self) -> &AccessSequence {
+        &self.seq
+    }
+
+    /// Number of DBCs `q`.
+    pub fn dbcs(&self) -> usize {
+        self.dbcs
+    }
+
+    /// Locations per DBC `N`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The cost model.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    /// Evaluates an externally produced placement against this problem.
+    pub fn evaluate(&self, placement: &Placement) -> u64 {
+        self.cost.shift_cost(placement, self.seq.accesses())
+    }
+
+    /// Solves the problem with `strategy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError`] when the variables cannot fit the
+    /// geometry (`vars > q × N`).
+    pub fn solve(&self, strategy: &Strategy) -> Result<Solution, PlacementError> {
+        let placement = match strategy {
+            Strategy::AfdNative => {
+                Placement::from_dbc_lists(Afd.distribute(&self.seq, self.dbcs, self.capacity)?)
+            }
+            Strategy::AfdOfu => self.afd_with_intra(&Ofu)?,
+            Strategy::DmaNative => {
+                Placement::from_dbc_lists(Dma.distribute(&self.seq, self.dbcs, self.capacity)?)
+            }
+            Strategy::DmaOfu => self.dma_with_intra(&Ofu)?,
+            Strategy::DmaChen => self.dma_with_intra(&Chen)?,
+            Strategy::DmaSr => self.dma_with_intra(&ShiftsReduce::new())?,
+            Strategy::DmaMultiSr => self.dma_multi_with_intra(&ShiftsReduce::new())?,
+            Strategy::Ga(cfg) => {
+                // Seed with every composite heuristic (the paper seeds with
+                // its heuristic result), so the GA is a true upper baseline.
+                let seeds: Vec<Placement> = [
+                    Strategy::AfdOfu,
+                    Strategy::DmaOfu,
+                    Strategy::DmaChen,
+                    Strategy::DmaSr,
+                ]
+                .iter()
+                .filter_map(|s| self.solve(s).ok().map(|sol| sol.placement))
+                .collect();
+                GeneticPlacer::new(*cfg)
+                    .with_cost_model(self.cost)
+                    .run_seeded(&self.seq, self.dbcs, self.capacity, &seeds)?
+                    .best
+            }
+            Strategy::RandomWalk(cfg) => {
+                random_walk::search(&self.seq, self.dbcs, self.capacity, self.cost, *cfg)?.0
+            }
+        };
+        let per_dbc_shifts = self.cost.per_dbc_costs(&placement, self.seq.accesses());
+        let shifts = per_dbc_shifts.iter().sum();
+        Ok(Solution {
+            placement,
+            shifts,
+            per_dbc_shifts,
+        })
+    }
+
+    /// AFD distribution, then an intra heuristic on every DBC.
+    fn afd_with_intra(&self, intra: &dyn IntraHeuristic) -> Result<Placement, PlacementError> {
+        let dist = Afd.distribute(&self.seq, self.dbcs, self.capacity)?;
+        Ok(self.apply_intra(dist, intra, 0))
+    }
+
+    /// DMA distribution; intra heuristic on the non-disjoint DBCs only
+    /// (lines 22–23 of Algorithm 1 — disjoint DBCs keep access order).
+    fn dma_with_intra(&self, intra: &dyn IntraHeuristic) -> Result<Placement, PlacementError> {
+        let dist = Dma.distribute(&self.seq, self.dbcs, self.capacity)?;
+        let part = Dma.partition(&self.seq);
+        let k = dist
+            .iter()
+            .take_while(|l| l.first().is_some_and(|v| part.disjoint.contains(v)))
+            .count();
+        Ok(self.apply_intra(dist, intra, k))
+    }
+
+    /// Multi-chain DMA distribution; intra heuristic on the leftover DBCs
+    /// only (chain DBCs keep their access order).
+    fn dma_multi_with_intra(
+        &self,
+        intra: &dyn IntraHeuristic,
+    ) -> Result<Placement, PlacementError> {
+        let multi = crate::inter::DmaMulti::new();
+        let dist = multi.distribute(&self.seq, self.dbcs, self.capacity)?;
+        let k = multi.chain_dbc_count(&self.seq, self.dbcs, self.capacity)?;
+        Ok(self.apply_intra(dist, intra, k))
+    }
+
+    /// Reorders DBCs `skip..` of `dist` with `intra`.
+    fn apply_intra(
+        &self,
+        mut dist: Vec<Vec<VarId>>,
+        intra: &dyn IntraHeuristic,
+        skip: usize,
+    ) -> Placement {
+        for list in dist.iter_mut().skip(skip) {
+            if list.len() < 2 {
+                continue;
+            }
+            let sub = self.seq.restrict_to(|v| list.contains(&v));
+            *list = intra.order(list, &sub);
+        }
+        Placement::from_dbc_lists(dist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_SEQ: &str = "a b a b c a c a d d a i e f e f g e g h g i h i";
+
+    fn problem(dbcs: usize) -> PlacementProblem {
+        PlacementProblem::new(AccessSequence::parse(PAPER_SEQ).unwrap(), dbcs, 512)
+    }
+
+    /// The paper trace with ids interned in name order, so AFD's frequency
+    /// ties break exactly as in Fig. 3(c).
+    fn paper_problem_alpha(dbcs: usize) -> PlacementProblem {
+        let mut b = rtm_trace::SequenceBuilder::new();
+        for n in ["a", "b", "c", "d", "e", "f", "g", "h", "i"] {
+            b.var(n);
+        }
+        for n in PAPER_SEQ.split_whitespace() {
+            b.access_named(n, rtm_trace::AccessKind::Read);
+        }
+        PlacementProblem::new(b.finish(), dbcs, 512)
+    }
+
+    #[test]
+    fn paper_fig3_native_costs() {
+        let p = paper_problem_alpha(2);
+        assert_eq!(p.solve(&Strategy::AfdNative).unwrap().shifts, 39);
+        let dma = p.solve(&Strategy::DmaNative).unwrap();
+        assert_eq!(dma.per_dbc_shifts[0], 4);
+        assert!(dma.shifts <= 11);
+    }
+
+    #[test]
+    fn all_strategies_produce_valid_placements() {
+        let p = problem(2);
+        for s in Strategy::evaluation_set(GaConfig::quick(), RandomWalkConfig::quick()) {
+            let sol = p.solve(&s).unwrap();
+            sol.placement.validate(p.seq(), p.capacity()).unwrap();
+            assert_eq!(sol.shifts, p.evaluate(&sol.placement));
+        }
+    }
+
+    #[test]
+    fn dma_variants_beat_afd_ofu_on_paper_example() {
+        let p = problem(2);
+        let afd = p.solve(&Strategy::AfdOfu).unwrap().shifts;
+        for s in [Strategy::DmaOfu, Strategy::DmaChen, Strategy::DmaSr] {
+            let c = p.solve(&s).unwrap().shifts;
+            assert!(c < afd, "{s}: {c} >= AFD-OFU {afd}");
+        }
+    }
+
+    #[test]
+    fn ga_at_least_matches_best_heuristic() {
+        let p = problem(2);
+        let best_heuristic = [Strategy::AfdOfu, Strategy::DmaOfu, Strategy::DmaSr]
+            .iter()
+            .map(|s| p.solve(s).unwrap().shifts)
+            .min()
+            .unwrap();
+        let ga = p.solve(&Strategy::Ga(GaConfig::quick())).unwrap().shifts;
+        assert!(ga <= best_heuristic);
+    }
+
+    #[test]
+    fn disjoint_dbcs_keep_access_order_under_intra() {
+        // DMA-SR must not reorder the disjoint DBC.
+        let p = problem(2);
+        let native = p.solve(&Strategy::DmaNative).unwrap();
+        let sr = p.solve(&Strategy::DmaSr).unwrap();
+        assert_eq!(
+            native.placement.dbc_lists()[0],
+            sr.placement.dbc_lists()[0],
+            "disjoint DBC was reordered"
+        );
+    }
+
+    #[test]
+    fn strategy_names_match_paper_labels() {
+        let names: Vec<&str> =
+            Strategy::evaluation_set(GaConfig::quick(), RandomWalkConfig::quick())
+                .iter()
+                .map(Strategy::name)
+                .collect();
+        assert_eq!(
+            names,
+            ["AFD-OFU", "DMA-OFU", "DMA-Chen", "DMA-SR", "GA", "RW"]
+        );
+    }
+
+    #[test]
+    fn solve_propagates_capacity_errors() {
+        let seq = AccessSequence::parse("a b c d").unwrap();
+        let p = PlacementProblem::new(seq, 1, 2);
+        for s in [Strategy::AfdOfu, Strategy::DmaSr] {
+            assert!(p.solve(&s).is_err());
+        }
+    }
+
+    #[test]
+    fn more_dbcs_never_increase_native_dma_cost() {
+        let costs: Vec<u64> = [2usize, 4, 8]
+            .iter()
+            .map(|&q| problem(q).solve(&Strategy::DmaNative).unwrap().shifts)
+            .collect();
+        for w in costs.windows(2) {
+            assert!(w[1] <= w[0] + 2, "cost should not blow up with more DBCs");
+        }
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Strategy::DmaSr.to_string(), "DMA-SR");
+    }
+}

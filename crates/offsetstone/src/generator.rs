@@ -1,0 +1,437 @@
+//! The seeded trace generator behind the synthetic suite.
+//!
+//! A trace is produced phase by phase. Each phase owns a slice of
+//! *phase-local* variables plus access to a pool of *shared* variables
+//! ("globals") that live for the whole program. Within a phase, accesses
+//! are emitted as loop bursts over a small working set of **fresh
+//! temporaries** — locals are consumed sequentially and (mostly) never
+//! revisited, exactly like the per-function temporaries of the compiled C
+//! programs behind OffsetStone. Globals are interspersed between and inside
+//! bursts.
+//!
+//! This yields the three properties the paper's results hinge on:
+//!
+//! * long chains of variables with **disjoint lifespans** (the fresh
+//!   temporaries) — what the DMA heuristic harvests;
+//! * **loop locality** inside bursts — what intra-DBC heuristics (Chen,
+//!   ShiftsReduce) exploit;
+//! * a **frequency skew** between hot globals and cold temporaries — what
+//!   AFD keys on (and what makes AFD ping-pong the port between globals and
+//!   drifting temporaries when they share a DBC).
+
+use crate::profile::BenchmarkProfile;
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rtm_trace::{AccessKind, AccessSequence, SequenceBuilder, VarId};
+
+/// Tunable generator configuration, decoupled from the named suite so users
+/// can synthesize custom workloads.
+///
+/// # Example
+///
+/// ```
+/// use rtm_offsetstone::GeneratorConfig;
+///
+/// let seq = GeneratorConfig::new(120, 400)
+///     .with_phases(4)
+///     .with_zipf(1.1)
+///     .generate(42);
+/// assert_eq!(seq.len(), 400);
+/// assert!(seq.vars().len() <= 120);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// Distinct variables to draw from.
+    pub variables: usize,
+    /// Accesses to emit.
+    pub length: usize,
+    /// Program phases.
+    pub phases: usize,
+    /// Zipf exponent for access-frequency skew among globals.
+    pub zipf_exponent: f64,
+    /// Fraction of variables shared across phases (globals).
+    pub shared_fraction: f64,
+    /// Mean loop-burst iteration count.
+    pub loop_iterations: usize,
+    /// Distinct temporaries per loop burst.
+    pub working_set: usize,
+    /// Fraction of write accesses.
+    pub write_fraction: f64,
+    /// Fraction of bursts emitted as serialized runs (each temporary's
+    /// accesses contiguous) instead of interleaved loop bodies.
+    pub serial_fraction: f64,
+    /// Probability that a burst iteration also touches a global.
+    pub global_touch: f64,
+    /// Fraction of bursts emitted as *irregular* regions: Zipf-skewed
+    /// independent draws over already-live variables and globals (the
+    /// pointer-chasing / control-flow style of parsers and compilers, where
+    /// frequency-aware intra-DBC placement shines).
+    pub irregular_fraction: f64,
+}
+
+impl GeneratorConfig {
+    /// A reasonable default configuration over `variables` variables and
+    /// `length` accesses: 3 phases, mild skew, small loops.
+    pub fn new(variables: usize, length: usize) -> Self {
+        Self {
+            variables,
+            length,
+            phases: 3,
+            zipf_exponent: 0.9,
+            shared_fraction: 0.12,
+            loop_iterations: 3,
+            working_set: 4,
+            write_fraction: 0.3,
+            serial_fraction: 0.45,
+            global_touch: 0.5,
+            irregular_fraction: 0.25,
+        }
+    }
+
+    /// Sets the phase count.
+    pub fn with_phases(mut self, phases: usize) -> Self {
+        self.phases = phases.max(1);
+        self
+    }
+
+    /// Sets the Zipf exponent.
+    pub fn with_zipf(mut self, exponent: f64) -> Self {
+        self.zipf_exponent = exponent;
+        self
+    }
+
+    /// Sets the shared-variable fraction.
+    pub fn with_shared_fraction(mut self, fraction: f64) -> Self {
+        self.shared_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the loop parameters.
+    pub fn with_loops(mut self, iterations: usize, working_set: usize) -> Self {
+        self.loop_iterations = iterations.max(1);
+        self.working_set = working_set.max(1);
+        self
+    }
+
+    /// Sets the serialized-burst fraction.
+    pub fn with_serial_fraction(mut self, fraction: f64) -> Self {
+        self.serial_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the irregular-burst fraction.
+    pub fn with_irregular_fraction(mut self, fraction: f64) -> Self {
+        self.irregular_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Generates a trace with the given seed.
+    pub fn generate(&self, seed: u64) -> AccessSequence {
+        TraceGenerator::new(self.clone()).generate(seed)
+    }
+}
+
+impl From<&BenchmarkProfile> for GeneratorConfig {
+    fn from(p: &BenchmarkProfile) -> Self {
+        Self {
+            variables: p.variables,
+            length: p.length,
+            phases: p.phases,
+            zipf_exponent: p.zipf_exponent,
+            shared_fraction: p.shared_fraction,
+            loop_iterations: p.loop_iterations,
+            working_set: p.working_set,
+            write_fraction: p.write_fraction,
+            serial_fraction: p.serial_fraction,
+            global_touch: p.global_touch,
+            irregular_fraction: p.irregular_fraction,
+        }
+    }
+}
+
+/// The generator itself. Stateless apart from its configuration; all
+/// randomness comes from the seed passed to [`generate`](Self::generate),
+/// so traces are reproducible.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    config: GeneratorConfig,
+}
+
+impl TraceGenerator {
+    /// Creates a generator.
+    pub fn new(config: GeneratorConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// Generates a deterministic trace for `seed`.
+    ///
+    /// The trace has exactly `config.length` accesses over at most
+    /// `config.variables` distinct variables (small workloads may not touch
+    /// every variable; temporaries are consumed on demand).
+    pub fn generate(&self, seed: u64) -> AccessSequence {
+        let c = &self.config;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut b = SequenceBuilder::new();
+
+        let n = c.variables.max(1);
+        let vars: Vec<VarId> = (0..n).map(|i| b.var(&format!("v{i}"))).collect();
+
+        // Globals first, then the pool of phase-local temporaries.
+        let shared_count = ((n as f64 * c.shared_fraction).round() as usize).min(n);
+        let (shared, locals) = vars.split_at(shared_count);
+        let phases = c.phases.max(1);
+        let per_phase = if locals.is_empty() {
+            0
+        } else {
+            (locals.len() / phases).max(1)
+        };
+
+        // Zipf weights over the globals: hot globals recur a lot.
+        let global_dist = (!shared.is_empty()).then(|| {
+            let w: Vec<f64> = (0..shared.len())
+                .map(|r| 1.0 / ((r + 1) as f64).powf(c.zipf_exponent))
+                .collect();
+            WeightedIndex::new(&w).expect("positive weights")
+        });
+
+        let per_phase_len = c.length.div_ceil(phases);
+        let mut emitted = 0usize;
+        let kind = |rng: &mut ChaCha8Rng| {
+            if rng.gen_bool(c.write_fraction.clamp(0.0, 1.0)) {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            }
+        };
+
+        for phase in 0..phases {
+            if emitted >= c.length {
+                break;
+            }
+            let lo = (phase * per_phase).min(locals.len());
+            let hi = if phase == phases - 1 {
+                locals.len()
+            } else {
+                (lo + per_phase).min(locals.len())
+            };
+            let phase_locals = &locals[lo..hi];
+            let mut cursor = 0usize;
+
+            let phase_budget = per_phase_len.min(c.length - emitted);
+            let mut phase_emitted = 0usize;
+
+            while phase_emitted < phase_budget {
+                let k = c.working_set.max(1);
+
+                let emit = |v: VarId,
+                                rng: &mut ChaCha8Rng,
+                                b: &mut SequenceBuilder,
+                                phase_emitted: &mut usize| {
+                    if *phase_emitted < phase_budget {
+                        let kk = kind(rng);
+                        b.access(v, kk);
+                        *phase_emitted += 1;
+                    }
+                };
+
+                let iters = 1 + rng.gen_range(0..c.loop_iterations.max(1) * 2);
+
+                // Irregular region: Zipf-skewed independent draws over the
+                // variables already live in this phase plus the globals.
+                if rng.gen_bool(c.irregular_fraction.clamp(0.0, 1.0)) {
+                    let live_hi = cursor.min(phase_locals.len());
+                    let window = 3 * k;
+                    let live_lo = live_hi.saturating_sub(window);
+                    let pool: Vec<VarId> = shared
+                        .iter()
+                        .chain(&phase_locals[live_lo..live_hi])
+                        .copied()
+                        .collect();
+                    if !pool.is_empty() {
+                        let w: Vec<f64> = (0..pool.len())
+                            .map(|r| 1.0 / ((r + 1) as f64).powf(c.zipf_exponent.max(0.3)))
+                            .collect();
+                        let dist = WeightedIndex::new(&w).expect("positive weights");
+                        for _ in 0..(iters * k).max(1) {
+                            let v = pool[dist.sample(&mut rng)];
+                            emit(v, &mut rng, &mut b, &mut phase_emitted);
+                            if phase_emitted >= phase_budget {
+                                break;
+                            }
+                        }
+                        continue;
+                    }
+                }
+
+                // Fresh temporaries for this burst (sequential consumption;
+                // once the pool is dry, reuse the final window).
+                let ws: Vec<VarId> = if phase_locals.is_empty() {
+                    Vec::new()
+                } else if cursor + k <= phase_locals.len() {
+                    let w = phase_locals[cursor..cursor + k].to_vec();
+                    cursor += k;
+                    w
+                } else {
+                    let start = phase_locals.len().saturating_sub(k);
+                    phase_locals[start..].to_vec()
+                };
+                if ws.is_empty() {
+                    // Globals-only workload.
+                    if let (Some(dist), false) = (&global_dist, shared.is_empty()) {
+                        for _ in 0..iters.max(1) {
+                            let g = shared[dist.sample(&mut rng)];
+                            emit(g, &mut rng, &mut b, &mut phase_emitted);
+                            if phase_emitted >= phase_budget {
+                                break;
+                            }
+                        }
+                    } else {
+                        // Degenerate: a single variable in total.
+                        emit(vars[0], &mut rng, &mut b, &mut phase_emitted);
+                    }
+                    continue;
+                }
+
+                if rng.gen_bool(c.serial_fraction.clamp(0.0, 1.0)) {
+                    // Serialized runs: t1 t1 … g t2 t2 … — accumulator-style
+                    // temporaries with globals in between.
+                    for &t in &ws {
+                        for _ in 0..iters {
+                            emit(t, &mut rng, &mut b, &mut phase_emitted);
+                        }
+                        if let Some(dist) = &global_dist {
+                            if rng.gen_bool(c.global_touch.clamp(0.0, 1.0)) {
+                                let g = shared[dist.sample(&mut rng)];
+                                emit(g, &mut rng, &mut b, &mut phase_emitted);
+                            }
+                        }
+                        if phase_emitted >= phase_budget {
+                            break;
+                        }
+                    }
+                } else {
+                    // Interleaved loop body: (t1 t2 … tk [g])^iters.
+                    'outer: for _ in 0..iters {
+                        for &t in &ws {
+                            emit(t, &mut rng, &mut b, &mut phase_emitted);
+                            if phase_emitted >= phase_budget {
+                                break 'outer;
+                            }
+                        }
+                        if let Some(dist) = &global_dist {
+                            if rng.gen_bool(c.global_touch.clamp(0.0, 1.0)) {
+                                let g = shared[dist.sample(&mut rng)];
+                                emit(g, &mut rng, &mut b, &mut phase_emitted);
+                                if phase_emitted >= phase_budget {
+                                    break 'outer;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            emitted += phase_emitted;
+        }
+
+        // Rounding slack: top up with globals (or the last variable).
+        while emitted < c.length {
+            let v = shared.first().copied().unwrap_or(vars[0]);
+            let kk = kind(&mut rng);
+            b.access(v, kk);
+            emitted += 1;
+        }
+
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_length() {
+        for len in [1usize, 7, 100, 1333] {
+            let seq = GeneratorConfig::new(60, len).generate(1);
+            assert_eq!(seq.len(), len, "length {len}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = GeneratorConfig::new(90, 500);
+        assert_eq!(cfg.generate(9), cfg.generate(9));
+        assert_ne!(cfg.generate(9), cfg.generate(10));
+    }
+
+    #[test]
+    fn respects_variable_budget() {
+        let seq = GeneratorConfig::new(10, 1000).generate(3);
+        assert!(seq.vars().len() <= 10);
+    }
+
+    #[test]
+    fn temporaries_create_disjoint_lifespans() {
+        let seq = GeneratorConfig::new(300, 1200).generate(7);
+        let frac = seq.stats().disjoint_pair_fraction;
+        assert!(
+            frac > 0.4,
+            "sequential temporaries should give many disjoint pairs, got {frac:.2}"
+        );
+    }
+
+    #[test]
+    fn phase_structure_adds_disjointness() {
+        let phased = GeneratorConfig::new(240, 2000)
+            .with_phases(6)
+            .generate(7);
+        let flat = GeneratorConfig::new(240, 2000).with_phases(1).generate(7);
+        let dp = phased.stats().disjoint_pair_fraction;
+        let df = flat.stats().disjoint_pair_fraction;
+        assert!(dp >= df * 0.9, "phased {dp:.2} vs flat {df:.2}");
+    }
+
+    #[test]
+    fn zipf_skews_global_frequencies() {
+        let skewed = GeneratorConfig::new(100, 4000).with_zipf(1.6).generate(5);
+        let uniform = GeneratorConfig::new(100, 4000).with_zipf(0.0).generate(5);
+        assert!(skewed.stats().max_frequency >= uniform.stats().max_frequency);
+    }
+
+    #[test]
+    fn write_fraction_zero_means_all_reads() {
+        let mut cfg = GeneratorConfig::new(40, 200);
+        cfg.write_fraction = 0.0;
+        let seq = cfg.generate(2);
+        assert!(seq.kinds().iter().all(|&k| k == AccessKind::Read));
+    }
+
+    #[test]
+    fn single_variable_workload() {
+        let seq = GeneratorConfig::new(1, 50).generate(4);
+        assert_eq!(seq.len(), 50);
+        assert_eq!(seq.vars().len(), 1);
+    }
+
+    #[test]
+    fn serialized_bursts_have_more_self_transitions() {
+        let serial = GeneratorConfig::new(200, 2000)
+            .with_serial_fraction(1.0)
+            .generate(6);
+        let interleaved = GeneratorConfig::new(200, 2000)
+            .with_serial_fraction(0.0)
+            .generate(6);
+        assert!(
+            serial.stats().self_transitions > interleaved.stats().self_transitions,
+            "serial {} !> interleaved {}",
+            serial.stats().self_transitions,
+            interleaved.stats().self_transitions
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Synthetic OffsetStone-style benchmark suite.
+//!
+//! The DATE 2020 paper evaluates on the **OffsetStone** suite (Leupers,
+//! CC'03): memory-access traces distilled from 30 real C programs, with 1 to
+//! 1336 program variables per access sequence and sequence lengths of 1 to
+//! 3640. The original traces are not redistributable, so this crate is a
+//! *substitute* (documented in `DESIGN.md` §3): every benchmark of the
+//! paper's Fig. 4 x-axis is reproduced by name with a deterministic,
+//! seeded generator whose statistical profile (variable count, trace
+//! length, phase structure, frequency skew, loop locality) matches the
+//! paper's reported ranges and the workload class of the real program.
+//!
+//! The three structural knobs are exactly the trace properties that drive
+//! the paper's results:
+//!
+//! * **loop locality** — repeated short access patterns reward intra-DBC
+//!   heuristics (Chen, ShiftsReduce);
+//! * **phase structure** — program phases with disjoint variable lifespans
+//!   reward the DMA heuristic;
+//! * **frequency skew** (Zipf) — hot variables reward AFD.
+//!
+//! # Example
+//!
+//! ```
+//! use rtm_offsetstone::{suite, Benchmark};
+//!
+//! let benchmarks = suite();
+//! assert!(benchmarks.len() >= 30);
+//! let gzip = Benchmark::by_name("gzip").expect("in suite");
+//! let trace = gzip.trace();
+//! assert!(trace.len() > 100);
+//! // Deterministic: same benchmark, same trace.
+//! assert_eq!(trace, gzip.trace());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+mod profile;
+mod suite;
+
+pub use generator::{GeneratorConfig, TraceGenerator};
+pub use profile::{BenchmarkProfile, WorkloadClass};
+pub use suite::{largest, suite, Benchmark};

@@ -1,0 +1,141 @@
+use std::fmt;
+
+/// Coarse workload class of an OffsetStone program, steering the trace
+/// generator's structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadClass {
+    /// Control-dominated programs (parsers, compilers, archivers): irregular
+    /// access patterns, many short-lived temporaries, moderate phases.
+    Control,
+    /// Media / DSP kernels (codecs, transforms, filters): tight loop nests
+    /// over small working sets, strong phase structure.
+    MediaDsp,
+    /// Scientific / numeric kernels (solvers, sparse algebra): mid-sized
+    /// working sets, skewed access frequencies.
+    Scientific,
+}
+
+impl fmt::Display for WorkloadClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadClass::Control => write!(f, "control"),
+            WorkloadClass::MediaDsp => write!(f, "media/dsp"),
+            WorkloadClass::Scientific => write!(f, "scientific"),
+        }
+    }
+}
+
+/// Statistical profile of one synthetic benchmark.
+///
+/// The paper reports (§IV-A) that OffsetStone sequences span 1–1336
+/// variables and lengths 1–3640; the suite's profiles cover those ranges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkProfile {
+    /// Program name as it appears on the paper's Fig. 4 x-axis.
+    pub name: &'static str,
+    /// Workload class.
+    pub class: WorkloadClass,
+    /// Number of distinct program variables.
+    pub variables: usize,
+    /// Trace length (number of accesses).
+    pub length: usize,
+    /// Number of program phases; variables local to different phases have
+    /// disjoint lifespans.
+    pub phases: usize,
+    /// Zipf exponent of the access-frequency distribution (0 = uniform).
+    pub zipf_exponent: f64,
+    /// Fraction of variables shared across phases ("globals"), in `[0, 1]`.
+    pub shared_fraction: f64,
+    /// Mean number of iterations of an inner loop burst.
+    pub loop_iterations: usize,
+    /// Working-set size of an inner loop (distinct temporaries per burst).
+    pub working_set: usize,
+    /// Fraction of write accesses, in `[0, 1]`.
+    pub write_fraction: f64,
+    /// Fraction of bursts emitted as serialized temporary runs, in `[0, 1]`.
+    pub serial_fraction: f64,
+    /// Probability a burst iteration also touches a global, in `[0, 1]`.
+    pub global_touch: f64,
+    /// Fraction of bursts emitted as irregular Zipf regions, in `[0, 1]`.
+    pub irregular_fraction: f64,
+}
+
+impl BenchmarkProfile {
+    /// Validates the profile's internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.variables == 0 {
+            return Err(format!("{}: variables must be positive", self.name));
+        }
+        if self.length == 0 {
+            return Err(format!("{}: length must be positive", self.name));
+        }
+        if self.phases == 0 {
+            return Err(format!("{}: phases must be positive", self.name));
+        }
+        if !(0.0..=1.0).contains(&self.shared_fraction) {
+            return Err(format!("{}: shared_fraction out of range", self.name));
+        }
+        if !(0.0..=1.0).contains(&self.write_fraction) {
+            return Err(format!("{}: write_fraction out of range", self.name));
+        }
+        if self.working_set == 0 {
+            return Err(format!("{}: working_set must be positive", self.name));
+        }
+        if !(0.0..=1.0).contains(&self.serial_fraction) {
+            return Err(format!("{}: serial_fraction out of range", self.name));
+        }
+        if !(0.0..=1.0).contains(&self.global_touch) {
+            return Err(format!("{}: global_touch out of range", self.name));
+        }
+        if !(0.0..=1.0).contains(&self.irregular_fraction) {
+            return Err(format!("{}: irregular_fraction out of range", self.name));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> BenchmarkProfile {
+        BenchmarkProfile {
+            name: "test",
+            class: WorkloadClass::Control,
+            variables: 10,
+            length: 100,
+            phases: 2,
+            zipf_exponent: 1.0,
+            shared_fraction: 0.2,
+            loop_iterations: 4,
+            working_set: 3,
+            write_fraction: 0.3,
+            serial_fraction: 0.4,
+            global_touch: 0.5,
+            irregular_fraction: 0.2,
+        }
+    }
+
+    #[test]
+    fn valid_profile_passes() {
+        profile().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_profiles_fail() {
+        let mut p = profile();
+        p.variables = 0;
+        assert!(p.validate().is_err());
+        let mut p = profile();
+        p.shared_fraction = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = profile();
+        p.working_set = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn class_display() {
+        assert_eq!(WorkloadClass::MediaDsp.to_string(), "media/dsp");
+    }
+}

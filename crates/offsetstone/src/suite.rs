@@ -1,0 +1,316 @@
+use crate::generator::GeneratorConfig;
+use crate::profile::{BenchmarkProfile, WorkloadClass};
+use rtm_trace::AccessSequence;
+
+/// One named benchmark of the synthetic suite.
+///
+/// Obtain instances from [`suite`] or [`Benchmark::by_name`]; the generated
+/// trace is deterministic per benchmark (the seed is derived from the name).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Benchmark {
+    profile: BenchmarkProfile,
+}
+
+impl Benchmark {
+    /// Looks up a benchmark by its Fig. 4 name (e.g. `"gzip"`).
+    pub fn by_name(name: &str) -> Option<Benchmark> {
+        suite().into_iter().find(|b| b.profile.name == name)
+    }
+
+    /// The benchmark's name.
+    pub fn name(&self) -> &'static str {
+        self.profile.name
+    }
+
+    /// The statistical profile.
+    pub fn profile(&self) -> &BenchmarkProfile {
+        &self.profile
+    }
+
+    /// The deterministic seed used by [`trace`](Self::trace): an FNV-1a
+    /// hash of the benchmark name.
+    pub fn seed(&self) -> u64 {
+        fnv1a(self.profile.name.as_bytes())
+    }
+
+    /// Generates the benchmark's canonical trace.
+    pub fn trace(&self) -> AccessSequence {
+        self.trace_with_seed(self.seed())
+    }
+
+    /// Generates a trace with a custom seed (for robustness studies over
+    /// multiple instances of the same profile).
+    pub fn trace_with_seed(&self, seed: u64) -> AccessSequence {
+        GeneratorConfig::from(&self.profile).generate(seed)
+    }
+
+    /// Number of access sequences this benchmark provides (the real
+    /// OffsetStone programs contain many per-function sequences, most of
+    /// them small; §IV-A: "Benchmarks vary in terms of number of access
+    /// sequences"). One canonical large sequence plus several small ones,
+    /// scaled with the program size.
+    pub fn sequence_count(&self) -> usize {
+        1 + (self.profile.length / 400).clamp(1, 8)
+    }
+
+    /// All access sequences of this benchmark: index 0 is the canonical
+    /// trace of [`trace`](Self::trace); the rest are smaller per-function
+    /// style sequences (2–40 variables, 20–200 accesses) with the same
+    /// workload character, deterministically seeded.
+    pub fn sequences(&self) -> Vec<AccessSequence> {
+        let mut out = vec![self.trace()];
+        let base = GeneratorConfig::from(&self.profile);
+        for i in 1..self.sequence_count() {
+            let seed = self.seed().wrapping_add(i as u64);
+            // Derive a small-sequence config: shrink sizes, keep character.
+            let vars = 2 + (seed as usize ^ (i * 7)) % 39;
+            let length = 20 + (seed as usize >> 8 ^ (i * 13)) % 181;
+            let mut cfg = base.clone();
+            cfg.variables = vars;
+            cfg.length = length;
+            cfg.phases = base.phases.min(1 + vars / 8);
+            out.push(cfg.generate(seed));
+        }
+        out
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The full benchmark suite: every program named on the x-axis of the
+/// paper's Fig. 4, with workload classes and sizes matching the paper's
+/// reported ranges (1–1336 variables, sequence lengths up to 3640).
+///
+/// Profiles are hand-assigned per program class: control-dominated programs
+/// (parsers, archivers) get irregular, weakly-phased traces; media/DSP
+/// kernels get tight loops and strong phases; scientific kernels sit in
+/// between with skewed frequencies.
+pub fn suite() -> Vec<Benchmark> {
+    use WorkloadClass::{Control, MediaDsp, Scientific};
+    // (name, class, vars, length, phases, zipf, shared, iters, ws, writes,
+    //  serial, gtouch, irregular). Variable counts follow the var/length
+    // ratios of offset-assignment traces (lots of short-lived temporaries);
+    // control-dominated programs get large irregular regions, DSP kernels
+    // tight loops.
+    #[allow(clippy::type_complexity)]
+    let table: &[(
+        &'static str,
+        WorkloadClass,
+        usize,
+        usize,
+        usize,
+        f64,
+        f64,
+        usize,
+        usize,
+        f64,
+        f64,
+        f64,
+        f64,
+    )] = &[
+        ("8051", Control, 330, 1180, 4, 0.9, 0.10, 3, 5, 0.32, 0.35, 0.60, 0.45),
+        ("adpcm", MediaDsp, 165, 920, 3, 0.8, 0.09, 4, 4, 0.28, 0.50, 0.45, 0.15),
+        ("anagram", Control, 180, 640, 3, 1.0, 0.10, 2, 4, 0.30, 0.35, 0.60, 0.45),
+        ("anthr", Control, 415, 1480, 5, 0.9, 0.09, 3, 5, 0.31, 0.35, 0.60, 0.45),
+        ("bdd", Scientific, 500, 2260, 5, 1.1, 0.08, 3, 6, 0.26, 0.40, 0.50, 0.30),
+        ("bison", Control, 770, 2750, 6, 1.0, 0.07, 2, 6, 0.29, 0.35, 0.60, 0.45),
+        ("cavity", MediaDsp, 240, 1340, 4, 0.8, 0.08, 4, 4, 0.33, 0.50, 0.45, 0.15),
+        ("cc65", Control, 875, 3120, 7, 1.0, 0.06, 2, 6, 0.30, 0.35, 0.60, 0.45),
+        ("codecs", MediaDsp, 310, 1710, 5, 0.9, 0.08, 4, 5, 0.34, 0.50, 0.45, 0.15),
+        ("cpp", Control, 680, 2430, 6, 1.1, 0.07, 2, 6, 0.28, 0.35, 0.60, 0.45),
+        ("dct", MediaDsp, 190, 1060, 3, 0.7, 0.07, 5, 4, 0.36, 0.55, 0.40, 0.15),
+        ("dspstone", MediaDsp, 220, 1230, 4, 0.8, 0.08, 4, 4, 0.35, 0.55, 0.40, 0.15),
+        ("eqntott", Control, 390, 1390, 4, 1.0, 0.09, 3, 5, 0.27, 0.35, 0.60, 0.45),
+        ("f2c", Control, 920, 3280, 7, 1.0, 0.06, 2, 6, 0.29, 0.35, 0.60, 0.45),
+        ("fft", MediaDsp, 205, 1130, 4, 0.7, 0.07, 5, 4, 0.34, 0.55, 0.40, 0.15),
+        ("flex", Control, 810, 2890, 6, 1.0, 0.06, 2, 6, 0.28, 0.35, 0.60, 0.45),
+        ("fuzzy", Scientific, 230, 1030, 4, 0.9, 0.09, 3, 5, 0.30, 0.40, 0.50, 0.30),
+        ("gif2asc", MediaDsp, 155, 870, 3, 0.8, 0.08, 4, 4, 0.33, 0.50, 0.45, 0.15),
+        ("gsm", MediaDsp, 355, 1960, 5, 0.8, 0.07, 4, 5, 0.34, 0.50, 0.45, 0.15),
+        ("gzip", Control, 720, 2580, 6, 1.1, 0.07, 3, 5, 0.30, 0.35, 0.60, 0.45),
+        ("h263", MediaDsp, 420, 2340, 6, 0.9, 0.07, 4, 5, 0.35, 0.50, 0.45, 0.15),
+        ("hmm", Scientific, 280, 1280, 4, 1.0, 0.08, 3, 5, 0.29, 0.40, 0.50, 0.30),
+        ("jpeg", MediaDsp, 490, 2710, 6, 0.9, 0.07, 4, 5, 0.34, 0.50, 0.45, 0.15),
+        ("klt", MediaDsp, 210, 1170, 4, 0.8, 0.08, 4, 4, 0.33, 0.50, 0.45, 0.15),
+        ("lpsolve", Scientific, 545, 2470, 5, 1.1, 0.07, 3, 6, 0.27, 0.40, 0.50, 0.30),
+        ("motion", MediaDsp, 175, 980, 3, 0.8, 0.08, 4, 4, 0.35, 0.50, 0.45, 0.15),
+        ("mp3", MediaDsp, 455, 2520, 6, 0.9, 0.07, 4, 5, 0.34, 0.50, 0.45, 0.15),
+        ("mpeg2", MediaDsp, 1336, 3640, 8, 0.9, 0.05, 4, 6, 0.34, 0.50, 0.45, 0.15),
+        ("sparse", Scientific, 345, 1560, 4, 1.2, 0.08, 3, 6, 0.26, 0.40, 0.50, 0.30),
+        ("triangle", Scientific, 180, 820, 3, 0.9, 0.09, 3, 4, 0.30, 0.40, 0.50, 0.30),
+        ("viterbi", MediaDsp, 195, 1090, 4, 0.7, 0.07, 5, 4, 0.33, 0.55, 0.40, 0.15),
+    ];
+    table
+        .iter()
+        .map(
+            |&(
+                name,
+                class,
+                variables,
+                length,
+                phases,
+                zipf,
+                shared,
+                iters,
+                ws,
+                writes,
+                serial,
+                gtouch,
+                irregular,
+            )| {
+                Benchmark {
+                    profile: BenchmarkProfile {
+                        name,
+                        class,
+                        variables,
+                        length,
+                        phases,
+                        zipf_exponent: zipf,
+                        shared_fraction: shared,
+                        loop_iterations: iters,
+                        working_set: ws,
+                        write_fraction: writes,
+                        serial_fraction: serial,
+                        global_touch: gtouch,
+                        irregular_fraction: irregular,
+                    },
+                }
+            },
+        )
+        .collect()
+}
+
+/// The benchmark with the longest access sequence (`mpeg2`) — the paper
+/// runs its 2000-generation GA study "for the benchmark with the largest
+/// access sequence".
+pub fn largest() -> Benchmark {
+    suite()
+        .into_iter()
+        .max_by_key(|b| b.profile().length)
+        .expect("suite is nonempty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_all_fig4_names() {
+        let s = suite();
+        assert_eq!(s.len(), 31); // every label on Fig. 4's x-axis
+        for b in &s {
+            b.profile().validate().unwrap();
+        }
+        // No duplicate names.
+        let mut names: Vec<&str> = s.iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 31);
+    }
+
+    #[test]
+    fn sizes_cover_paper_ranges() {
+        let s = suite();
+        let max_vars = s.iter().map(|b| b.profile().variables).max().unwrap();
+        let max_len = s.iter().map(|b| b.profile().length).max().unwrap();
+        assert_eq!(max_vars, 1336); // paper: up to 1336 variables
+        assert_eq!(max_len, 3640); // paper: up to 3640 accesses
+        assert!(s.iter().all(|b| b.profile().length <= 3640));
+        assert!(s.iter().all(|b| b.profile().variables <= 1336));
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert!(Benchmark::by_name("gzip").is_some());
+        assert!(Benchmark::by_name("viterbi").is_some());
+        assert!(Benchmark::by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn traces_are_deterministic_and_sized() {
+        for name in ["adpcm", "gzip", "dct"] {
+            let b = Benchmark::by_name(name).unwrap();
+            let t1 = b.trace();
+            let t2 = b.trace();
+            assert_eq!(t1, t2, "{name} not deterministic");
+            assert_eq!(t1.len(), b.profile().length);
+            assert!(t1.vars().len() <= b.profile().variables);
+        }
+    }
+
+    #[test]
+    fn largest_is_mpeg2() {
+        assert_eq!(largest().name(), "mpeg2");
+    }
+
+    #[test]
+    fn different_benchmarks_have_different_seeds() {
+        let s = suite();
+        let mut seeds: Vec<u64> = s.iter().map(|b| b.seed()).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), s.len());
+    }
+
+    #[test]
+    fn media_benchmarks_have_stronger_locality_than_control() {
+        // Compare mean distinct-transition density between classes.
+        let density = |b: &Benchmark| {
+            let st = b.trace().stats();
+            st.distinct_transitions as f64 / st.length as f64
+        };
+        let dct = density(&Benchmark::by_name("dct").unwrap());
+        let cc65 = density(&Benchmark::by_name("cc65").unwrap());
+        assert!(
+            dct < cc65,
+            "dsp kernel should be more loop-local: dct {dct:.3} vs cc65 {cc65:.3}"
+        );
+    }
+
+    #[test]
+    fn custom_seed_changes_trace() {
+        let b = Benchmark::by_name("fft").unwrap();
+        assert_ne!(b.trace_with_seed(1), b.trace_with_seed(2));
+    }
+
+    #[test]
+    fn sequences_start_with_the_canonical_trace() {
+        let b = Benchmark::by_name("gzip").unwrap();
+        let seqs = b.sequences();
+        assert_eq!(seqs.len(), b.sequence_count());
+        assert!(seqs.len() >= 2);
+        assert_eq!(seqs[0], b.trace());
+    }
+
+    #[test]
+    fn secondary_sequences_are_small_and_in_paper_ranges() {
+        for name in ["adpcm", "cc65", "mpeg2"] {
+            let b = Benchmark::by_name(name).unwrap();
+            for s in &b.sequences()[1..] {
+                assert!(s.len() >= 20 && s.len() <= 200, "{name}: |S|={}", s.len());
+                assert!(s.vars().len() <= 41, "{name}: vars={}", s.vars().len());
+                assert!(!s.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn sequences_are_deterministic() {
+        let b = Benchmark::by_name("dct").unwrap();
+        assert_eq!(b.sequences(), b.sequences());
+    }
+
+    #[test]
+    fn larger_programs_have_more_sequences() {
+        let small = Benchmark::by_name("anagram").unwrap().sequence_count();
+        let large = Benchmark::by_name("f2c").unwrap().sequence_count();
+        assert!(large > small);
+    }
+}

@@ -1,0 +1,267 @@
+use crate::dbc::DbcState;
+use crate::error::SimError;
+use crate::stats::SimStats;
+use rtm_arch::{table1, ConfigError, MemoryParams, Ns, RtmGeometry, ScalingModel};
+use rtm_placement::Placement;
+use rtm_trace::{AccessKind, AccessSequence};
+
+/// The RTM controller: replays an access trace against a data placement on
+/// a concrete geometry, shifting each DBC's tracks as needed and accounting
+/// latency and energy with Table I parameters.
+///
+/// # Example
+///
+/// ```
+/// use rtm_placement::Placement;
+/// use rtm_sim::Simulator;
+/// use rtm_trace::{AccessSequence, VarId};
+///
+/// let seq = AccessSequence::parse("a b a")?;
+/// let v = |i| VarId::from_index(i);
+/// let placement = Placement::from_dbc_lists(vec![vec![v(0), v(1)]]);
+/// let sim = Simulator::for_paper_config(2)?;
+/// let stats = sim.run(&seq, &placement)?;
+/// assert_eq!(stats.shifts, 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    geometry: RtmGeometry,
+    params: MemoryParams,
+    compute_gap: Ns,
+}
+
+/// Default core compute time charged per access (1 ns ≈ a couple of cycles
+/// of address generation and ALU work between memory operations on the
+/// embedded cores the paper targets). Leakage integrates over this time
+/// too, which is what makes high-DBC configurations pay for their extra
+/// ports even when they shift little — the effect behind the paper's
+/// Fig. 6 energy minimum at 4–8 DBCs.
+pub const DEFAULT_COMPUTE_GAP: Ns = Ns(1.0);
+
+impl Simulator {
+    /// Creates a simulator from an explicit geometry and parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::GeometryMismatch`] if `params` describes a
+    /// different DBC count than `geometry`.
+    pub fn new(geometry: RtmGeometry, params: MemoryParams) -> Result<Self, SimError> {
+        if geometry.dbcs() != params.dbcs {
+            return Err(SimError::GeometryMismatch(format!(
+                "geometry has {} DBCs, params tabulate {}",
+                geometry.dbcs(),
+                params.dbcs
+            )));
+        }
+        Ok(Self {
+            geometry,
+            params,
+            compute_gap: DEFAULT_COMPUTE_GAP,
+        })
+    }
+
+    /// Overrides the per-access core compute gap (see
+    /// [`DEFAULT_COMPUTE_GAP`]). Pass `Ns(0.0)` for a memory-only model.
+    pub fn with_compute_gap(mut self, gap: Ns) -> Self {
+        self.compute_gap = gap;
+        self
+    }
+
+    /// Creates the simulator for one of the paper's 4 KiB Table I
+    /// configurations (`dbcs ∈ {2, 4, 8, 16}`); other DBC counts use the
+    /// [`ScalingModel`] fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if 4 KiB does not divide into `dbcs` DBCs of
+    /// 32 tracks.
+    pub fn for_paper_config(dbcs: usize) -> Result<Self, ConfigError> {
+        let geometry = RtmGeometry::paper_4kib(dbcs)?;
+        let params = table1::preset(dbcs).unwrap_or_else(|| ScalingModel::from_table1().params(dbcs));
+        Ok(Self {
+            geometry,
+            params,
+            compute_gap: DEFAULT_COMPUTE_GAP,
+        })
+    }
+
+    /// The geometry being simulated.
+    pub fn geometry(&self) -> RtmGeometry {
+        self.geometry
+    }
+
+    /// The per-operation parameters in use.
+    pub fn params(&self) -> &MemoryParams {
+        &self.params
+    }
+
+    /// Replays `seq` against `placement`, returning aggregate statistics.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::UnplacedVariable`] if the trace accesses a variable the
+    ///   placement does not map;
+    /// * [`SimError::DbcOutOfRange`] / [`SimError::OffsetOutOfRange`] if the
+    ///   placement exceeds the geometry.
+    pub fn run(&self, seq: &AccessSequence, placement: &Placement) -> Result<SimStats, SimError> {
+        let q = self.geometry.dbcs();
+        let domains = self.geometry.domains_per_track();
+        let ports = self.geometry.ports_per_track();
+        let mut dbcs: Vec<DbcState> = (0..q).map(|_| DbcState::new(domains, ports)).collect();
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+
+        for (_, v, kind) in seq.iter() {
+            let loc = placement
+                .location(v)
+                .ok_or_else(|| SimError::UnplacedVariable(seq.vars().name(v).to_owned()))?;
+            if loc.dbc >= q {
+                return Err(SimError::DbcOutOfRange { dbc: loc.dbc, dbcs: q });
+            }
+            if loc.offset >= domains {
+                return Err(SimError::OffsetOutOfRange {
+                    offset: loc.offset,
+                    domains,
+                });
+            }
+            dbcs[loc.dbc].access(loc.offset);
+            match kind {
+                AccessKind::Read => reads += 1,
+                AccessKind::Write => writes += 1,
+            }
+        }
+
+        let per_dbc_shifts: Vec<u64> = dbcs.iter().map(DbcState::total_shifts).collect();
+        Ok(SimStats::from_counters(
+            &self.params,
+            reads,
+            writes,
+            per_dbc_shifts,
+            self.compute_gap,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtm_placement::{CostModel, PlacementProblem, Strategy};
+    use rtm_trace::VarId;
+
+    const PAPER_SEQ: &str = "a b a b c a c a d d a i e f e f g e g h g i h i";
+
+    #[test]
+    fn shift_counts_match_cost_model() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        for dbcs in [2usize, 4, 8, 16] {
+            let problem = PlacementProblem::new(seq.clone(), dbcs, 4096 / dbcs / 8);
+            for strat in [Strategy::AfdOfu, Strategy::DmaSr, Strategy::DmaNative] {
+                let sol = problem.solve(&strat).unwrap();
+                let sim = Simulator::for_paper_config(dbcs).unwrap();
+                let stats = sim.run(&seq, &sol.placement).unwrap();
+                assert_eq!(stats.shifts, sol.shifts, "{strat} @ {dbcs} DBCs");
+                assert_eq!(stats.per_dbc_shifts, sol.per_dbc_shifts);
+            }
+        }
+    }
+
+    #[test]
+    fn read_write_split_is_respected() {
+        let seq = AccessSequence::parse("x:w y x:w y:r").unwrap();
+        let v = |i| VarId::from_index(i);
+        let p = Placement::from_dbc_lists(vec![vec![v(0), v(1)]]);
+        let sim = Simulator::for_paper_config(2).unwrap();
+        let stats = sim.run(&seq, &p).unwrap();
+        assert_eq!(stats.writes, 2);
+        assert_eq!(stats.reads, 2);
+        // Latency must charge write latency for writes.
+        let expected = 2.0 * 0.81 + 2.0 * 1.08 + stats.shifts as f64 * 0.99;
+        assert!((stats.latency.total().value() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unplaced_variable_is_an_error() {
+        let seq = AccessSequence::parse("a b").unwrap();
+        let p = Placement::from_dbc_lists(vec![vec![VarId::from_index(0)]]);
+        let sim = Simulator::for_paper_config(2).unwrap();
+        assert!(matches!(
+            sim.run(&seq, &p),
+            Err(SimError::UnplacedVariable(v)) if v == "b"
+        ));
+    }
+
+    #[test]
+    fn placement_outside_geometry_is_an_error() {
+        let seq = AccessSequence::parse("a").unwrap();
+        let sim = Simulator::for_paper_config(2).unwrap();
+        // DBC 5 does not exist in a 2-DBC config.
+        let p = Placement::from_dbc_lists(vec![
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+            vec![VarId::from_index(0)],
+        ]);
+        assert!(matches!(
+            sim.run(&seq, &p),
+            Err(SimError::DbcOutOfRange { dbc: 5, dbcs: 2 })
+        ));
+    }
+
+    #[test]
+    fn non_tabulated_dbc_count_uses_scaling_model() {
+        // 4 KiB / 32 tracks divides evenly only for power-of-two counts; 4 KiB
+        // = 32768 bits, 32 tracks -> dbcs * domains = 1024, so any divisor of
+        // 1024 works, e.g. 64.
+        let sim = Simulator::for_paper_config(64).unwrap();
+        assert_eq!(sim.params().dbcs, 64);
+        assert!(sim.params().leakage_power.value() > 8.94);
+    }
+
+    #[test]
+    fn multi_port_geometry_reduces_shifts() {
+        let seq = AccessSequence::parse("x y x y x y").unwrap();
+        let x = VarId::from_index(0);
+        let y = VarId::from_index(1);
+        // Place x and y far apart on a 64-domain track.
+        let mut layout = vec![x];
+        layout.extend((2..33).map(VarId::from_index));
+        layout.push(y); // y at offset 32
+        let p = Placement::from_dbc_lists(vec![layout]);
+
+        let single = Simulator::new(
+            RtmGeometry::new(1, 32, 64, 1).unwrap(),
+            params_for(1),
+        )
+        .unwrap();
+        let dual = Simulator::new(
+            RtmGeometry::new(1, 32, 64, 2).unwrap(),
+            params_for(1),
+        )
+        .unwrap();
+        let s1 = single.run(&seq, &p).unwrap();
+        let s2 = dual.run(&seq, &p).unwrap();
+        assert!(s2.shifts < s1.shifts, "{} !< {}", s2.shifts, s1.shifts);
+        // Cross-check with the analytic multi-port cost model.
+        let m = CostModel::multi_port(2, 64);
+        assert_eq!(s2.shifts, m.shift_cost(&p, seq.accesses()));
+    }
+
+    fn params_for(dbcs: usize) -> MemoryParams {
+        let mut p = table1::preset(2).unwrap();
+        p.dbcs = dbcs;
+        p
+    }
+
+    #[test]
+    fn mismatched_params_rejected() {
+        let geom = RtmGeometry::paper_4kib(4).unwrap();
+        let params = table1::preset(2).unwrap();
+        assert!(matches!(
+            Simulator::new(geom, params),
+            Err(SimError::GeometryMismatch(_))
+        ));
+    }
+}

@@ -1,0 +1,189 @@
+use serde::{Deserialize, Serialize};
+
+/// Runtime state of one Domain Block Cluster: the current displacement of
+/// its (lock-stepped) nanotracks relative to their rest position, plus
+/// shift accounting.
+///
+/// Port `i`'s home position is `i · K / P` for `K` domains and `P` ports; a
+/// domain at offset `x` is under port `i` when the displacement equals
+/// `x − home_i`. Accessing `x` therefore means shifting the track by
+/// `min_i |disp − (x − home_i)|` positions.
+///
+/// # Example
+///
+/// ```
+/// use rtm_sim::DbcState;
+///
+/// let mut dbc = DbcState::new(64, 1);
+/// assert_eq!(dbc.access(10), 0); // first access aligns for free
+/// assert_eq!(dbc.access(10), 0); // already aligned
+/// assert_eq!(dbc.access(4), 6);
+/// assert_eq!(dbc.total_shifts(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DbcState {
+    domains: usize,
+    ports: usize,
+    /// Current track displacement; `None` until the first access (so callers
+    /// can implement free initial alignment).
+    displacement: Option<i64>,
+    total_shifts: u64,
+    max_displacement: i64,
+    min_displacement: i64,
+    accesses: u64,
+}
+
+impl DbcState {
+    /// Creates the state for a DBC with `domains` domains per track and
+    /// `ports` access ports, displacement at rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domains == 0`, `ports == 0` or `ports > domains`.
+    pub fn new(domains: usize, ports: usize) -> Self {
+        assert!(domains > 0, "domains must be positive");
+        assert!(ports > 0, "ports must be positive");
+        assert!(ports <= domains, "more ports than domains");
+        Self {
+            domains,
+            ports,
+            displacement: None,
+            total_shifts: 0,
+            max_displacement: 0,
+            min_displacement: 0,
+            accesses: 0,
+        }
+    }
+
+    fn port_home(&self, i: usize) -> i64 {
+        (i * self.domains / self.ports) as i64
+    }
+
+    /// Best (cost, target displacement) to align `offset` with some port,
+    /// starting from displacement `from`.
+    fn best_alignment(&self, from: i64, offset: usize) -> (u64, i64) {
+        (0..self.ports)
+            .map(|p| {
+                let target = offset as i64 - self.port_home(p);
+                ((from - target).unsigned_abs(), target)
+            })
+            .min()
+            .expect("at least one port")
+    }
+
+    /// Serves an access to `offset`, shifting as needed; returns the number
+    /// of shifts performed. The first access aligns for free (the paper's
+    /// convention; see `rtm_placement::InitialAlignment`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= domains`.
+    pub fn access(&mut self, offset: usize) -> u64 {
+        assert!(offset < self.domains, "offset out of range");
+        self.accesses += 1;
+        let (cost, target) = match self.displacement {
+            Some(d) => self.best_alignment(d, offset),
+            None => {
+                let (_, t) = self.best_alignment(0, offset);
+                (0, t)
+            }
+        };
+        self.displacement = Some(target);
+        self.total_shifts += cost;
+        self.max_displacement = self.max_displacement.max(target);
+        self.min_displacement = self.min_displacement.min(target);
+        cost
+    }
+
+    /// Shifts performed so far.
+    pub fn total_shifts(&self) -> u64 {
+        self.total_shifts
+    }
+
+    /// Accesses served so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Current displacement (`None` before the first access).
+    pub fn displacement(&self) -> Option<i64> {
+        self.displacement
+    }
+
+    /// The displacement range visited: racetracks need `max − min` overhead
+    /// domains to avoid pushing bits off the wire. Useful for sizing checks.
+    pub fn displacement_range(&self) -> (i64, i64) {
+        (self.min_displacement, self.max_displacement)
+    }
+
+    /// Resets port position and counters.
+    pub fn reset(&mut self) {
+        self.displacement = None;
+        self.total_shifts = 0;
+        self.max_displacement = 0;
+        self.min_displacement = 0;
+        self.accesses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_is_free() {
+        let mut d = DbcState::new(16, 1);
+        assert_eq!(d.access(9), 0);
+        assert_eq!(d.displacement(), Some(9));
+    }
+
+    #[test]
+    fn subsequent_accesses_pay_distance() {
+        let mut d = DbcState::new(16, 1);
+        d.access(3);
+        assert_eq!(d.access(7), 4);
+        assert_eq!(d.access(0), 7);
+        assert_eq!(d.total_shifts(), 11);
+        assert_eq!(d.accesses(), 3);
+    }
+
+    #[test]
+    fn two_ports_reduce_distance() {
+        let mut d = DbcState::new(8, 2); // homes 0 and 4
+        d.access(0); // free, disp 0
+        assert_eq!(d.access(6), 2); // via port 1 (6-4=2)
+        assert_eq!(d.access(0), 2); // back via port 0
+    }
+
+    #[test]
+    fn displacement_range_tracks_extremes() {
+        let mut d = DbcState::new(8, 2);
+        d.access(7); // free init: best target = 3 via port 1
+        d.access(0); // disp 0
+        let (lo, hi) = d.displacement_range();
+        assert!(lo <= 0 && hi >= 3);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut d = DbcState::new(8, 1);
+        d.access(5);
+        d.access(1);
+        d.reset();
+        assert_eq!(d.total_shifts(), 0);
+        assert_eq!(d.displacement(), None);
+        assert_eq!(d.accesses(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "offset out of range")]
+    fn rejects_out_of_range_offset() {
+        DbcState::new(4, 1).access(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "more ports than domains")]
+    fn rejects_too_many_ports() {
+        DbcState::new(2, 3);
+    }
+}

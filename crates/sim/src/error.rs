@@ -1,0 +1,68 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The trace accesses a variable the placement does not map.
+    UnplacedVariable(String),
+    /// The placement maps a variable to a DBC outside the geometry.
+    DbcOutOfRange {
+        /// DBC index referenced by the placement.
+        dbc: usize,
+        /// DBCs in the geometry.
+        dbcs: usize,
+    },
+    /// The placement maps a variable to an offset beyond the track length.
+    OffsetOutOfRange {
+        /// Offset referenced by the placement.
+        offset: usize,
+        /// Domains per track.
+        domains: usize,
+    },
+    /// Geometry/parameter mismatch (e.g. params tabulated for a different
+    /// DBC count).
+    GeometryMismatch(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnplacedVariable(v) => {
+                write!(f, "trace accesses variable `{v}` missing from the placement")
+            }
+            SimError::DbcOutOfRange { dbc, dbcs } => {
+                write!(f, "placement references DBC {dbc} but geometry has {dbcs}")
+            }
+            SimError::OffsetOutOfRange { offset, domains } => write!(
+                f,
+                "placement references offset {offset} but tracks have {domains} domains"
+            ),
+            SimError::GeometryMismatch(msg) => write!(f, "geometry mismatch: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(SimError::UnplacedVariable("x".into())
+            .to_string()
+            .contains("`x`"));
+        assert!(SimError::DbcOutOfRange { dbc: 7, dbcs: 4 }
+            .to_string()
+            .contains("DBC 7"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,47 @@
+//! Trace-driven racetrack-memory simulator — the workspace's substitute for
+//! **RTSim** (Khan et al., IEEE CAL 2019), the simulator the DATE 2020 paper
+//! evaluates on.
+//!
+//! The paper feeds application memory traces and a data placement to RTSim
+//! and reads back shift counts, latency and energy. Placement quality is a
+//! function of those aggregates, not of pipeline microarchitecture, so this
+//! simulator is *functional* rather than cycle-accurate: it replays the
+//! trace access by access, moves each DBC's access port exactly as the RTM
+//! controller would, and charges latency/energy per operation using the
+//! DESTINY-derived per-operation constants of Table I (`rtm-arch`). The
+//! substitution is documented in `DESIGN.md` §3.
+//!
+//! Shift counts are bit-exact with respect to the shift-cost model of
+//! `rtm-placement` (`CostModel`); the integration tests and property tests
+//! of this crate assert that equivalence on random traces.
+//!
+//! # Example
+//!
+//! ```
+//! use rtm_arch::RtmGeometry;
+//! use rtm_placement::{PlacementProblem, Strategy};
+//! use rtm_sim::Simulator;
+//! use rtm_trace::AccessSequence;
+//!
+//! let seq = AccessSequence::parse("a b a b c c a")?;
+//! let geom = RtmGeometry::paper_4kib(4)?;
+//! let problem = PlacementProblem::new(seq.clone(), geom.dbcs(), geom.locations_per_dbc());
+//! let placement = problem.solve(&Strategy::DmaSr)?.placement;
+//!
+//! let stats = Simulator::for_paper_config(4)?.run(&seq, &placement)?;
+//! assert_eq!(stats.reads + stats.writes, 7);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod controller;
+mod dbc;
+mod error;
+mod stats;
+
+pub use controller::{Simulator, DEFAULT_COMPUTE_GAP};
+pub use dbc::DbcState;
+pub use error::SimError;
+pub use stats::SimStats;

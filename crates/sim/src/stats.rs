@@ -1,0 +1,127 @@
+use rtm_arch::{EnergyBreakdown, LatencyReport, MemoryParams, Ns};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Aggregated results of one simulated trace — the quantities the paper
+/// reads back from RTSim for its Figs. 4–6: shift counts, access latency
+/// (§IV-C) and the three-way energy breakdown (Fig. 5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Read accesses served.
+    pub reads: u64,
+    /// Write accesses served.
+    pub writes: u64,
+    /// Total shifts performed.
+    pub shifts: u64,
+    /// Shifts per DBC (index = DBC id).
+    pub per_dbc_shifts: Vec<u64>,
+    /// Memory access latency totals (excluding compute gaps).
+    pub latency: LatencyReport,
+    /// Core compute time between accesses (see
+    /// [`Simulator::with_compute_gap`](crate::Simulator::with_compute_gap)).
+    pub compute: Ns,
+    /// Energy totals (leakage integrates over [`runtime`](Self::runtime)).
+    pub energy: EnergyBreakdown,
+}
+
+impl SimStats {
+    /// Assembles stats from raw counters and the configuration's
+    /// per-operation parameters. `compute_gap` is the core time charged per
+    /// access on top of the memory latency; leakage integrates over the
+    /// whole runtime.
+    pub fn from_counters(
+        params: &MemoryParams,
+        reads: u64,
+        writes: u64,
+        per_dbc_shifts: Vec<u64>,
+        compute_gap: Ns,
+    ) -> Self {
+        let shifts: u64 = per_dbc_shifts.iter().sum();
+        let latency = LatencyReport::from_counts(params, reads, writes, shifts);
+        let compute = compute_gap * (reads + writes) as f64;
+        let energy = EnergyBreakdown::from_counts(
+            params,
+            reads,
+            writes,
+            shifts,
+            latency.total() + compute,
+        );
+        Self {
+            reads,
+            writes,
+            shifts,
+            per_dbc_shifts,
+            latency,
+            compute,
+            energy,
+        }
+    }
+
+    /// Total accesses (reads + writes).
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Mean shifts per access — the paper's "average cost" metric of Fig. 4
+    /// (0 for an empty run).
+    pub fn shifts_per_access(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.shifts as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Total runtime of the trace: memory latency plus compute gaps.
+    pub fn runtime(&self) -> Ns {
+        self.latency.total() + self.compute
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses ({} R / {} W), {} shifts ({:.2}/access), latency {:.1}, energy {}",
+            self.accesses(),
+            self.reads,
+            self.writes,
+            self.shifts,
+            self.shifts_per_access(),
+            self.latency.total(),
+            self.energy,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtm_arch::table1;
+
+    #[test]
+    fn from_counters_sums_per_dbc() {
+        let p = table1::preset(4).unwrap();
+        let s = SimStats::from_counters(&p, 10, 2, vec![3, 0, 7, 1], Ns(0.0));
+        assert_eq!(s.shifts, 11);
+        assert_eq!(s.accesses(), 12);
+        assert!((s.shifts_per_access() - 11.0 / 12.0).abs() < 1e-12);
+        assert!(s.runtime().value() > 0.0);
+        assert!(s.energy.total().value() > 0.0);
+    }
+
+    #[test]
+    fn empty_run() {
+        let p = table1::preset(2).unwrap();
+        let s = SimStats::from_counters(&p, 0, 0, vec![0, 0], Ns(1.0));
+        assert_eq!(s.shifts_per_access(), 0.0);
+        assert_eq!(s.runtime().value(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_shifts() {
+        let p = table1::preset(2).unwrap();
+        let s = SimStats::from_counters(&p, 1, 1, vec![2], Ns(0.0));
+        assert!(s.to_string().contains("2 shifts"));
+    }
+}

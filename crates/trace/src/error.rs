@@ -1,0 +1,74 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when parsing a textual access trace fails.
+///
+/// Produced by [`AccessSequence::parse`](crate::AccessSequence::parse).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    kind: ParseTraceErrorKind,
+    line: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ParseTraceErrorKind {
+    /// A token had an access-kind suffix that is not `:r` or `:w`.
+    BadAccessKind(String),
+    /// A token was empty after stripping its suffix (e.g. `":r"`).
+    EmptyVariable,
+    /// The input contained no accesses at all.
+    EmptySequence,
+}
+
+impl ParseTraceError {
+    pub(crate) fn new(kind: ParseTraceErrorKind, line: usize) -> Self {
+        Self { kind, line }
+    }
+
+    /// 1-based line number at which the error occurred (0 for single-line input).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseTraceErrorKind::BadAccessKind(tok) => {
+                write!(f, "invalid access kind suffix in token `{tok}`")
+            }
+            ParseTraceErrorKind::EmptyVariable => write!(f, "empty variable name"),
+            ParseTraceErrorKind::EmptySequence => write!(f, "trace contains no accesses"),
+        }?;
+        if self.line > 0 {
+            write!(f, " (line {})", self.line)?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for ParseTraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_line() {
+        let e = ParseTraceError::new(ParseTraceErrorKind::EmptyVariable, 3);
+        assert_eq!(e.to_string(), "empty variable name (line 3)");
+        assert_eq!(e.line(), 3);
+    }
+
+    #[test]
+    fn display_without_line() {
+        let e = ParseTraceError::new(ParseTraceErrorKind::EmptySequence, 0);
+        assert_eq!(e.to_string(), "trace contains no accesses");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ParseTraceError>();
+    }
+}

@@ -1,0 +1,232 @@
+use crate::sequence::AccessSequence;
+use crate::var::VarId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A weighted edge of an [`AccessGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// Endpoint with the smaller index.
+    pub u: VarId,
+    /// Endpoint with the larger index.
+    pub v: VarId,
+    /// Number of times `u` and `v` were accessed consecutively in the trace.
+    pub weight: u64,
+}
+
+/// Weighted, undirected access graph summarizing an [`AccessSequence`].
+///
+/// Vertices are the trace's variables; an edge `{u, v}` with weight `w`
+/// records that `u` and `v` appear next to each other `w` times in the
+/// sequence. This is the classic single-offset-assignment summary used by
+/// the intra-DBC heuristics (Chen, ShiftsReduce); the paper's point is that
+/// this summary *discards* ordering and liveness information, which is why
+/// its DMA heuristic works on the sequence itself instead.
+///
+/// Self-pairs (the same variable accessed twice in a row) are counted in
+/// [`self_loops`](Self::self_loops) but do not form edges: they never cost a
+/// shift regardless of placement.
+///
+/// # Example
+///
+/// ```
+/// use rtm_trace::AccessSequence;
+///
+/// let seq = AccessSequence::parse("a b a a c")?;
+/// let g = seq.access_graph();
+/// let a = seq.vars().id("a").unwrap();
+/// let b = seq.vars().id("b").unwrap();
+/// assert_eq!(g.weight(a, b), 2); // "a b" and "b a"
+/// assert_eq!(g.self_loops(a), 1); // "a a"
+/// # Ok::<(), rtm_trace::ParseTraceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessGraph {
+    n: usize,
+    /// Adjacency map per vertex: neighbor -> weight.
+    adj: Vec<HashMap<VarId, u64>>,
+    self_loops: Vec<u64>,
+    frequency: Vec<u64>,
+}
+
+impl AccessGraph {
+    /// Builds the access graph of `seq`.
+    pub fn of(seq: &AccessSequence) -> Self {
+        let n = seq.vars().len();
+        let mut adj: Vec<HashMap<VarId, u64>> = vec![HashMap::new(); n];
+        let mut self_loops = vec![0u64; n];
+        let mut frequency = vec![0u64; n];
+        let accesses = seq.accesses();
+        for &v in accesses {
+            frequency[v.index()] += 1;
+        }
+        for pair in accesses.windows(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v {
+                self_loops[u.index()] += 1;
+            } else {
+                *adj[u.index()].entry(v).or_insert(0) += 1;
+                *adj[v.index()].entry(u).or_insert(0) += 1;
+            }
+        }
+        Self {
+            n,
+            adj,
+            self_loops,
+            frequency,
+        }
+    }
+
+    /// Number of vertices (variables).
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Weight of edge `{u, v}`, 0 if absent or `u == v`.
+    pub fn weight(&self, u: VarId, v: VarId) -> u64 {
+        if u == v {
+            return 0;
+        }
+        self.adj[u.index()].get(&v).copied().unwrap_or(0)
+    }
+
+    /// Number of immediate repetitions of `v` (`… v v …` pairs).
+    pub fn self_loops(&self, v: VarId) -> u64 {
+        self.self_loops[v.index()]
+    }
+
+    /// Access frequency `A_v` of the underlying trace.
+    pub fn frequency(&self, v: VarId) -> u64 {
+        self.frequency[v.index()]
+    }
+
+    /// Sum of the weights of all edges incident to `v` (its "adjacency mass").
+    ///
+    /// ShiftsReduce-style heuristics order vertices by this quantity.
+    pub fn degree_weight(&self, v: VarId) -> u64 {
+        self.adj[v.index()].values().sum()
+    }
+
+    /// Iterates over the neighbors of `v` with their edge weights.
+    pub fn neighbors(&self, v: VarId) -> impl Iterator<Item = (VarId, u64)> + '_ {
+        self.adj[v.index()].iter().map(|(&u, &w)| (u, w))
+    }
+
+    /// All edges, each reported once with `u < v`, sorted by descending
+    /// weight (ties by `(u, v)` for determinism).
+    pub fn edges(&self) -> Vec<Edge> {
+        let mut edges = Vec::new();
+        for (ui, nbrs) in self.adj.iter().enumerate() {
+            let u = VarId::from_index(ui);
+            for (&v, &w) in nbrs {
+                if u < v {
+                    edges.push(Edge { u, v, weight: w });
+                }
+            }
+        }
+        edges.sort_by(|a, b| {
+            b.weight
+                .cmp(&a.weight)
+                .then(a.u.cmp(&b.u))
+                .then(a.v.cmp(&b.v))
+        });
+        edges
+    }
+
+    /// Total number of distinct edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(HashMap::len).sum::<usize>() / 2
+    }
+
+    /// The cost lower bound Σ_e w_e: every consecutive pair of *distinct*
+    /// variables costs at least one shift if placed at distance ≥ 1, and
+    /// exactly `w_e` if all pairs sit at distance 1. Only achievable when the
+    /// graph is a path; still a useful sanity bound for tests.
+    pub fn adjacency_lower_bound(&self) -> u64 {
+        self.edges().iter().map(|e| e.weight).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AccessSequence;
+
+    fn graph(text: &str) -> (AccessSequence, AccessGraph) {
+        let s = AccessSequence::parse(text).unwrap();
+        let g = s.access_graph();
+        (s, g)
+    }
+
+    #[test]
+    fn weights_are_symmetric() {
+        let (s, g) = graph("a b a c b");
+        let a = s.vars().id("a").unwrap();
+        let b = s.vars().id("b").unwrap();
+        let c = s.vars().id("c").unwrap();
+        assert_eq!(g.weight(a, b), g.weight(b, a));
+        assert_eq!(g.weight(a, b), 2);
+        assert_eq!(g.weight(a, c), 1);
+        assert_eq!(g.weight(c, b), 1);
+    }
+
+    #[test]
+    fn self_pairs_do_not_form_edges() {
+        let (s, g) = graph("a a a b");
+        let a = s.vars().id("a").unwrap();
+        let b = s.vars().id("b").unwrap();
+        assert_eq!(g.self_loops(a), 2);
+        assert_eq!(g.weight(a, a), 0);
+        assert_eq!(g.weight(a, b), 1);
+    }
+
+    #[test]
+    fn frequency_matches_trace() {
+        let (s, g) = graph("a b a b a");
+        let a = s.vars().id("a").unwrap();
+        let b = s.vars().id("b").unwrap();
+        assert_eq!(g.frequency(a), 3);
+        assert_eq!(g.frequency(b), 2);
+    }
+
+    #[test]
+    fn degree_weight_sums_incident_edges() {
+        let (s, g) = graph("a b a c a");
+        let a = s.vars().id("a").unwrap();
+        assert_eq!(g.degree_weight(a), 4); // ab, ba, ac, ca
+    }
+
+    #[test]
+    fn edges_sorted_by_weight() {
+        let (_, g) = graph("a b a b a c");
+        let edges = g.edges();
+        assert_eq!(edges.len(), 2);
+        assert!(edges[0].weight >= edges[1].weight);
+        assert_eq!(edges[0].weight, 4); // a-b: ab ba ab ba
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn single_access_graph_is_empty() {
+        let (_, g) = graph("a");
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.vertex_count(), 1);
+        assert_eq!(g.adjacency_lower_bound(), 0);
+    }
+
+    #[test]
+    fn lower_bound_counts_distinct_transitions() {
+        let (_, g) = graph("a b c a b");
+        // transitions: ab bc ca ab -> ab:2, bc:1, ca:1
+        assert_eq!(g.adjacency_lower_bound(), 4);
+    }
+
+    #[test]
+    fn neighbors_iteration() {
+        let (s, g) = graph("a b a c");
+        let a = s.vars().id("a").unwrap();
+        let mut nbrs: Vec<(usize, u64)> = g.neighbors(a).map(|(v, w)| (v.index(), w)).collect();
+        nbrs.sort_unstable();
+        assert_eq!(nbrs, vec![(1, 2), (2, 1)]);
+    }
+}

@@ -1,0 +1,294 @@
+use crate::sequence::AccessSequence;
+use crate::var::VarId;
+use serde::{Deserialize, Serialize};
+
+/// Per-variable liveness record: the quantities lines 1–4 of the paper's
+/// Algorithm 1 compute for every variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VarLiveness {
+    /// Access frequency `A_v` — how often `v` occurs in `S`.
+    pub frequency: u64,
+    /// First occurrence `F_v` (1-based position in `S`).
+    pub first: usize,
+    /// Last occurrence `L_v` (1-based position in `S`).
+    pub last: usize,
+}
+
+impl VarLiveness {
+    /// The lifespan `L_v − F_v` as defined in §III-B of the paper.
+    pub fn lifespan(&self) -> usize {
+        self.last - self.first
+    }
+}
+
+/// Liveness table of a trace: `A_v`, `F_v`, `L_v` for every variable, plus
+/// the disjointness relation the DMA heuristic is built on.
+///
+/// Two variables `u`, `v` have *disjoint lifespans* iff the last occurrence
+/// of one precedes the first occurrence of the other (§III-B).
+///
+/// # Example
+///
+/// ```
+/// use rtm_trace::AccessSequence;
+///
+/// let seq = AccessSequence::parse("a b a b c a c a d d a i e f e f g e g h g i h i")?;
+/// let live = seq.liveness();
+/// let b = seq.vars().id("b").unwrap();
+/// let c = seq.vars().id("c").unwrap();
+/// assert!(live.disjoint(b, c)); // the paper's example: b and c are disjoint
+/// # Ok::<(), rtm_trace::ParseTraceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Liveness {
+    records: Vec<VarLiveness>,
+}
+
+impl Liveness {
+    /// Computes the liveness table of `seq`.
+    ///
+    /// Variables never accessed in the trace (possible when the `VarTable`
+    /// was pre-populated) get `frequency == 0` and `first == last == 0`.
+    pub fn of(seq: &AccessSequence) -> Self {
+        let mut records = vec![
+            VarLiveness {
+                frequency: 0,
+                first: 0,
+                last: 0,
+            };
+            seq.vars().len()
+        ];
+        for (pos, v, _) in seq.iter() {
+            let r = &mut records[v.index()];
+            r.frequency += 1;
+            if r.first == 0 {
+                r.first = pos;
+            }
+            r.last = pos;
+        }
+        Self { records }
+    }
+
+    /// The liveness record of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn record(&self, v: VarId) -> VarLiveness {
+        self.records[v.index()]
+    }
+
+    /// Access frequency `A_v`.
+    pub fn frequency(&self, v: VarId) -> u64 {
+        self.records[v.index()].frequency
+    }
+
+    /// First occurrence `F_v` (1-based; 0 if never accessed).
+    pub fn first(&self, v: VarId) -> usize {
+        self.records[v.index()].first
+    }
+
+    /// Last occurrence `L_v` (1-based; 0 if never accessed).
+    pub fn last(&self, v: VarId) -> usize {
+        self.records[v.index()].last
+    }
+
+    /// Lifespan `L_v − F_v`.
+    pub fn lifespan(&self, v: VarId) -> usize {
+        self.records[v.index()].lifespan()
+    }
+
+    /// Whether `u` and `v` have disjoint lifespans.
+    ///
+    /// Unaccessed variables (frequency 0) are considered disjoint from
+    /// everything: they occupy no portion of the trace.
+    pub fn disjoint(&self, u: VarId, v: VarId) -> bool {
+        let (ru, rv) = (self.records[u.index()], self.records[v.index()]);
+        if ru.frequency == 0 || rv.frequency == 0 {
+            return true;
+        }
+        ru.last < rv.first || rv.last < ru.first
+    }
+
+    /// Whether `inner`'s lifespan is strictly nested inside `outer`'s, i.e.
+    /// `F_inner > F_outer ∧ L_inner < L_outer` — the condition of line 10 of
+    /// Algorithm 1.
+    pub fn nested_within(&self, inner: VarId, outer: VarId) -> bool {
+        let (ri, ro) = (self.records[inner.index()], self.records[outer.index()]);
+        ri.frequency > 0 && ro.frequency > 0 && ri.first > ro.first && ri.last < ro.last
+    }
+
+    /// All variable ids sorted by ascending first occurrence `F_v`
+    /// (unaccessed variables excluded) — the iteration order of Algorithm 1
+    /// line 5/8. Ties (impossible for distinct accessed variables) and
+    /// determinism are handled by a secondary sort on the id.
+    pub fn by_first_occurrence(&self) -> Vec<VarId> {
+        let mut ids: Vec<VarId> = (0..self.records.len())
+            .map(VarId::from_index)
+            .filter(|v| self.records[v.index()].frequency > 0)
+            .collect();
+        ids.sort_by_key(|v| (self.records[v.index()].first, v.index()));
+        ids
+    }
+
+    /// All variable ids sorted by descending access frequency, ties broken by
+    /// ascending id. This reproduces the AFD ordering of the paper's Fig. 3(c)
+    /// (where ties among `e, g, i` and `b…h` fall back to name order).
+    pub fn by_descending_frequency(&self) -> Vec<VarId> {
+        let mut ids: Vec<VarId> = (0..self.records.len())
+            .map(VarId::from_index)
+            .filter(|v| self.records[v.index()].frequency > 0)
+            .collect();
+        ids.sort_by(|a, b| {
+            self.records[b.index()]
+                .frequency
+                .cmp(&self.records[a.index()].frequency)
+                .then(a.index().cmp(&b.index()))
+        });
+        ids
+    }
+
+    /// Number of variables covered by this table (accessed or not).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AccessSequence;
+
+    const PAPER_SEQ: &str = "a b a b c a c a d d a i e f e f g e g h g i h i";
+
+    fn paper() -> (AccessSequence, Liveness) {
+        let s = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let l = s.liveness();
+        (s, l)
+    }
+
+    fn id(s: &AccessSequence, n: &str) -> VarId {
+        s.vars().id(n).unwrap()
+    }
+
+    #[test]
+    fn paper_fig3e_frequencies() {
+        let (s, l) = paper();
+        let expect: &[(&str, u64)] = &[
+            ("a", 5),
+            ("b", 2),
+            ("c", 2),
+            ("d", 2),
+            ("e", 3),
+            ("f", 2),
+            ("g", 3),
+            ("h", 2),
+            ("i", 3),
+        ];
+        for &(n, f) in expect {
+            assert_eq!(l.frequency(id(&s, n)), f, "frequency of {n}");
+        }
+    }
+
+    #[test]
+    fn paper_fig3e_first_and_last() {
+        let (s, l) = paper();
+        // (var, F_v, L_v) from Fig. 3(e).
+        let expect: &[(&str, usize, usize)] = &[
+            ("a", 1, 11),
+            ("b", 2, 4),
+            ("c", 5, 7),
+            ("d", 9, 10),
+            ("e", 13, 18),
+            ("f", 14, 16),
+            ("g", 17, 21),
+            ("h", 20, 23),
+            ("i", 12, 24),
+        ];
+        for &(n, f, last) in expect {
+            let v = id(&s, n);
+            assert_eq!(l.first(v), f, "F of {n}");
+            assert_eq!(l.last(v), last, "L of {n}");
+        }
+    }
+
+    #[test]
+    fn paper_lifespan_of_b_is_2() {
+        let (s, l) = paper();
+        assert_eq!(l.lifespan(id(&s, "b")), 2);
+    }
+
+    #[test]
+    fn disjointness_examples() {
+        let (s, l) = paper();
+        assert!(l.disjoint(id(&s, "b"), id(&s, "c")));
+        assert!(l.disjoint(id(&s, "c"), id(&s, "b"))); // symmetric
+        assert!(!l.disjoint(id(&s, "a"), id(&s, "b"))); // b nested in a
+        assert!(!l.disjoint(id(&s, "e"), id(&s, "f")));
+        assert!(l.disjoint(id(&s, "d"), id(&s, "e")));
+    }
+
+    #[test]
+    fn nesting_examples() {
+        let (s, l) = paper();
+        assert!(l.nested_within(id(&s, "b"), id(&s, "a")));
+        assert!(l.nested_within(id(&s, "c"), id(&s, "a")));
+        assert!(l.nested_within(id(&s, "d"), id(&s, "a")));
+        assert!(!l.nested_within(id(&s, "a"), id(&s, "b")));
+        assert!(l.nested_within(id(&s, "f"), id(&s, "e")));
+        assert!(!l.nested_within(id(&s, "i"), id(&s, "a")));
+    }
+
+    #[test]
+    fn by_first_occurrence_order() {
+        let (s, l) = paper();
+        let names: Vec<&str> = l
+            .by_first_occurrence()
+            .into_iter()
+            .map(|v| s.vars().name(v))
+            .collect();
+        assert_eq!(names, ["a", "b", "c", "d", "i", "e", "f", "g", "h"]);
+    }
+
+    #[test]
+    fn by_descending_frequency_breaks_ties_by_id() {
+        // Reproducing the paper's Fig. 3(c) tie order (a, e, g, i, b, c, d,
+        // f, h) requires ids assigned in name order, so intern a–i up front.
+        let mut b = crate::SequenceBuilder::new();
+        for n in ["a", "b", "c", "d", "e", "f", "g", "h", "i"] {
+            b.var(n);
+        }
+        for n in PAPER_SEQ.split_whitespace() {
+            b.access_named(n, crate::AccessKind::Read);
+        }
+        let s = b.finish();
+        let l = s.liveness();
+        let names: Vec<&str> = l
+            .by_descending_frequency()
+            .into_iter()
+            .map(|v| s.vars().name(v))
+            .collect();
+        // a(5), then e,g,i (3) in id order, then b,c,d,f,h (2).
+        assert_eq!(names, ["a", "e", "g", "i", "b", "c", "d", "f", "h"]);
+    }
+
+    #[test]
+    fn single_occurrence_has_zero_lifespan() {
+        let s = AccessSequence::parse("x y x").unwrap();
+        let l = s.liveness();
+        assert_eq!(l.lifespan(id(&s, "y")), 0);
+        assert_eq!(l.record(id(&s, "y")).lifespan(), 0);
+    }
+
+    #[test]
+    fn self_is_not_disjoint_with_self() {
+        let (s, l) = paper();
+        let a = id(&s, "a");
+        assert!(!l.disjoint(a, a));
+    }
+}

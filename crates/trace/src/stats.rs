@@ -1,0 +1,137 @@
+use crate::sequence::AccessSequence;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Summary statistics of a trace, as reported for the OffsetStone suite in
+/// §IV-A of the paper ("Benchmarks vary in terms of … number of program
+/// variables per sequence (1 to 1336) and the length of access sequences
+/// (1 to 3640)").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of distinct variables accessed.
+    pub variables: usize,
+    /// Trace length `|S|`.
+    pub length: usize,
+    /// Number of immediate self-repetitions (`… v v …`).
+    pub self_transitions: usize,
+    /// Number of distinct consecutive pairs (access-graph edges).
+    pub distinct_transitions: usize,
+    /// Mean access frequency.
+    pub mean_frequency: f64,
+    /// Maximum access frequency over all variables.
+    pub max_frequency: u64,
+    /// Mean lifespan (over accessed variables).
+    pub mean_lifespan: f64,
+    /// Fraction of variable pairs with disjoint lifespans, in `[0, 1]`.
+    ///
+    /// This is the single best predictor of how much the DMA heuristic can
+    /// gain over AFD: a phase-structured program has a high disjoint
+    /// fraction, a flat one has ~0.
+    pub disjoint_pair_fraction: f64,
+}
+
+impl TraceStats {
+    /// Computes statistics for `seq`.
+    pub fn of(seq: &AccessSequence) -> Self {
+        let live = seq.liveness();
+        let graph = seq.access_graph();
+        let accessed: Vec<_> = live.by_first_occurrence();
+        let n = accessed.len();
+        let length = seq.len();
+        let self_transitions = accessed
+            .iter()
+            .map(|&v| graph.self_loops(v) as usize)
+            .sum();
+        let mean_frequency = if n == 0 {
+            0.0
+        } else {
+            length as f64 / n as f64
+        };
+        let max_frequency = accessed.iter().map(|&v| live.frequency(v)).max().unwrap_or(0);
+        let mean_lifespan = if n == 0 {
+            0.0
+        } else {
+            accessed.iter().map(|&v| live.lifespan(v) as f64).sum::<f64>() / n as f64
+        };
+        let mut disjoint_pairs = 0usize;
+        let mut total_pairs = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                total_pairs += 1;
+                if live.disjoint(accessed[i], accessed[j]) {
+                    disjoint_pairs += 1;
+                }
+            }
+        }
+        let disjoint_pair_fraction = if total_pairs == 0 {
+            0.0
+        } else {
+            disjoint_pairs as f64 / total_pairs as f64
+        };
+        Self {
+            variables: n,
+            length,
+            self_transitions,
+            distinct_transitions: graph.edge_count(),
+            mean_frequency,
+            max_frequency,
+            mean_lifespan,
+            disjoint_pair_fraction,
+        }
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} vars, |S|={}, {} edges, disjoint-pairs={:.1}%",
+            self.variables,
+            self.length,
+            self.distinct_transitions,
+            self.disjoint_pair_fraction * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::AccessSequence;
+
+    #[test]
+    fn stats_of_small_trace() {
+        let s = AccessSequence::parse("a a b b c c").unwrap();
+        let st = s.stats();
+        assert_eq!(st.variables, 3);
+        assert_eq!(st.length, 6);
+        assert_eq!(st.self_transitions, 3);
+        assert_eq!(st.distinct_transitions, 2); // ab, bc
+        assert!((st.mean_frequency - 2.0).abs() < 1e-12);
+        assert_eq!(st.max_frequency, 2);
+        // a:[1,2] b:[3,4] c:[5,6] -> all pairs disjoint.
+        assert!((st.disjoint_pair_fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interleaved_trace_has_no_disjoint_pairs() {
+        let s = AccessSequence::parse("a b a b").unwrap();
+        let st = s.stats();
+        assert_eq!(st.disjoint_pair_fraction, 0.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = AccessSequence::parse("a b").unwrap();
+        assert!(!s.stats().to_string().is_empty());
+    }
+
+    #[test]
+    fn paper_example_stats() {
+        let s =
+            AccessSequence::parse("a b a b c a c a d d a i e f e f g e g h g i h i").unwrap();
+        let st = s.stats();
+        assert_eq!(st.variables, 9);
+        assert_eq!(st.length, 24);
+        assert_eq!(st.max_frequency, 5);
+    }
+}

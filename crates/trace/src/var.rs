@@ -1,0 +1,190 @@
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a program variable (memory object).
+///
+/// `VarId` is a dense index into a [`VarTable`]; all placement algorithms in
+/// the workspace operate on these indices rather than on names.
+///
+/// # Example
+///
+/// ```
+/// use rtm_trace::VarTable;
+///
+/// let mut vars = VarTable::new();
+/// let a = vars.intern("a");
+/// assert_eq!(vars.intern("a"), a); // interning is idempotent
+/// assert_eq!(vars.name(a), "a");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// Creates a `VarId` from a raw index.
+    ///
+    /// Mostly useful in tests and generators; in normal use ids come from a
+    /// [`VarTable`].
+    pub fn from_index(index: usize) -> Self {
+        VarId(u32::try_from(index).expect("variable index exceeds u32::MAX"))
+    }
+
+    /// The dense index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Interning table mapping variable names to dense [`VarId`]s.
+///
+/// The placement problem of the paper is defined over a variable set
+/// `V = {v_1, …, v_n}`; this table owns that set.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VarTable {
+    names: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, VarId>,
+}
+
+impl VarTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `name`, interning it if it was not seen before.
+    pub fn intern(&mut self, name: &str) -> VarId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = VarId::from_index(self.names.len());
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an existing variable by name.
+    pub fn id(&self, name: &str) -> Option<VarId> {
+        if self.index.is_empty() && !self.names.is_empty() {
+            // Deserialized table: fall back to a linear scan. `rebuild_index`
+            // makes subsequent lookups O(1).
+            return self
+                .names
+                .iter()
+                .position(|n| n == name)
+                .map(VarId::from_index);
+        }
+        self.index.get(name).copied()
+    }
+
+    /// Rebuilds the name→id index (needed after deserialization).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), VarId::from_index(i)))
+            .collect();
+    }
+
+    /// The name of variable `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this table.
+    pub fn name(&self, id: VarId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct variables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table contains no variables.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all variable ids in index order.
+    pub fn ids(&self) -> impl ExactSizeIterator<Item = VarId> + '_ {
+        (0..self.names.len()).map(VarId::from_index)
+    }
+
+    /// Iterates over `(id, name)` pairs in index order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (VarId, &str)> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (VarId::from_index(i), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_dense_ids() {
+        let mut t = VarTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = VarTable::new();
+        let a1 = t.intern("x");
+        let a2 = t.intern("x");
+        assert_eq!(a1, a2);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn lookup_by_name_and_id() {
+        let mut t = VarTable::new();
+        let a = t.intern("alpha");
+        assert_eq!(t.id("alpha"), Some(a));
+        assert_eq!(t.id("beta"), None);
+        assert_eq!(t.name(a), "alpha");
+    }
+
+    #[test]
+    fn ids_iterate_in_order() {
+        let mut t = VarTable::new();
+        t.intern("a");
+        t.intern("b");
+        t.intern("c");
+        let ids: Vec<usize> = t.ids().map(VarId::index).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        let names: Vec<&str> = t.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(VarId::from_index(7).to_string(), "v7");
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut t = VarTable::new();
+        t.intern("a");
+        t.intern("b");
+        let mut t2 = t.clone();
+        t2.index.clear(); // simulate deserialization
+        assert_eq!(t2.id("b").map(VarId::index), Some(1)); // linear fallback
+        t2.rebuild_index();
+        assert_eq!(t2.id("b").map(VarId::index), Some(1));
+    }
+}

@@ -1,0 +1,48 @@
+//! Evaluate placement strategies on your own trace.
+//!
+//! Reads a whitespace-separated access trace (variable names, optional
+//! `:r`/`:w` suffixes, `#` comments) from a file or stdin, then prints the
+//! shift cost of every strategy on a configurable geometry.
+//!
+//! Run with:
+//!   `cargo run --example custom_trace -- path/to/trace.txt [dbcs]`
+//!   `echo "a b a c b" | cargo run --example custom_trace`
+
+use rtm::{AccessSequence, GaConfig, PlacementProblem, RandomWalkConfig, Strategy};
+use std::io::Read;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let text = match args.first() {
+        Some(path) if path != "-" => std::fs::read_to_string(path)?,
+        _ => {
+            let mut s = String::new();
+            std::io::stdin().read_to_string(&mut s)?;
+            s
+        }
+    };
+    let dbcs: usize = args.get(1).map_or(Ok(4), |s| s.parse())?;
+    let seq = AccessSequence::parse(&text)?;
+    println!(
+        "parsed {} accesses over {} variables; stats: {}",
+        seq.len(),
+        seq.vars().len(),
+        seq.stats()
+    );
+
+    let capacity = (4096 * 8 / (dbcs * 32)).max(seq.vars().len().div_ceil(dbcs));
+    let problem = PlacementProblem::new(seq.clone(), dbcs, capacity);
+    println!("\ngeometry: {dbcs} DBCs x {capacity} locations");
+    println!("{:10} {:>10} {:>12}", "strategy", "shifts", "vs AFD-OFU");
+    let baseline = problem.solve(&Strategy::AfdOfu)?.shifts;
+    for strategy in Strategy::evaluation_set(GaConfig::quick(), RandomWalkConfig::quick()) {
+        let sol = problem.solve(&strategy)?;
+        println!(
+            "{:10} {:>10} {:>11.2}x",
+            strategy.name(),
+            sol.shifts,
+            baseline as f64 / sol.shifts.max(1) as f64
+        );
+    }
+    Ok(())
+}

