@@ -1,11 +1,10 @@
 use crate::params::{MemoryParams, Ns, Pj};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Add;
 
 /// Energy consumed by a simulated run, broken down the way the paper's
 /// Fig. 5 reports it: leakage, read/write (access) energy, and shift energy.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EnergyBreakdown {
     /// Static leakage over the run's duration.
     pub leakage: Pj,
@@ -75,7 +74,7 @@ impl fmt::Display for EnergyBreakdown {
 }
 
 /// Latency totals of a simulated run (§IV-C of the paper).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct LatencyReport {
     /// Time spent in read accesses.
     pub read: Ns,
@@ -160,7 +159,10 @@ mod tests {
         assert!((l.read.value() - 3.0 * 0.84).abs() < 1e-9);
         assert!((l.write.value() - 2.0 * 1.14).abs() < 1e-9);
         assert!((l.shift.value() - 10.0 * 0.92).abs() < 1e-9);
-        assert!((l.total().value() - (l.read.value() + l.write.value() + l.shift.value())).abs() < 1e-12);
+        assert!(
+            (l.total().value() - (l.read.value() + l.write.value() + l.shift.value())).abs()
+                < 1e-12
+        );
     }
 
     #[test]
@@ -172,7 +174,9 @@ mod tests {
         assert!((c.total().value() - (a.total().value() + b.total().value())).abs() < 1e-9);
         let la = LatencyReport::from_counts(&p, 1, 0, 1);
         let lb = LatencyReport::from_counts(&p, 0, 1, 0);
-        assert!(((la + lb).total().value() - (la.total().value() + lb.total().value())).abs() < 1e-12);
+        assert!(
+            ((la + lb).total().value() - (la.total().value() + lb.total().value())).abs() < 1e-12
+        );
     }
 
     #[test]

@@ -1,5 +1,4 @@
 use crate::error::ConfigError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Geometry of an RTM subarray: the structural parameters of §II-A of the
@@ -21,7 +20,7 @@ use std::fmt;
 /// assert_eq!(geom.locations_per_dbc(), 256);
 /// # Ok::<(), rtm_arch::ConfigError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RtmGeometry {
     dbcs: usize,
     tracks_per_dbc: usize,

@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Mul};
@@ -7,7 +6,7 @@ macro_rules! unit_newtype {
     ($(#[$meta:meta])* $name:ident, $suffix:literal) => {
         $(#[$meta])*
         #[derive(
-            Debug, Clone, Copy, Default, PartialEq, PartialOrd, Serialize, Deserialize,
+            Debug, Clone, Copy, Default, PartialEq, PartialOrd,
         )]
         pub struct $name(pub f64);
 
@@ -100,7 +99,7 @@ impl Mw {
 /// DBC/domain decoders, access ports, multiplexers, write and shift drivers".
 /// We treat them as ground truth; see [`crate::ScalingModel`] for
 /// configurations outside the table.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemoryParams {
     /// Number of DBCs in the subarray.
     pub dbcs: usize,

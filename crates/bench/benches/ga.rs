@@ -23,13 +23,7 @@ fn ga_generation_cost(c: &mut Criterion) {
             BenchmarkId::new("generations", generations),
             &cfg,
             |b, cfg| {
-                b.iter(|| {
-                    black_box(
-                        GeneticPlacer::new(*cfg)
-                            .run(&seq, 4, 4096)
-                            .expect("fits"),
-                    )
-                })
+                b.iter(|| black_box(GeneticPlacer::new(*cfg).run(&seq, 4, 4096).expect("fits")))
             },
         );
     }

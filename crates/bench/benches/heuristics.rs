@@ -18,11 +18,9 @@ fn heuristics_on_suite(c: &mut Criterion) {
             Strategy::DmaChen,
             Strategy::DmaSr,
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(strat.name(), name),
-                &problem,
-                |b, p| b.iter(|| black_box(p.solve(&strat).expect("fits"))),
-            );
+            group.bench_with_input(BenchmarkId::new(strat.name(), name), &problem, |b, p| {
+                b.iter(|| black_box(p.solve(&strat).expect("fits")))
+            });
         }
     }
     group.finish();

@@ -18,11 +18,9 @@ fn simulator_throughput(c: &mut Criterion) {
             .expect("fits")
             .placement;
         let sim = simulator_for(dbcs, capacity);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(dbcs),
-            &placement,
-            |b, p| b.iter(|| black_box(sim.run(&seq, p).expect("valid"))),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(dbcs), &placement, |b, p| {
+            b.iter(|| black_box(sim.run(&seq, p).expect("valid")))
+        });
     }
     group.finish();
 }
@@ -33,10 +31,7 @@ fn cost_model_vs_simulator(c: &mut Criterion) {
     let seq = Benchmark::by_name("gzip").expect("in suite").trace();
     let capacity = capacity_for(4, seq.vars().len());
     let problem = PlacementProblem::new(seq.clone(), 4, capacity);
-    let placement = problem
-        .solve(&Strategy::DmaSr)
-        .expect("fits")
-        .placement;
+    let placement = problem.solve(&Strategy::DmaSr).expect("fits").placement;
     let sim = simulator_for(4, capacity);
     let mut group = c.benchmark_group("evaluator");
     group.bench_function("cost_model", |b| {

@@ -152,7 +152,11 @@ mod tests {
     fn intra_refinement_helps() {
         let rows = collect(&quick_opts());
         let intra = &rows[0];
-        assert!(intra.factor() > 1.0, "intra refinement factor {}", intra.factor());
+        assert!(
+            intra.factor() > 1.0,
+            "intra refinement factor {}",
+            intra.factor()
+        );
     }
 
     #[test]

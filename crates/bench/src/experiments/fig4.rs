@@ -2,7 +2,7 @@
 //! count, normalized to the genetic algorithm (GA = 1.0, exactly as the
 //! paper plots it), plus the §IV-B geomean summaries.
 
-use super::{solve_and_simulate, selected_benchmarks, ExperimentResult};
+use super::{selected_benchmarks, solve_and_simulate, ExperimentResult};
 use crate::{geomean, ExperimentOpts, Table};
 use rtm_placement::Strategy;
 use std::collections::BTreeMap;
@@ -127,7 +127,10 @@ pub fn run(opts: &ExperimentOpts) -> ExperimentResult {
     ] {
         let mut row = vec![label.to_owned()];
         for &d in &data.dbcs {
-            row.push(format!("{:.2}x", data.geomean_improvement(better, worse, d)));
+            row.push(format!(
+                "{:.2}x",
+                data.geomean_improvement(better, worse, d)
+            ));
         }
         t.row(row);
     }

@@ -21,9 +21,7 @@ pub fn collect(opts: &ExperimentOpts) -> BTreeMap<(String, usize), EnergyBreakdo
         for &d in &opts.dbcs {
             for strat in strategies() {
                 let (_, stats) = solve_and_simulate(&seq, d, &strat);
-                let e = out
-                    .entry((strat.name().to_owned(), d))
-                    .or_default();
+                let e = out.entry((strat.name().to_owned(), d)).or_default();
                 *e = *e + stats.energy;
             }
         }
@@ -94,7 +92,10 @@ mod tests {
         let dma = data[&("DMA-SR".to_owned(), 2)];
         let shift_ratio = dma.shift.value() / afd.shift.value();
         let rw_ratio = dma.read_write.value() / afd.read_write.value();
-        assert!(shift_ratio < rw_ratio, "shift energy should drop more than r/w");
+        assert!(
+            shift_ratio < rw_ratio,
+            "shift energy should drop more than r/w"
+        );
     }
 
     #[test]

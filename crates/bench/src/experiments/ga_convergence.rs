@@ -46,7 +46,12 @@ pub fn collect(opts: &ExperimentOpts) -> ConvergenceData {
     ];
     let solutions: Vec<(String, rtm_placement::Solution)> = heuristics
         .iter()
-        .map(|s| (s.name().to_owned(), problem.solve(s).expect("capacity fits")))
+        .map(|s| {
+            (
+                s.name().to_owned(),
+                problem.solve(s).expect("capacity fits"),
+            )
+        })
         .collect();
     let (best_heuristic, heuristic_cost) = solutions
         .iter()
@@ -74,8 +79,9 @@ pub fn collect(opts: &ExperimentOpts) -> ConvergenceData {
         .map(|(g, &c)| (g, c))
         .collect();
 
-    let gap_percent =
-        (heuristic_cost as f64 - outcome.best_cost as f64) / outcome.best_cost.max(1) as f64 * 100.0;
+    let gap_percent = (heuristic_cost as f64 - outcome.best_cost as f64)
+        / outcome.best_cost.max(1) as f64
+        * 100.0;
 
     ConvergenceData {
         benchmark: bench.name().to_owned(),

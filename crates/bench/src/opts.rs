@@ -83,8 +83,11 @@ impl ExperimentOpts {
                         .collect();
                 }
                 "--generations" => {
-                    opts.generations =
-                        Some(value("--generations").parse().expect("--generations takes an integer"));
+                    opts.generations = Some(
+                        value("--generations")
+                            .parse()
+                            .expect("--generations takes an integer"),
+                    );
                 }
                 "--out" => opts.out_dir = PathBuf::from(value("--out")),
                 other => panic!("unknown argument `{other}`"),

@@ -22,7 +22,11 @@ pub fn place(args: &CliArgs) -> CmdResult {
     );
     for (d, list) in sol.placement.dbc_lists().iter().enumerate() {
         let names: Vec<&str> = list.iter().map(|&v| seq.vars().name(v)).collect();
-        println!("DBC{d} ({} shifts): {}", sol.per_dbc_shifts[d], names.join(" "));
+        println!(
+            "DBC{d} ({} shifts): {}",
+            sol.per_dbc_shifts[d],
+            names.join(" ")
+        );
     }
     Ok(())
 }
@@ -62,8 +66,8 @@ pub fn stats(args: &CliArgs) -> CmdResult {
 pub fn suite(args: &CliArgs) -> CmdResult {
     match args.get("benchmark") {
         Some(name) => {
-            let b = Benchmark::by_name(name)
-                .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+            let b =
+                Benchmark::by_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
             let p = b.profile();
             let trace = b.trace();
             println!("{} ({}):", b.name(), p.class);
@@ -91,14 +95,23 @@ pub fn suite(args: &CliArgs) -> CmdResult {
 /// `rtm strategies` — list strategy names with one-line descriptions.
 pub fn strategies() -> CmdResult {
     let entries: [(&str, &str); 9] = [
-        ("afd", "AFD inter-DBC distribution, deal order (Chen'16 baseline)"),
+        (
+            "afd",
+            "AFD inter-DBC distribution, deal order (Chen'16 baseline)",
+        ),
         ("afd-ofu", "AFD + order-of-first-use intra placement"),
         ("dma", "DMA (Algorithm 1) with its native orders"),
         ("dma-ofu", "DMA + OFU on non-disjoint DBCs"),
         ("dma-chen", "DMA + Chen's frequency-seeded grouping"),
         ("dma-sr", "DMA + ShiftsReduce (best heuristic, the default)"),
-        ("dma-multi-sr", "multi-chain DMA (paper's future work) + ShiftsReduce"),
-        ("ga", "genetic algorithm, paper budget (mu=lambda=100, 200 gens)"),
+        (
+            "dma-multi-sr",
+            "multi-chain DMA (paper's future work) + ShiftsReduce",
+        ),
+        (
+            "ga",
+            "genetic algorithm, paper budget (mu=lambda=100, 200 gens)",
+        ),
         ("rw", "random walk, 60000 samples"),
     ];
     for (name, desc) in entries {

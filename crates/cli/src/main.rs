@@ -75,9 +75,7 @@ OPTIONS:
 
 /// Reads the trace named by `--trace` (stdin for `-`).
 fn read_trace(args: &CliArgs) -> Result<AccessSequence, Box<dyn std::error::Error>> {
-    let path = args
-        .get("trace")
-        .ok_or("missing required option --trace")?;
+    let path = args.get("trace").ok_or("missing required option --trace")?;
     let text = if path == "-" {
         let mut s = String::new();
         std::io::stdin().read_to_string(&mut s)?;

@@ -1,9 +1,8 @@
 use crate::placement::Placement;
 use rtm_trace::VarId;
-use serde::{Deserialize, Serialize};
 
 /// Where each DBC's access port starts before the first access.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum InitialAlignment {
     /// The port aligns to the first-accessed variable at no cost.
     ///
@@ -43,7 +42,7 @@ pub enum InitialAlignment {
 /// assert_eq!(cost, 2); // a->b then b->a
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CostModel {
     /// Access ports per track (≥ 1).
     ports_per_track: usize,
@@ -209,10 +208,7 @@ mod tests {
         let p = Placement::from_dbc_lists(vec![dbc0, dbc1]);
         let costs = CostModel::single_port().per_dbc_costs(&p, s.accesses());
         assert_eq!(costs, vec![4, 7]);
-        assert_eq!(
-            CostModel::single_port().shift_cost(&p, s.accesses()),
-            11
-        );
+        assert_eq!(CostModel::single_port().shift_cost(&p, s.accesses()), 11);
     }
 
     #[test]

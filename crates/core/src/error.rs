@@ -57,7 +57,10 @@ impl fmt::Display for PlacementError {
                 "DBC {dbc} holds {assigned} variables but has only {capacity} locations"
             ),
             PlacementError::EmptyGeometry => {
-                write!(f, "placement problem needs at least one DBC and one location")
+                write!(
+                    f,
+                    "placement problem needs at least one DBC and one location"
+                )
             }
         }
     }
@@ -77,7 +80,9 @@ mod tests {
             capacity: 4,
         };
         assert!(e.to_string().contains("10 variables"));
-        assert!(PlacementError::EmptyGeometry.to_string().contains("at least one"));
+        assert!(PlacementError::EmptyGeometry
+            .to_string()
+            .contains("at least one"));
     }
 
     #[test]

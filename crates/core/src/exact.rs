@@ -126,7 +126,15 @@ fn search(
         for pos in 0..=current[d].len() {
             current[d].insert(pos, v);
             search(
-                seq, vars, i + 1, dbcs, capacity, cost, current, best, best_cost,
+                seq,
+                vars,
+                i + 1,
+                dbcs,
+                capacity,
+                cost,
+                current,
+                best,
+                best_cost,
             );
             current[d].remove(pos);
         }
@@ -235,8 +243,7 @@ mod tests {
     fn paper_example_lower_bound() {
         // The Fig. 3 example has 9 variables — still feasible. The paper's
         // DMA layout costs 11; the true optimum can only be lower.
-        let seq =
-            AccessSequence::parse("a b a b c a c a d d a i e f e f g e g h g i h i").unwrap();
+        let seq = AccessSequence::parse("a b a b c a c a d d a i e f e f g e g h g i h i").unwrap();
         let (_, optimal) = solve(&seq, 2, 9, CostModel::single_port()).unwrap();
         assert!(optimal <= 11, "optimum {optimal} must be <= DMA's 11");
         assert!(optimal >= 5, "sanity: {optimal} suspiciously low");

@@ -241,8 +241,13 @@ impl GeneticPlacer {
                 let a = tournament(&population, self.config.tournament, &mut rng);
                 if rng.gen_bool(self.config.crossover_rate) {
                     let b = tournament(&population, self.config.tournament, &mut rng);
-                    let (mut c1, mut c2) =
-                        crossover(&population[a].dbcs, &population[b].dbcs, &vars, capacity, &mut rng);
+                    let (mut c1, mut c2) = crossover(
+                        &population[a].dbcs,
+                        &population[b].dbcs,
+                        &vars,
+                        capacity,
+                        &mut rng,
+                    );
                     if rng.gen_bool(self.config.mutation_rate) {
                         mutate(&mut c1, capacity, &mut rng);
                     }
@@ -250,10 +255,16 @@ impl GeneticPlacer {
                         mutate(&mut c2, capacity, &mut rng);
                     }
                     let cost1 = evaluate(&c1, &mut evaluations);
-                    offspring.push(Individual { dbcs: c1, cost: cost1 });
+                    offspring.push(Individual {
+                        dbcs: c1,
+                        cost: cost1,
+                    });
                     if offspring.len() < self.config.lambda {
                         let cost2 = evaluate(&c2, &mut evaluations);
-                        offspring.push(Individual { dbcs: c2, cost: cost2 });
+                        offspring.push(Individual {
+                            dbcs: c2,
+                            cost: cost2,
+                        });
                     }
                 } else {
                     let mut c = population[a].dbcs.clone();

@@ -216,10 +216,7 @@ impl Dma {
         // fills 0..K with V_dj only.
         Ok(dist
             .iter()
-            .take_while(|l| {
-                l.first()
-                    .is_some_and(|v| part.disjoint.contains(v))
-            })
+            .take_while(|l| l.first().is_some_and(|v| part.disjoint.contains(v)))
             .count())
     }
 }
@@ -260,8 +257,8 @@ mod tests {
         let p = Placement::from_dbc_lists(dist);
         let costs = CostModel::single_port().per_dbc_costs(&p, s.accesses());
         assert_eq!(costs[0], 4); // disjoint DBC, Fig. 3(d)
-        // total is at most the paper's 11 (paper used layout a,f,g,i = 7;
-        // AFD order here gives a different but comparable cost).
+                                 // total is at most the paper's 11 (paper used layout a,f,g,i = 7;
+                                 // AFD order here gives a different but comparable cost).
         let total: u64 = costs.iter().sum();
         assert!(total <= 11, "DMA total {total} should be <= paper's 11");
     }

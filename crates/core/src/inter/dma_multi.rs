@@ -97,11 +97,7 @@ impl InterHeuristic for DmaMulti {
         // they absorb — dedicating too many DBCs to (cheap) chains starves
         // the leftover variables of spread and inflates their arrangement
         // distances.
-        let chain_freq: u64 = chains
-            .iter()
-            .flatten()
-            .map(|&v| live.frequency(v))
-            .sum();
+        let chain_freq: u64 = chains.iter().flatten().map(|&v| live.frequency(v)).sum();
         let total_freq: u64 = seq.len() as u64;
         let share = chain_freq as f64 / total_freq.max(1) as f64;
         let chain_dbcs = if leftover.is_empty() {
@@ -112,9 +108,8 @@ impl InterHeuristic for DmaMulti {
         };
 
         // First-fit-decreasing by summed access frequency.
-        chains.sort_by_key(|c| {
-            std::cmp::Reverse(c.iter().map(|&v| live.frequency(v)).sum::<u64>())
-        });
+        chains
+            .sort_by_key(|c| std::cmp::Reverse(c.iter().map(|&v| live.frequency(v)).sum::<u64>()));
         let mut chain_bins: Vec<Vec<Vec<VarId>>> = vec![Vec::new(); chain_dbcs.max(1)];
         let mut bin_fill = vec![0usize; chain_dbcs.max(1)];
         for chain in chains {

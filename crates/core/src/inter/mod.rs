@@ -43,11 +43,7 @@ pub trait InterHeuristic {
 }
 
 /// Checks the basic fit `vars ≤ dbcs × capacity` shared by all heuristics.
-pub(crate) fn check_fit(
-    vars: usize,
-    dbcs: usize,
-    capacity: usize,
-) -> Result<(), PlacementError> {
+pub(crate) fn check_fit(vars: usize, dbcs: usize, capacity: usize) -> Result<(), PlacementError> {
     if dbcs == 0 || capacity == 0 {
         return Err(PlacementError::EmptyGeometry);
     }

@@ -87,11 +87,7 @@ mod tests {
     fn result_includes_unaccessed() {
         let (s, _) = trace("a b a");
         let extra = VarId::from_index(9);
-        let vars = vec![
-            s.vars().id("a").unwrap(),
-            s.vars().id("b").unwrap(),
-            extra,
-        ];
+        let vars = vec![s.vars().id("a").unwrap(), s.vars().id("b").unwrap(), extra];
         let order = Chen.order(&vars, s.accesses());
         assert_eq!(order.len(), 3);
         assert!(order.contains(&extra));

@@ -1,11 +1,10 @@
 use crate::error::PlacementError;
 use rtm_trace::{AccessSequence, VarId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Location of a variable inside an RTM subarray: which DBC and at which
 /// offset (domain index) along the track.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Location {
     /// DBC index, `0 ≤ dbc < q`.
     pub dbc: usize,
@@ -40,7 +39,7 @@ impl fmt::Display for Location {
 /// assert_eq!(p.location(v(2)).unwrap().offset, 1);
 /// assert_eq!(p.dbc_count(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Placement {
     dbcs: Vec<Vec<VarId>>,
     /// Lazily sized lookup table: var index -> location.

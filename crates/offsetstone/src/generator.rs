@@ -230,9 +230,9 @@ impl TraceGenerator {
                 let k = c.working_set.max(1);
 
                 let emit = |v: VarId,
-                                rng: &mut ChaCha8Rng,
-                                b: &mut SequenceBuilder,
-                                phase_emitted: &mut usize| {
+                            rng: &mut ChaCha8Rng,
+                            b: &mut SequenceBuilder,
+                            phase_emitted: &mut usize| {
                     if *phase_emitted < phase_budget {
                         let kk = kind(rng);
                         b.access(v, kk);
@@ -388,9 +388,7 @@ mod tests {
 
     #[test]
     fn phase_structure_adds_disjointness() {
-        let phased = GeneratorConfig::new(240, 2000)
-            .with_phases(6)
-            .generate(7);
+        let phased = GeneratorConfig::new(240, 2000).with_phases(6).generate(7);
         let flat = GeneratorConfig::new(240, 2000).with_phases(1).generate(7);
         let dp = phased.stats().disjoint_pair_fraction;
         let df = flat.stats().disjoint_pair_fraction;

@@ -115,37 +115,99 @@ pub fn suite() -> Vec<Benchmark> {
         f64,
         f64,
     )] = &[
-        ("8051", Control, 330, 1180, 4, 0.9, 0.10, 3, 5, 0.32, 0.35, 0.60, 0.45),
-        ("adpcm", MediaDsp, 165, 920, 3, 0.8, 0.09, 4, 4, 0.28, 0.50, 0.45, 0.15),
-        ("anagram", Control, 180, 640, 3, 1.0, 0.10, 2, 4, 0.30, 0.35, 0.60, 0.45),
-        ("anthr", Control, 415, 1480, 5, 0.9, 0.09, 3, 5, 0.31, 0.35, 0.60, 0.45),
-        ("bdd", Scientific, 500, 2260, 5, 1.1, 0.08, 3, 6, 0.26, 0.40, 0.50, 0.30),
-        ("bison", Control, 770, 2750, 6, 1.0, 0.07, 2, 6, 0.29, 0.35, 0.60, 0.45),
-        ("cavity", MediaDsp, 240, 1340, 4, 0.8, 0.08, 4, 4, 0.33, 0.50, 0.45, 0.15),
-        ("cc65", Control, 875, 3120, 7, 1.0, 0.06, 2, 6, 0.30, 0.35, 0.60, 0.45),
-        ("codecs", MediaDsp, 310, 1710, 5, 0.9, 0.08, 4, 5, 0.34, 0.50, 0.45, 0.15),
-        ("cpp", Control, 680, 2430, 6, 1.1, 0.07, 2, 6, 0.28, 0.35, 0.60, 0.45),
-        ("dct", MediaDsp, 190, 1060, 3, 0.7, 0.07, 5, 4, 0.36, 0.55, 0.40, 0.15),
-        ("dspstone", MediaDsp, 220, 1230, 4, 0.8, 0.08, 4, 4, 0.35, 0.55, 0.40, 0.15),
-        ("eqntott", Control, 390, 1390, 4, 1.0, 0.09, 3, 5, 0.27, 0.35, 0.60, 0.45),
-        ("f2c", Control, 920, 3280, 7, 1.0, 0.06, 2, 6, 0.29, 0.35, 0.60, 0.45),
-        ("fft", MediaDsp, 205, 1130, 4, 0.7, 0.07, 5, 4, 0.34, 0.55, 0.40, 0.15),
-        ("flex", Control, 810, 2890, 6, 1.0, 0.06, 2, 6, 0.28, 0.35, 0.60, 0.45),
-        ("fuzzy", Scientific, 230, 1030, 4, 0.9, 0.09, 3, 5, 0.30, 0.40, 0.50, 0.30),
-        ("gif2asc", MediaDsp, 155, 870, 3, 0.8, 0.08, 4, 4, 0.33, 0.50, 0.45, 0.15),
-        ("gsm", MediaDsp, 355, 1960, 5, 0.8, 0.07, 4, 5, 0.34, 0.50, 0.45, 0.15),
-        ("gzip", Control, 720, 2580, 6, 1.1, 0.07, 3, 5, 0.30, 0.35, 0.60, 0.45),
-        ("h263", MediaDsp, 420, 2340, 6, 0.9, 0.07, 4, 5, 0.35, 0.50, 0.45, 0.15),
-        ("hmm", Scientific, 280, 1280, 4, 1.0, 0.08, 3, 5, 0.29, 0.40, 0.50, 0.30),
-        ("jpeg", MediaDsp, 490, 2710, 6, 0.9, 0.07, 4, 5, 0.34, 0.50, 0.45, 0.15),
-        ("klt", MediaDsp, 210, 1170, 4, 0.8, 0.08, 4, 4, 0.33, 0.50, 0.45, 0.15),
-        ("lpsolve", Scientific, 545, 2470, 5, 1.1, 0.07, 3, 6, 0.27, 0.40, 0.50, 0.30),
-        ("motion", MediaDsp, 175, 980, 3, 0.8, 0.08, 4, 4, 0.35, 0.50, 0.45, 0.15),
-        ("mp3", MediaDsp, 455, 2520, 6, 0.9, 0.07, 4, 5, 0.34, 0.50, 0.45, 0.15),
-        ("mpeg2", MediaDsp, 1336, 3640, 8, 0.9, 0.05, 4, 6, 0.34, 0.50, 0.45, 0.15),
-        ("sparse", Scientific, 345, 1560, 4, 1.2, 0.08, 3, 6, 0.26, 0.40, 0.50, 0.30),
-        ("triangle", Scientific, 180, 820, 3, 0.9, 0.09, 3, 4, 0.30, 0.40, 0.50, 0.30),
-        ("viterbi", MediaDsp, 195, 1090, 4, 0.7, 0.07, 5, 4, 0.33, 0.55, 0.40, 0.15),
+        (
+            "8051", Control, 330, 1180, 4, 0.9, 0.10, 3, 5, 0.32, 0.35, 0.60, 0.45,
+        ),
+        (
+            "adpcm", MediaDsp, 165, 920, 3, 0.8, 0.09, 4, 4, 0.28, 0.50, 0.45, 0.15,
+        ),
+        (
+            "anagram", Control, 180, 640, 3, 1.0, 0.10, 2, 4, 0.30, 0.35, 0.60, 0.45,
+        ),
+        (
+            "anthr", Control, 415, 1480, 5, 0.9, 0.09, 3, 5, 0.31, 0.35, 0.60, 0.45,
+        ),
+        (
+            "bdd", Scientific, 500, 2260, 5, 1.1, 0.08, 3, 6, 0.26, 0.40, 0.50, 0.30,
+        ),
+        (
+            "bison", Control, 770, 2750, 6, 1.0, 0.07, 2, 6, 0.29, 0.35, 0.60, 0.45,
+        ),
+        (
+            "cavity", MediaDsp, 240, 1340, 4, 0.8, 0.08, 4, 4, 0.33, 0.50, 0.45, 0.15,
+        ),
+        (
+            "cc65", Control, 875, 3120, 7, 1.0, 0.06, 2, 6, 0.30, 0.35, 0.60, 0.45,
+        ),
+        (
+            "codecs", MediaDsp, 310, 1710, 5, 0.9, 0.08, 4, 5, 0.34, 0.50, 0.45, 0.15,
+        ),
+        (
+            "cpp", Control, 680, 2430, 6, 1.1, 0.07, 2, 6, 0.28, 0.35, 0.60, 0.45,
+        ),
+        (
+            "dct", MediaDsp, 190, 1060, 3, 0.7, 0.07, 5, 4, 0.36, 0.55, 0.40, 0.15,
+        ),
+        (
+            "dspstone", MediaDsp, 220, 1230, 4, 0.8, 0.08, 4, 4, 0.35, 0.55, 0.40, 0.15,
+        ),
+        (
+            "eqntott", Control, 390, 1390, 4, 1.0, 0.09, 3, 5, 0.27, 0.35, 0.60, 0.45,
+        ),
+        (
+            "f2c", Control, 920, 3280, 7, 1.0, 0.06, 2, 6, 0.29, 0.35, 0.60, 0.45,
+        ),
+        (
+            "fft", MediaDsp, 205, 1130, 4, 0.7, 0.07, 5, 4, 0.34, 0.55, 0.40, 0.15,
+        ),
+        (
+            "flex", Control, 810, 2890, 6, 1.0, 0.06, 2, 6, 0.28, 0.35, 0.60, 0.45,
+        ),
+        (
+            "fuzzy", Scientific, 230, 1030, 4, 0.9, 0.09, 3, 5, 0.30, 0.40, 0.50, 0.30,
+        ),
+        (
+            "gif2asc", MediaDsp, 155, 870, 3, 0.8, 0.08, 4, 4, 0.33, 0.50, 0.45, 0.15,
+        ),
+        (
+            "gsm", MediaDsp, 355, 1960, 5, 0.8, 0.07, 4, 5, 0.34, 0.50, 0.45, 0.15,
+        ),
+        (
+            "gzip", Control, 720, 2580, 6, 1.1, 0.07, 3, 5, 0.30, 0.35, 0.60, 0.45,
+        ),
+        (
+            "h263", MediaDsp, 420, 2340, 6, 0.9, 0.07, 4, 5, 0.35, 0.50, 0.45, 0.15,
+        ),
+        (
+            "hmm", Scientific, 280, 1280, 4, 1.0, 0.08, 3, 5, 0.29, 0.40, 0.50, 0.30,
+        ),
+        (
+            "jpeg", MediaDsp, 490, 2710, 6, 0.9, 0.07, 4, 5, 0.34, 0.50, 0.45, 0.15,
+        ),
+        (
+            "klt", MediaDsp, 210, 1170, 4, 0.8, 0.08, 4, 4, 0.33, 0.50, 0.45, 0.15,
+        ),
+        (
+            "lpsolve", Scientific, 545, 2470, 5, 1.1, 0.07, 3, 6, 0.27, 0.40, 0.50, 0.30,
+        ),
+        (
+            "motion", MediaDsp, 175, 980, 3, 0.8, 0.08, 4, 4, 0.35, 0.50, 0.45, 0.15,
+        ),
+        (
+            "mp3", MediaDsp, 455, 2520, 6, 0.9, 0.07, 4, 5, 0.34, 0.50, 0.45, 0.15,
+        ),
+        (
+            "mpeg2", MediaDsp, 1336, 3640, 8, 0.9, 0.05, 4, 6, 0.34, 0.50, 0.45, 0.15,
+        ),
+        (
+            "sparse", Scientific, 345, 1560, 4, 1.2, 0.08, 3, 6, 0.26, 0.40, 0.50, 0.30,
+        ),
+        (
+            "triangle", Scientific, 180, 820, 3, 0.9, 0.09, 3, 4, 0.30, 0.40, 0.50, 0.30,
+        ),
+        (
+            "viterbi", MediaDsp, 195, 1090, 4, 0.7, 0.07, 5, 4, 0.33, 0.55, 0.40, 0.15,
+        ),
     ];
     table
         .iter()

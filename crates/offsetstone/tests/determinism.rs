@@ -1,0 +1,104 @@
+//! Suite-level determinism and fidelity checks for the OffsetStone
+//! substitute: same seed ⇒ identical trace, the suite carries every named
+//! benchmark of the paper's Fig. 4 (≥ 30), and per-benchmark variable
+//! counts and sequence lengths stay within the ranges the paper reports
+//! for the real OffsetStone traces (1–1336 variables, 1–3640 accesses).
+
+use rtm_offsetstone::{suite, Benchmark, GeneratorConfig};
+
+/// Paper §IV-A: OffsetStone access sequences span 1–1336 variables.
+const PAPER_MAX_VARS: usize = 1336;
+/// Paper §IV-A: OffsetStone sequence lengths span 1–3640 accesses.
+const PAPER_MAX_LEN: usize = 3640;
+
+#[test]
+fn suite_has_at_least_30_named_benchmarks() {
+    let s = suite();
+    assert!(s.len() >= 30, "suite has only {} benchmarks", s.len());
+    let mut names: Vec<&str> = s.iter().map(|b| b.name()).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), s.len(), "duplicate benchmark names");
+    assert!(names.iter().all(|n| !n.is_empty()));
+}
+
+#[test]
+fn every_benchmark_regenerates_identically() {
+    for b in suite() {
+        let first = b.trace();
+        let second = Benchmark::by_name(b.name()).unwrap().trace();
+        assert_eq!(first, second, "{} is not deterministic", b.name());
+    }
+}
+
+#[test]
+fn same_seed_same_trace_different_seed_different_trace() {
+    for b in suite() {
+        let seed = b.seed();
+        assert_eq!(
+            b.trace_with_seed(seed),
+            b.trace_with_seed(seed),
+            "{} diverges under its own seed",
+            b.name()
+        );
+        // A different seed must change the trace (the profiles are all far
+        // from degenerate single-variable workloads).
+        assert_ne!(
+            b.trace_with_seed(seed),
+            b.trace_with_seed(seed ^ 0xDEAD_BEEF),
+            "{} ignores its seed",
+            b.name()
+        );
+    }
+}
+
+#[test]
+fn per_benchmark_sizes_stay_within_paper_ranges() {
+    for b in suite() {
+        let p = b.profile();
+        assert!(
+            (1..=PAPER_MAX_VARS).contains(&p.variables),
+            "{}: {} variables outside the paper's 1..={PAPER_MAX_VARS}",
+            b.name(),
+            p.variables
+        );
+        assert!(
+            (1..=PAPER_MAX_LEN).contains(&p.length),
+            "{}: length {} outside the paper's 1..={PAPER_MAX_LEN}",
+            b.name(),
+            p.length
+        );
+        let trace = b.trace();
+        assert_eq!(trace.len(), p.length, "{}: generated length", b.name());
+        assert!(
+            trace.vars().len() <= p.variables,
+            "{}: trace uses more variables than its profile",
+            b.name()
+        );
+    }
+}
+
+#[test]
+fn secondary_sequences_are_deterministic_and_bounded() {
+    for name in ["adpcm", "gzip", "mpeg2"] {
+        let b = Benchmark::by_name(name).unwrap();
+        let a = b.sequences();
+        let c = b.sequences();
+        assert_eq!(a, c, "{name}: sequences() not deterministic");
+        assert_eq!(a.len(), b.sequence_count());
+        assert_eq!(a[0], b.trace(), "{name}: canonical trace must come first");
+        for (i, s) in a.iter().enumerate() {
+            assert!(
+                s.len() <= PAPER_MAX_LEN && s.vars().len() <= PAPER_MAX_VARS,
+                "{name}: sequence {i} outside paper ranges"
+            );
+        }
+    }
+}
+
+#[test]
+fn custom_generator_configs_are_deterministic_too() {
+    let cfg = GeneratorConfig::new(150, 700).with_phases(5).with_zipf(1.2);
+    assert_eq!(cfg.generate(77), cfg.generate(77));
+    assert_ne!(cfg.generate(77), cfg.generate(78));
+}

@@ -78,7 +78,8 @@ impl Simulator {
     /// 32 tracks.
     pub fn for_paper_config(dbcs: usize) -> Result<Self, ConfigError> {
         let geometry = RtmGeometry::paper_4kib(dbcs)?;
-        let params = table1::preset(dbcs).unwrap_or_else(|| ScalingModel::from_table1().params(dbcs));
+        let params =
+            table1::preset(dbcs).unwrap_or_else(|| ScalingModel::from_table1().params(dbcs));
         Ok(Self {
             geometry,
             params,
@@ -117,7 +118,10 @@ impl Simulator {
                 .location(v)
                 .ok_or_else(|| SimError::UnplacedVariable(seq.vars().name(v).to_owned()))?;
             if loc.dbc >= q {
-                return Err(SimError::DbcOutOfRange { dbc: loc.dbc, dbcs: q });
+                return Err(SimError::DbcOutOfRange {
+                    dbc: loc.dbc,
+                    dbcs: q,
+                });
             }
             if loc.offset >= domains {
                 return Err(SimError::OffsetOutOfRange {
@@ -231,16 +235,9 @@ mod tests {
         layout.push(y); // y at offset 32
         let p = Placement::from_dbc_lists(vec![layout]);
 
-        let single = Simulator::new(
-            RtmGeometry::new(1, 32, 64, 1).unwrap(),
-            params_for(1),
-        )
-        .unwrap();
-        let dual = Simulator::new(
-            RtmGeometry::new(1, 32, 64, 2).unwrap(),
-            params_for(1),
-        )
-        .unwrap();
+        let single =
+            Simulator::new(RtmGeometry::new(1, 32, 64, 1).unwrap(), params_for(1)).unwrap();
+        let dual = Simulator::new(RtmGeometry::new(1, 32, 64, 2).unwrap(), params_for(1)).unwrap();
         let s1 = single.run(&seq, &p).unwrap();
         let s2 = dual.run(&seq, &p).unwrap();
         assert!(s2.shifts < s1.shifts, "{} !< {}", s2.shifts, s1.shifts);

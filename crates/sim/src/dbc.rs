@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 /// Runtime state of one Domain Block Cluster: the current displacement of
 /// its (lock-stepped) nanotracks relative to their rest position, plus
 /// shift accounting.
@@ -20,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(dbc.access(4), 6);
 /// assert_eq!(dbc.total_shifts(), 6);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DbcState {
     domains: usize,
     ports: usize,

@@ -30,7 +30,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::UnplacedVariable(v) => {
-                write!(f, "trace accesses variable `{v}` missing from the placement")
+                write!(
+                    f,
+                    "trace accesses variable `{v}` missing from the placement"
+                )
             }
             SimError::DbcOutOfRange { dbc, dbcs } => {
                 write!(f, "placement references DBC {dbc} but geometry has {dbcs}")

@@ -1,11 +1,10 @@
 use rtm_arch::{EnergyBreakdown, LatencyReport, MemoryParams, Ns};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Aggregated results of one simulated trace — the quantities the paper
 /// reads back from RTSim for its Figs. 4–6: shift counts, access latency
 /// (§IV-C) and the three-way energy breakdown (Fig. 5).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimStats {
     /// Read accesses served.
     pub reads: u64,
@@ -39,13 +38,8 @@ impl SimStats {
         let shifts: u64 = per_dbc_shifts.iter().sum();
         let latency = LatencyReport::from_counts(params, reads, writes, shifts);
         let compute = compute_gap * (reads + writes) as f64;
-        let energy = EnergyBreakdown::from_counts(
-            params,
-            reads,
-            writes,
-            shifts,
-            latency.total() + compute,
-        );
+        let energy =
+            EnergyBreakdown::from_counts(params, reads, writes, shifts, latency.total() + compute);
         Self {
             reads,
             writes,

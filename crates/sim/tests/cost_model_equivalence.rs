@@ -1,0 +1,112 @@
+//! Shift-count equivalence between the trace-driven simulator and the
+//! analytic cost model — the claim made by the `rtm-sim` crate docs:
+//! "Shift counts are bit-exact with respect to the shift-cost model of
+//! `rtm-placement`". Property-tested on random traces across strategies,
+//! DBC counts, and on the realistic OffsetStone-style workloads.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rtm_arch::{table1, RtmGeometry};
+use rtm_placement::Strategy as Strat;
+use rtm_placement::{CostModel, PlacementProblem};
+use rtm_sim::Simulator;
+use rtm_trace::{AccessSequence, VarTable};
+
+fn arb_trace(
+    max_vars: usize,
+    max_len: usize,
+) -> impl proptest::strategy::Strategy<Value = AccessSequence> {
+    (1..=max_vars).prop_flat_map(move |nvars| {
+        vec(0..nvars, 1..=max_len).prop_map(move |accesses| {
+            let mut vars = VarTable::new();
+            let ids: Vec<_> = (0..nvars).map(|i| vars.intern(&format!("v{i}"))).collect();
+            let accesses = accesses.into_iter().map(|i| ids[i]).collect();
+            AccessSequence::from_ids(vars, accesses)
+        })
+    })
+}
+
+/// A simulator over `dbcs` single-port DBCs of `capacity` locations, with
+/// Table I parameters re-tagged to the requested DBC count.
+fn simulator(dbcs: usize, capacity: usize) -> Simulator {
+    let geometry = RtmGeometry::new(dbcs, 32, capacity, 1).unwrap();
+    let mut params = table1::preset(2).unwrap();
+    params.dbcs = dbcs;
+    Simulator::new(geometry, params).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Replay counts equal the analytic model for every heuristic strategy,
+    /// totals and per-DBC alike.
+    #[test]
+    fn replay_matches_cost_model_across_strategies(
+        seq in arb_trace(20, 120),
+        dbcs in 1usize..6,
+    ) {
+        let capacity = seq.vars().len().div_ceil(dbcs).max(2);
+        let problem = PlacementProblem::new(seq.clone(), dbcs, capacity);
+        let sim = simulator(dbcs, capacity);
+        for strategy in [
+            Strat::AfdNative,
+            Strat::AfdOfu,
+            Strat::DmaNative,
+            Strat::DmaOfu,
+            Strat::DmaChen,
+            Strat::DmaSr,
+        ] {
+            let sol = problem.solve(&strategy).unwrap();
+            let stats = sim.run(&seq, &sol.placement).unwrap();
+            prop_assert_eq!(stats.shifts, sol.shifts, "{} total", strategy.name());
+            prop_assert_eq!(
+                &stats.per_dbc_shifts,
+                &sol.per_dbc_shifts,
+                "{} per-DBC",
+                strategy.name()
+            );
+        }
+    }
+
+    /// The equivalence also holds against the cost model invoked directly
+    /// on an arbitrary (non-heuristic) placement.
+    #[test]
+    fn replay_matches_cost_model_on_arbitrary_placements(
+        seq in arb_trace(16, 80),
+        dbcs in 1usize..5,
+    ) {
+        let capacity = seq.vars().len().div_ceil(dbcs).max(2);
+        // OFU placement re-evaluated through both paths.
+        let sol = PlacementProblem::new(seq.clone(), dbcs, capacity)
+            .solve(&Strat::AfdOfu)
+            .unwrap();
+        let model = CostModel::single_port();
+        let analytic = model.shift_cost(&sol.placement, seq.accesses());
+        let stats = simulator(dbcs, capacity).run(&seq, &sol.placement).unwrap();
+        prop_assert_eq!(stats.shifts, analytic);
+        prop_assert_eq!(stats.per_dbc_shifts, model.per_dbc_costs(&sol.placement, seq.accesses()));
+    }
+}
+
+/// The same equivalence on the realistic suite workloads (phase structure,
+/// Zipf skew, loop bursts) — cheap smoke over a few named benchmarks.
+#[test]
+fn replay_matches_cost_model_on_offsetstone_workloads() {
+    for name in ["adpcm", "gzip", "sparse"] {
+        let seq = rtm_offsetstone::Benchmark::by_name(name)
+            .expect("in suite")
+            .trace();
+        for dbcs in [2usize, 8] {
+            let capacity = (4096 * 8 / (dbcs * 32)).max(seq.vars().len().div_ceil(dbcs));
+            let sol = PlacementProblem::new(seq.clone(), dbcs, capacity)
+                .solve(&Strat::DmaSr)
+                .unwrap();
+            let stats = simulator(dbcs, capacity).run(&seq, &sol.placement).unwrap();
+            assert_eq!(stats.shifts, sol.shifts, "{name} @ {dbcs} DBCs");
+            assert_eq!(
+                stats.per_dbc_shifts, sol.per_dbc_shifts,
+                "{name} @ {dbcs} DBCs"
+            );
+        }
+    }
+}

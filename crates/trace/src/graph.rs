@@ -1,10 +1,9 @@
 use crate::sequence::AccessSequence;
 use crate::var::VarId;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A weighted edge of an [`AccessGraph`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Edge {
     /// Endpoint with the smaller index.
     pub u: VarId,
@@ -40,7 +39,7 @@ pub struct Edge {
 /// assert_eq!(g.self_loops(a), 1); // "a a"
 /// # Ok::<(), rtm_trace::ParseTraceError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AccessGraph {
     n: usize,
     /// Adjacency map per vertex: neighbor -> weight.

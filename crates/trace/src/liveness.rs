@@ -1,10 +1,9 @@
 use crate::sequence::AccessSequence;
 use crate::var::VarId;
-use serde::{Deserialize, Serialize};
 
 /// Per-variable liveness record: the quantities lines 1–4 of the paper's
 /// Algorithm 1 compute for every variable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VarLiveness {
     /// Access frequency `A_v` — how often `v` occurs in `S`.
     pub frequency: u64,
@@ -39,7 +38,7 @@ impl VarLiveness {
 /// assert!(live.disjoint(b, c)); // the paper's example: b and c are disjoint
 /// # Ok::<(), rtm_trace::ParseTraceError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Liveness {
     records: Vec<VarLiveness>,
 }

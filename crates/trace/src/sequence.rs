@@ -3,7 +3,6 @@ use crate::graph::AccessGraph;
 use crate::liveness::Liveness;
 use crate::stats::TraceStats;
 use crate::var::{VarId, VarTable};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Whether an access reads or writes the variable.
@@ -11,7 +10,7 @@ use std::fmt;
 /// The placement algorithms of the paper are agnostic to the access kind (a
 /// shift is a shift), but the energy/latency model of `rtm-sim` charges reads
 /// and writes differently (Table I), so traces carry the distinction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum AccessKind {
     /// Read access (the default when a trace does not say).
     #[default]
@@ -46,7 +45,7 @@ impl fmt::Display for AccessKind {
 /// assert_eq!(seq.vars().len(), 3);
 /// # Ok::<(), rtm_trace::ParseTraceError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AccessSequence {
     vars: VarTable,
     accesses: Vec<VarId>,

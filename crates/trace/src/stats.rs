@@ -1,12 +1,11 @@
 use crate::sequence::AccessSequence;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Summary statistics of a trace, as reported for the OffsetStone suite in
 /// §IV-A of the paper ("Benchmarks vary in terms of … number of program
 /// variables per sequence (1 to 1336) and the length of access sequences
 /// (1 to 3640)").
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceStats {
     /// Number of distinct variables accessed.
     pub variables: usize,
@@ -38,20 +37,25 @@ impl TraceStats {
         let accessed: Vec<_> = live.by_first_occurrence();
         let n = accessed.len();
         let length = seq.len();
-        let self_transitions = accessed
-            .iter()
-            .map(|&v| graph.self_loops(v) as usize)
-            .sum();
+        let self_transitions = accessed.iter().map(|&v| graph.self_loops(v) as usize).sum();
         let mean_frequency = if n == 0 {
             0.0
         } else {
             length as f64 / n as f64
         };
-        let max_frequency = accessed.iter().map(|&v| live.frequency(v)).max().unwrap_or(0);
+        let max_frequency = accessed
+            .iter()
+            .map(|&v| live.frequency(v))
+            .max()
+            .unwrap_or(0);
         let mean_lifespan = if n == 0 {
             0.0
         } else {
-            accessed.iter().map(|&v| live.lifespan(v) as f64).sum::<f64>() / n as f64
+            accessed
+                .iter()
+                .map(|&v| live.lifespan(v) as f64)
+                .sum::<f64>()
+                / n as f64
         };
         let mut disjoint_pairs = 0usize;
         let mut total_pairs = 0usize;
@@ -127,8 +131,7 @@ mod tests {
 
     #[test]
     fn paper_example_stats() {
-        let s =
-            AccessSequence::parse("a b a b c a c a d d a i e f e f g e g h g i h i").unwrap();
+        let s = AccessSequence::parse("a b a b c a c a d d a i e f e f g e g h g i h i").unwrap();
         let st = s.stats();
         assert_eq!(st.variables, 9);
         assert_eq!(st.length, 24);

@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -17,7 +16,7 @@ use std::fmt;
 /// assert_eq!(vars.intern("a"), a); // interning is idempotent
 /// assert_eq!(vars.name(a), "a");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VarId(pub(crate) u32);
 
 impl VarId {
@@ -45,10 +44,9 @@ impl fmt::Display for VarId {
 ///
 /// The placement problem of the paper is defined over a variable set
 /// `V = {v_1, …, v_n}`; this table owns that set.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct VarTable {
     names: Vec<String>,
-    #[serde(skip)]
     index: HashMap<String, VarId>,
 }
 

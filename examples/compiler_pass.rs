@@ -57,8 +57,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .collect::<Vec<_>>()
             .join(", ")
     };
-    println!("\ndisjoint variables (kept in access order): {}", names(&part.disjoint));
-    println!("non-disjoint variables (AFD + ShiftsReduce): {}", names(&part.non_disjoint));
+    println!(
+        "\ndisjoint variables (kept in access order): {}",
+        names(&part.disjoint)
+    );
+    println!(
+        "non-disjoint variables (AFD + ShiftsReduce): {}",
+        names(&part.non_disjoint)
+    );
 
     // The pass proper: 4-DBC scratchpad, 64 locations each.
     let problem = PlacementProblem::new(seq.clone(), 4, 64);

@@ -84,10 +84,12 @@ proptest! {
 
 #[test]
 fn oracle_on_the_paper_example_beats_or_meets_dma() {
-    let seq =
-        AccessSequence::parse("a b a b c a c a d d a i e f e f g e g h g i h i").unwrap();
+    let seq = AccessSequence::parse("a b a b c a c a d d a i e f e f g e g h g i h i").unwrap();
     let (p, optimal) = exact::solve(&seq, 2, 9, CostModel::single_port()).unwrap();
-    assert!(optimal <= 11, "paper's DMA layout costs 11; optimum {optimal}");
+    assert!(
+        optimal <= 11,
+        "paper's DMA layout costs 11; optimum {optimal}"
+    );
     let placement = p.into_placement();
     placement.validate(&seq, 9).unwrap();
     // Record the optimum so regressions are visible: the exact value found

@@ -4,7 +4,9 @@
 
 use rtm::placement::inter::{Afd, Dma, InterHeuristic};
 use rtm::trace::AccessKind;
-use rtm::{AccessSequence, CostModel, Placement, PlacementProblem, SequenceBuilder, Simulator, Strategy};
+use rtm::{
+    AccessSequence, CostModel, Placement, PlacementProblem, SequenceBuilder, Simulator, Strategy,
+};
 
 /// Fig. 3(b): the 24-access sequence, reconstructed position by position
 /// from the F/L/A table of Fig. 3(e).
@@ -67,16 +69,21 @@ fn fig3d_dma_selects_bcdeh_and_costs_11() {
     // Sum of access frequencies = 11, as the paper states.
     let live = seq.liveness();
     assert_eq!(
-        part.disjoint.iter().map(|&v| live.frequency(v)).sum::<u64>(),
+        part.disjoint
+            .iter()
+            .map(|&v| live.frequency(v))
+            .sum::<u64>(),
         11
     );
 
     // The exact Fig. 3(d) layout: DBC0 = b c d e h (access order),
     // DBC1 = a f g i.
-    let ids = |ns: &[&str]| -> Vec<rtm::VarId> {
-        ns.iter().map(|n| seq.vars().id(n).unwrap()).collect()
-    };
-    let p = Placement::from_dbc_lists(vec![ids(&["b", "c", "d", "e", "h"]), ids(&["a", "f", "g", "i"])]);
+    let ids =
+        |ns: &[&str]| -> Vec<rtm::VarId> { ns.iter().map(|n| seq.vars().id(n).unwrap()).collect() };
+    let p = Placement::from_dbc_lists(vec![
+        ids(&["b", "c", "d", "e", "h"]),
+        ids(&["a", "f", "g", "i"]),
+    ]);
     let costs = CostModel::single_port().per_dbc_costs(&p, seq.accesses());
     assert_eq!(costs, vec![4, 7], "Fig. 3(d) per-DBC shifts");
     assert_eq!(costs.iter().sum::<u64>(), 11);

@@ -12,7 +12,10 @@ use rtm::{
 
 /// Strategy: a random trace over up to `max_vars` variables with length in
 /// `1..=max_len`.
-fn arb_trace(max_vars: usize, max_len: usize) -> impl proptest::strategy::Strategy<Value = AccessSequence> {
+fn arb_trace(
+    max_vars: usize,
+    max_len: usize,
+) -> impl proptest::strategy::Strategy<Value = AccessSequence> {
     (1..=max_vars).prop_flat_map(move |nvars| {
         vec(0..nvars, 1..=max_len).prop_map(move |accesses| {
             let mut vars = VarTable::new();

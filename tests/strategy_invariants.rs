@@ -26,9 +26,9 @@ fn all_heuristics_are_valid_on_the_whole_suite() {
                 let sol = problem.solve(&strategy).unwrap_or_else(|e| {
                     panic!("{} on {} @ {dbcs} DBCs: {e}", strategy.name(), bench.name())
                 });
-                sol.placement
-                    .validate(&seq, capacity)
-                    .unwrap_or_else(|e| panic!("{} invalid on {}: {e}", strategy.name(), bench.name()));
+                sol.placement.validate(&seq, capacity).unwrap_or_else(|e| {
+                    panic!("{} invalid on {}: {e}", strategy.name(), bench.name())
+                });
             }
         }
     }
@@ -57,7 +57,9 @@ fn quality_ordering_holds_in_aggregate() {
     // The paper's Fig. 4 ordering, summed over a sample of the suite:
     // DMA-SR <= DMA-Chen (approx) <= DMA-OFU < AFD-OFU.
     let mut totals = [0u64; 4]; // afd_ofu, dma_ofu, dma_chen, dma_sr
-    for name in ["adpcm", "gzip", "bison", "fft", "sparse", "h263", "cc65", "triangle"] {
+    for name in [
+        "adpcm", "gzip", "bison", "fft", "sparse", "h263", "cc65", "triangle",
+    ] {
         let seq = rtm::Benchmark::by_name(name).unwrap().trace();
         let dbcs = 4;
         let problem =
@@ -69,9 +71,15 @@ fn quality_ordering_holds_in_aggregate() {
     }
     let [afd, dma_ofu, dma_chen, dma_sr] = totals;
     assert!(dma_ofu < afd, "DMA-OFU {dma_ofu} !< AFD-OFU {afd}");
-    assert!(dma_chen < dma_ofu, "DMA-Chen {dma_chen} !< DMA-OFU {dma_ofu}");
+    assert!(
+        dma_chen < dma_ofu,
+        "DMA-Chen {dma_chen} !< DMA-OFU {dma_ofu}"
+    );
     assert!(dma_sr < dma_ofu, "DMA-SR {dma_sr} !< DMA-OFU {dma_ofu}");
-    assert!(dma_sr <= dma_chen, "DMA-SR {dma_sr} !<= DMA-Chen {dma_chen}");
+    assert!(
+        dma_sr <= dma_chen,
+        "DMA-SR {dma_sr} !<= DMA-Chen {dma_chen}"
+    );
 }
 
 #[test]

@@ -1,0 +1,298 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of criterion its benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`], `Bencher::iter`,
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — a fixed warm-up followed by timed
+//! batches, reporting the best batch mean — with none of upstream's
+//! statistical machinery (no outlier analysis, no HTML reports). That is
+//! enough to compare orders of magnitude and to keep `cargo bench` and the
+//! bench targets compiling and runnable offline.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        report(&name.into(), run_samples(sample_size, &mut f), None);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing sample-size and throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares the work per iteration, enabling rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` with a fixed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        let mean = run_samples(self.sample_size, &mut |b| f(b, input));
+        report(&label, mean, self.throughput.as_ref());
+        self
+    }
+
+    /// Benchmarks `f` under a plain name.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        let mean = run_samples(self.sample_size, &mut f);
+        report(&label, mean, self.throughput.as_ref());
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Conversion into a [`BenchmarkId`], mirroring upstream's blanket
+/// acceptance of string names.
+pub trait IntoBenchmarkId {
+    /// Converts self into an id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_owned())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Debug, Clone)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing harness passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// `(elapsed, iterations)` per sample — iteration counts can differ
+    /// between samples because each one re-calibrates.
+    samples: Vec<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Calibrate: find an iteration count that takes >= ~1ms, capped so
+        // slow benchmarks still finish quickly.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                self.samples.push((elapsed, iters));
+                return;
+            }
+            iters *= 2;
+        }
+    }
+
+    fn mean(&self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        // Mean of per-sample per-iteration times, so samples that settled
+        // on different calibrated iteration counts weigh equally.
+        let per_iter_secs: f64 = self
+            .samples
+            .iter()
+            .map(|(elapsed, iters)| elapsed.as_secs_f64() / (*iters).max(1) as f64)
+            .sum::<f64>()
+            / self.samples.len() as f64;
+        Some(Duration::from_secs_f64(per_iter_secs))
+    }
+}
+
+fn run_samples(sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) -> Option<Duration> {
+    let mut bencher = Bencher::default();
+    // Warm-up sample (discarded).
+    f(&mut bencher);
+    bencher.samples.clear();
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+    bencher.mean()
+}
+
+fn report(label: &str, mean: Option<Duration>, throughput: Option<&Throughput>) {
+    let Some(mean) = mean else {
+        println!("{label:<50} (no samples)");
+        return;
+    };
+    let rate = throughput.map(|t| {
+        let per_sec = |n: u64| n as f64 / mean.as_secs_f64();
+        match t {
+            Throughput::Elements(n) => format!("  {:>12.0} elem/s", per_sec(*n)),
+            Throughput::Bytes(n) => format!("  {:>12.0} B/s", per_sec(*n)),
+        }
+    });
+    println!(
+        "{label:<50} {:>12.3?} /iter{}",
+        mean,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Declares a benchmark-group function, mirroring upstream
+/// `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($target:path),+ $(,)?) => {
+        pub fn $group_name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups, mirroring upstream
+/// `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_closures() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(2);
+            group.throughput(Throughput::Elements(10));
+            group.bench_with_input(BenchmarkId::new("f", 1), &3u64, |b, &x| {
+                b.iter(|| x + 1);
+            });
+            group.bench_function("plain", |b| {
+                runs += 1;
+                b.iter(|| 2 + 2);
+            });
+            group.finish();
+        }
+        assert!(runs >= 1);
+    }
+
+    #[test]
+    fn ids_format_like_upstream() {
+        assert_eq!(BenchmarkId::new("f", 32).0, "f/32");
+        assert_eq!(BenchmarkId::from_parameter(8).0, "8");
+    }
+
+    criterion_group!(smoke, smoke_target);
+
+    fn smoke_target(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| ()));
+    }
+
+    #[test]
+    fn group_macro_expands() {
+        smoke();
+    }
+}

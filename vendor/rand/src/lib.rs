@@ -1,0 +1,348 @@
+//! Offline, API-compatible subset of the `rand` crate (v0.8 surface).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of `rand` it actually uses: the [`Rng`] /
+//! [`RngCore`] / [`SeedableRng`] traits, uniform range sampling for the
+//! unsigned integer types, [`seq::SliceRandom::shuffle`], and
+//! [`distributions::WeightedIndex`]. Stream values are **not**
+//! bit-compatible with upstream `rand`; every consumer in this workspace
+//! only relies on determinism-per-seed, which this implementation
+//! guarantees (no global state, no entropy sources).
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level uniform word generation, mirroring `rand_core::RngCore`.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// High-level sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range` (which must be non-empty).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        gen_unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+fn gen_unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A range that [`Rng::gen_range`] can sample from, mirroring
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased sample from `[0, bound)` by rejection (Lemire-style widening
+/// multiply is overkill here; the rejection loop terminates with
+/// overwhelming probability).
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    assert!(bound > 0, "cannot sample from an empty range");
+    let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % bound;
+        }
+    }
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from an empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + uniform_below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+/// Seedable deterministic generators, mirroring `rand_core::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The fixed-size seed.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via SplitMix64 and seeds the
+    /// generator with it. (Upstream `rand_core` uses a different
+    /// expansion — seed bytes, like stream values, are not bit-compatible
+    /// with the real crate.)
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = (z as u32).to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod distributions {
+    //! The distribution subset: [`Distribution`] and [`WeightedIndex`].
+
+    use super::{gen_unit_f64, RngCore};
+
+    /// A type that can sample values of `T`, mirroring
+    /// `rand::distributions::Distribution`.
+    pub trait Distribution<T> {
+        /// Samples one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Error constructing a [`WeightedIndex`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum WeightedError {
+        /// The weight iterator was empty.
+        NoItem,
+        /// A weight was negative, NaN, or infinite.
+        InvalidWeight,
+        /// All weights were zero.
+        AllWeightsZero,
+    }
+
+    impl std::fmt::Display for WeightedError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                WeightedError::NoItem => write!(f, "no weights provided"),
+                WeightedError::InvalidWeight => write!(f, "a weight is invalid"),
+                WeightedError::AllWeightsZero => write!(f, "all weights are zero"),
+            }
+        }
+    }
+
+    impl std::error::Error for WeightedError {}
+
+    /// Samples indices `0..n` proportionally to a weight vector, mirroring
+    /// `rand::distributions::WeightedIndex<f64>`.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct WeightedIndex {
+        cumulative: Vec<f64>,
+        total: f64,
+    }
+
+    impl WeightedIndex {
+        /// Builds the sampler from non-negative finite weights.
+        pub fn new<'a, I>(weights: I) -> Result<Self, WeightedError>
+        where
+            I: IntoIterator<Item = &'a f64>,
+        {
+            let mut cumulative = Vec::new();
+            let mut total = 0.0f64;
+            for &w in weights {
+                if !w.is_finite() || w < 0.0 {
+                    return Err(WeightedError::InvalidWeight);
+                }
+                total += w;
+                cumulative.push(total);
+            }
+            if cumulative.is_empty() {
+                return Err(WeightedError::NoItem);
+            }
+            if total <= 0.0 {
+                return Err(WeightedError::AllWeightsZero);
+            }
+            Ok(Self { cumulative, total })
+        }
+    }
+
+    impl Distribution<usize> for WeightedIndex {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            let x = gen_unit_f64(rng) * self.total;
+            // partition_point: first index whose cumulative weight exceeds x.
+            self.cumulative
+                .partition_point(|&c| c <= x)
+                .min(self.cumulative.len() - 1)
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence helpers: [`SliceRandom`].
+
+    use super::{Rng, SampleRange};
+
+    /// Slice shuffling, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+        /// Returns one random element, or `None` if empty.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (0..=i).sample_single(rng);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[(0..self.len()).sample_single(rng)])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, WeightedIndex};
+    use super::*;
+
+    /// A tiny counter rng for deterministic trait-level tests.
+    struct StepRng(u64);
+    impl RngCore for StepRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StepRng(1);
+        for _ in 0..1000 {
+            let a: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&a));
+            let b: u32 = rng.gen_range(0..23u32);
+            assert!(b < 23);
+            let c: usize = rng.gen_range(5..=5);
+            assert_eq!(c, 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StepRng(7);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn weighted_index_respects_zero_weights() {
+        let w = vec![0.0, 1.0, 0.0];
+        let d = WeightedIndex::new(&w).unwrap();
+        let mut rng = StepRng(3);
+        for _ in 0..200 {
+            assert_eq!(d.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn weighted_index_rejects_bad_input() {
+        assert!(WeightedIndex::new(&[]).is_err());
+        assert!(WeightedIndex::new(&[0.0, 0.0]).is_err());
+        assert!(WeightedIndex::new(&[-1.0, 2.0]).is_err());
+        assert!(WeightedIndex::new(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn weighted_index_skews_toward_heavy_weights() {
+        let w = vec![8.0, 1.0, 1.0];
+        let d = WeightedIndex::new(&w).unwrap();
+        let mut rng = StepRng(5);
+        let mut counts = [0usize; 3];
+        for _ in 0..5000 {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[1] + counts[2]);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        use super::seq::SliceRandom;
+        let mut v: Vec<u32> = (0..50).collect();
+        let mut rng = StepRng(9);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}
