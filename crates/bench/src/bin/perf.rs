@@ -1,0 +1,7 @@
+//! Throughput of the placement search stack; writes `BENCH_perf.json`.
+//! See `DESIGN.md` §4 and §7.
+
+fn main() -> std::io::Result<()> {
+    let opts = rtm_bench::ExperimentOpts::from_args();
+    rtm_bench::experiments::perf::run(&opts).emit(&opts)
+}

@@ -6,6 +6,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod ga_convergence;
 pub mod latency;
+pub mod perf;
 pub mod ports;
 pub mod table1;
 

@@ -11,6 +11,7 @@
 //! | `fig6` | Fig. 6 — DBC-count trade-off for DMA-SR |
 //! | `latency` | §IV-C — latency improvement over AFD-OFU |
 //! | `ga_convergence` | §IV-B — long-GA optimality-gap study |
+//! | `perf` | search-stack throughput, written to `BENCH_perf.json` |
 //!
 //! All binaries accept `--quick` (reduced GA/RW budgets), `--dbcs 2,4,8,16`,
 //! `--seed N`, `--benchmarks a,b,c` and write CSV next to the printed table

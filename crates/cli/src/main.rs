@@ -1,8 +1,8 @@
 //! `rtm` — command-line front end for racetrack-memory data placement.
 //!
 //! ```text
-//! rtm place    --trace FILE [--dbcs N] [--capacity N] [--strategy NAME]
-//! rtm simulate --trace FILE [--dbcs N] [--strategy NAME]
+//! rtm place    --trace FILE [--dbcs N] [--capacity N] [--strategy NAME] [--threads N]
+//! rtm simulate --trace FILE [--dbcs N] [--strategy NAME] [--threads N]
 //! rtm stats    --trace FILE
 //! rtm suite    [--benchmark NAME]
 //! rtm strategies
@@ -59,8 +59,8 @@ fn main() -> ExitCode {
 const USAGE: &str = "rtm — racetrack-memory data placement
 
 USAGE:
-    rtm place     --trace FILE [--dbcs N] [--capacity N] [--strategy NAME]
-    rtm simulate  --trace FILE [--dbcs N] [--strategy NAME]
+    rtm place     --trace FILE [--dbcs N] [--capacity N] [--strategy NAME] [--threads N]
+    rtm simulate  --trace FILE [--dbcs N] [--strategy NAME] [--threads N]
     rtm stats     --trace FILE
     rtm suite     [--benchmark NAME]
     rtm strategies
@@ -71,6 +71,8 @@ OPTIONS:
     --capacity N      locations per DBC (default: fit the 4 KiB subarray)
     --strategy NAME   afd-ofu | dma-ofu | dma-chen | dma-sr | dma-multi-sr |
                       ga | rw  (default dma-sr)
+    --threads N       fitness-engine workers for ga/rw (default: all cores;
+                      results are identical for any value)
     --benchmark NAME  one benchmark of the OffsetStone-style suite";
 
 /// Reads the trace named by `--trace` (stdin for `-`).
@@ -113,8 +115,9 @@ fn build_problem(
     }
     let default_cap = (4096 * 8 / (dbcs * 32)).max(seq.vars().len().div_ceil(dbcs));
     let capacity: usize = args.get_parsed("capacity")?.unwrap_or(default_cap);
+    let threads: usize = args.get_parsed("threads")?.unwrap_or(0);
     Ok((
-        PlacementProblem::new(seq.clone(), dbcs, capacity),
+        PlacementProblem::new(seq.clone(), dbcs, capacity).with_threads(threads),
         dbcs,
         capacity,
     ))

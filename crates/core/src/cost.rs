@@ -135,7 +135,23 @@ impl CostModel {
 
     /// Cost of one access given the DBC's current displacement; returns
     /// `(shifts, new_displacement)`.
-    fn access_cost(&self, disp: Option<i64>, offset: usize) -> (u64, i64) {
+    ///
+    /// This is the innermost operation of every fitness evaluation in the
+    /// workspace (`pub(crate)` so the fitness engine can drive it directly
+    /// over per-DBC subsequences).
+    pub(crate) fn access_cost(&self, disp: Option<i64>, offset: usize) -> (u64, i64) {
+        // Single-port fast path: the only port is homed at 0, so the target
+        // displacement is the offset itself — no port scan, no closure.
+        if self.ports_per_track == 1 {
+            let target = offset as i64;
+            return match disp {
+                Some(d) => ((d - target).unsigned_abs(), target),
+                None => match self.initial {
+                    InitialAlignment::FirstAccess => (0, target),
+                    InitialAlignment::TrackHead => (target.unsigned_abs(), target),
+                },
+            };
+        }
         // Candidate displacements that align `offset` with some port.
         let best_target = |from: i64| -> (u64, i64) {
             (0..self.ports_per_track)
@@ -292,5 +308,30 @@ mod tests {
     #[should_panic(expected = "more ports than domains")]
     fn multi_port_validates() {
         CostModel::multi_port(9, 4);
+    }
+
+    #[test]
+    fn single_port_fast_path_matches_reference_walk() {
+        // The ports==1 shortcut in `access_cost` must agree with the plain
+        // definition: cost = |current displacement - offset|.
+        let offsets = [3usize, 0, 7, 7, 2, 9, 1];
+        for initial in [InitialAlignment::FirstAccess, InitialAlignment::TrackHead] {
+            let m = CostModel::single_port().with_initial(initial);
+            let mut disp: Option<i64> = None;
+            let mut total = 0u64;
+            for &off in &offsets {
+                let (c, nd) = m.access_cost(disp, off);
+                let expect = match disp {
+                    Some(d) => (d - off as i64).unsigned_abs(),
+                    None if initial == InitialAlignment::TrackHead => off as u64,
+                    None => 0,
+                };
+                assert_eq!(c, expect, "offset {off} from {disp:?} under {initial:?}");
+                assert_eq!(nd, off as i64);
+                disp = Some(nd);
+                total += c;
+            }
+            assert!(total > 0);
+        }
     }
 }

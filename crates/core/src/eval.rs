@@ -1,0 +1,968 @@
+//! The fitness engine: incremental, allocation-free, parallel shift-cost
+//! evaluation for the search-based placers.
+//!
+//! Every search path in this crate (GA, random walk, `Strategy::solve`)
+//! ultimately asks the same question many thousands of times: *how many
+//! shifts does this placement cost on this trace?* The naive answer — build
+//! a [`Placement`] lookup table and replay the whole trace — is `O(|S|)` per
+//! evaluation plus two allocations, even though
+//!
+//! 1. the cost model is **separable per DBC**: a DBC's port only moves on
+//!    accesses to its own variables, so its cost depends only on the
+//!    subsequence of the trace touching them;
+//! 2. elitist µ+λ evolution produces offspring that share most DBC lists
+//!    with their parents, so most per-DBC costs are already known.
+//!
+//! [`FitnessEngine`] exploits both. It precomputes the trace's
+//! [`PositionIndex`] once, costs a DBC by merging its members' access
+//! positions through a sort-free bitmap scatter into reusable scratch
+//! buffers (`O(A + |S|/64)` in the DBC's *own* access count `A`,
+//! allocation-free after warm-up), memoizes per-DBC costs
+//! under a content key so recurring lists across generations are free, and
+//! fans batches of evaluations out over [`std::thread::scope`] workers in a
+//! way that is **bit-identical** to the sequential order: every job's slot
+//! is written by exactly one worker and each per-DBC cost is a pure function
+//! of the list's content, so neither thread count nor scheduling can change
+//! a result (see `DESIGN.md` §7 for the full argument).
+//!
+//! The engine also keeps the pre-engine evaluation path alive as
+//! [`FitnessEngine::naive`] — a reference evaluator used by the equivalence
+//! test-suite and as the baseline of the `rtm-bench perf` experiment.
+//!
+//! # Example
+//!
+//! ```
+//! use rtm_placement::eval::FitnessEngine;
+//! use rtm_placement::{CostModel, Placement};
+//! use rtm_trace::{AccessSequence, VarId};
+//!
+//! let seq = AccessSequence::parse("a b a b c a")?;
+//! let engine = FitnessEngine::new(&seq, CostModel::single_port());
+//! let v = |i| VarId::from_index(i);
+//! let p = Placement::from_dbc_lists(vec![vec![v(0), v(1)], vec![v(2)]]);
+//! assert_eq!(engine.shift_cost(&p), CostModel::single_port().shift_cost(&p, seq.accesses()));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::cost::CostModel;
+use crate::placement::Placement;
+use rtm_trace::{AccessSequence, PositionIndex, VarId};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A fast multiply-xor hasher (FxHash-style) for the memo cache. DBC lists
+/// hash dozens of `u32`s per lookup; SipHash's per-word cost dominates the
+/// whole cache otherwise. Collisions only cost a key comparison — the map
+/// still compares full keys — so cheapness beats distribution here.
+#[derive(Default)]
+struct ListHasher(u64);
+
+impl ListHasher {
+    #[inline]
+    fn add(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+impl Hasher for ListHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+type Memo = HashMap<Box<[VarId]>, u64, BuildHasherDefault<ListHasher>>;
+
+/// A cached per-DBC subsequence summary, keyed by *membership* (the sorted
+/// accessed members). Membership changes far less often than order — every
+/// transpose/permute mutation reuses it — and the summary reduces a
+/// re-costing to a table-driven walk with no merge at all.
+#[derive(Debug)]
+enum Summary {
+    /// Single-port form: the first accessed member plus the consecutive
+    /// transition pairs of the subsequence (single-port cost is
+    /// `Σ |off(u) − off(v)|` over them; self-transitions never shift and
+    /// are dropped at build time, which deletes most of a loop-heavy
+    /// trace).
+    Transitions {
+        first: u32,
+        pairs: Box<[(u32, u32)]>,
+    },
+    /// Multi-port form: the full member-access sequence in trace order
+    /// (multi-port cost is stateful and cannot be pair-decomposed).
+    Sequence(Box<[u32]>),
+}
+
+impl Summary {
+    /// Cache-accounting weight (stored elements).
+    fn weight(&self) -> usize {
+        match self {
+            Summary::Transitions { pairs, .. } => pairs.len(),
+            Summary::Sequence(seq) => seq.len(),
+        }
+    }
+}
+
+/// One subsequence-cache slot: the membership it was built for (for exact
+/// verification — the map key is only a commutative hash) plus the summary.
+#[derive(Debug)]
+struct SubseqEntry {
+    members: Box<[VarId]>,
+    summary: std::sync::Arc<Summary>,
+}
+
+#[derive(Debug)]
+struct SubseqCache {
+    map: HashMap<u64, SubseqEntry, BuildHasherDefault<ListHasher>>,
+    stored: usize,
+    /// Second-touch promotion filter: a membership is summarized and cached
+    /// only when its key is seen a second time. Crossover churns through
+    /// memberships that never recur; building summaries for those would be
+    /// pure allocation overhead. Fixed-size, collisions just overwrite.
+    filter: Box<[u64]>,
+}
+
+impl Default for SubseqCache {
+    fn default() -> Self {
+        Self {
+            map: HashMap::default(),
+            stored: 0,
+            filter: vec![0; FILTER_SLOTS].into_boxed_slice(),
+        }
+    }
+}
+
+/// Size of the second-touch filter (power of two).
+const FILTER_SLOTS: usize = 8192;
+
+/// splitmix64 finalizer: the per-member mix of the order-independent
+/// membership hash (members are combined with wrapping addition, so any
+/// permutation of the same set produces the same key).
+fn mix_member(v: u64) -> u64 {
+    let mut z = v.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Bound on elements stored across all cached summaries before the
+/// subsequence cache is wiped (≈ tens of MB worst case).
+const SUBSEQ_ELEM_CAPACITY: usize = 1 << 22;
+
+/// Default bound on memoized DBC lists before the cache is wiped (epoch
+/// eviction keeps the engine's memory proportional to the working set of a
+/// few generations, not a whole run).
+const MEMO_CAPACITY: usize = 1 << 16;
+
+/// How the engine computes per-DBC costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EvalMode {
+    /// Subsequence costing over the [`PositionIndex`] with memoization —
+    /// the production path.
+    Incremental,
+    /// The pre-engine path: clone the lists, build a [`Placement`] and
+    /// replay the full trace. Kept as the reference for equivalence tests
+    /// and the `perf` baseline.
+    Naive,
+}
+
+/// Counters describing what the engine actually did — the raw material of
+/// the `rtm-bench perf` throughput report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Individuals (whole placements) evaluated.
+    pub evaluations: u64,
+    /// Per-DBC costs computed from scratch (subsequence merges or, in naive
+    /// mode, full-trace replays).
+    pub dbc_recomputations: u64,
+    /// Per-DBC costs answered by the content-keyed memo cache.
+    pub dbc_cache_hits: u64,
+    /// Re-costings that reused a membership-keyed subsequence summary
+    /// (no merge performed, only the offset walk).
+    pub subseq_cache_hits: u64,
+    /// Per-DBC costs inherited unchanged from a parent (clean under the
+    /// dirty mask — never even looked up).
+    pub dbc_inherited: u64,
+    /// Wall nanoseconds spent inside evaluation calls (batch timings are
+    /// wall time, so parallel fan-out shows up as higher throughput).
+    pub eval_nanos: u64,
+}
+
+impl EngineStats {
+    /// Seconds spent evaluating.
+    pub fn eval_seconds(&self) -> f64 {
+        self.eval_nanos as f64 / 1e9
+    }
+
+    /// Fitness evaluations per second of evaluation time.
+    pub fn evals_per_sec(&self) -> f64 {
+        if self.eval_nanos > 0 {
+            self.evaluations as f64 / self.eval_seconds()
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Reusable buffers for one evaluation worker. Obtain via
+/// [`FitnessEngine::scratch`]; reusing one across calls makes the hot path
+/// allocation-free once the buffers have grown to the working-set size.
+#[derive(Debug, Default, Clone)]
+pub struct EvalScratch {
+    /// Variable at each trace position (validity gated by `bitmap`) —
+    /// the scatter target of the sort-free subsequence merge.
+    slots: Vec<u32>,
+    /// One bit per trace position: whether the position belongs to the DBC
+    /// being merged.
+    bitmap: Vec<u64>,
+    /// The merged member-access sequence (variables in trace order).
+    seq_buf: Vec<u32>,
+    /// Variable -> offset table (`u32::MAX` = not in the DBC / placement),
+    /// set and cleared around each costing.
+    offsets: Vec<u32>,
+    /// Variable -> DBC table for full-placement replays, parallel to
+    /// `offsets`.
+    dbc_of: Vec<u32>,
+    /// Per-DBC displacement state for full-placement replays.
+    disp: Vec<Option<i64>>,
+}
+
+/// Marks which DBCs of an [`EvalJob`] changed relative to the inherited
+/// per-DBC costs. GA operators record their edits here so the engine only
+/// recomputes what actually moved.
+#[derive(Debug, Clone, Default)]
+pub struct DirtyMask {
+    all: bool,
+    dbcs: Vec<u32>,
+}
+
+impl DirtyMask {
+    /// A mask with every DBC dirty (fresh individuals).
+    pub fn all() -> Self {
+        Self {
+            all: true,
+            dbcs: Vec::new(),
+        }
+    }
+
+    /// A mask with no DBC dirty (a verbatim clone of a parent).
+    pub fn clean() -> Self {
+        Self::default()
+    }
+
+    /// Marks DBC `d` as changed.
+    pub fn mark(&mut self, d: usize) {
+        if !self.all {
+            self.dbcs.push(d as u32);
+        }
+    }
+
+    /// Marks every DBC as changed.
+    pub fn mark_all(&mut self) {
+        self.all = true;
+        self.dbcs.clear();
+    }
+
+    /// Whether DBC `d` is dirty.
+    pub fn is_dirty(&self, d: usize) -> bool {
+        self.all || self.dbcs.contains(&(d as u32))
+    }
+}
+
+/// One pending fitness evaluation: per-DBC variable lists plus the per-DBC
+/// costs inherited from the parent and a [`DirtyMask`] of what changed.
+#[derive(Debug, Clone)]
+pub struct EvalJob {
+    /// Ordered variable lists, one per DBC.
+    pub lists: Vec<Vec<VarId>>,
+    /// Per-DBC costs; entries under a dirty mark are stale until
+    /// [`FitnessEngine::evaluate_batch`] refreshes them.
+    pub dbc_costs: Vec<u64>,
+    /// Which entries of `dbc_costs` must be recomputed.
+    pub dirty: DirtyMask,
+}
+
+impl EvalJob {
+    /// A job with no usable inherited costs — every DBC will be computed.
+    pub fn fresh(lists: Vec<Vec<VarId>>) -> Self {
+        let dbc_costs = vec![0; lists.len()];
+        Self {
+            lists,
+            dbc_costs,
+            dirty: DirtyMask::all(),
+        }
+    }
+
+    /// A job derived from a parent with known per-DBC costs; operators mark
+    /// the DBCs they touch via [`EvalJob::dirty`].
+    pub fn derived(lists: Vec<Vec<VarId>>, inherited: Vec<u64>) -> Self {
+        debug_assert_eq!(lists.len(), inherited.len());
+        Self {
+            lists,
+            dbc_costs: inherited,
+            dirty: DirtyMask::clean(),
+        }
+    }
+
+    /// Total cost (valid after the job has been evaluated).
+    pub fn total(&self) -> u64 {
+        self.dbc_costs.iter().sum()
+    }
+}
+
+/// The incremental, allocation-free, parallel fitness evaluator.
+///
+/// See the [module docs](self) for the design; construction is `O(|S|)`
+/// (one [`PositionIndex`] build), after which per-DBC costs are
+/// `O(A log A)` in the DBC's own access count.
+#[derive(Debug)]
+pub struct FitnessEngine<'a> {
+    seq: &'a AccessSequence,
+    cost: CostModel,
+    index: PositionIndex,
+    mode: EvalMode,
+    threads: usize,
+    memo: Option<Mutex<Memo>>,
+    subseq: Option<Mutex<SubseqCache>>,
+    evaluations: AtomicU64,
+    dbc_recomputations: AtomicU64,
+    dbc_cache_hits: AtomicU64,
+    subseq_cache_hits: AtomicU64,
+    dbc_inherited: AtomicU64,
+    eval_nanos: AtomicU64,
+}
+
+impl<'a> FitnessEngine<'a> {
+    /// Creates the production engine: subsequence costing, memoization on,
+    /// thread count auto-detected.
+    pub fn new(seq: &'a AccessSequence, cost: CostModel) -> Self {
+        Self::with_mode(seq, cost, EvalMode::Incremental)
+    }
+
+    /// Creates the reference engine replicating the pre-engine evaluation
+    /// path (full-trace replay through a freshly built [`Placement`], one
+    /// list clone per evaluation). Used by the equivalence tests and as the
+    /// baseline side of the `rtm-bench perf` experiment.
+    pub fn naive(seq: &'a AccessSequence, cost: CostModel) -> Self {
+        Self::with_mode(seq, cost, EvalMode::Naive)
+    }
+
+    fn with_mode(seq: &'a AccessSequence, cost: CostModel, mode: EvalMode) -> Self {
+        let caching = mode == EvalMode::Incremental;
+        Self {
+            seq,
+            cost,
+            index: PositionIndex::of(seq),
+            mode,
+            threads: 0,
+            memo: caching.then(|| Mutex::new(Memo::default())),
+            subseq: caching.then(|| Mutex::new(SubseqCache::default())),
+            evaluations: AtomicU64::new(0),
+            dbc_recomputations: AtomicU64::new(0),
+            dbc_cache_hits: AtomicU64::new(0),
+            subseq_cache_hits: AtomicU64::new(0),
+            dbc_inherited: AtomicU64::new(0),
+            eval_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the worker count for batch evaluation (`0` = auto-detect).
+    ///
+    /// Thread count never affects results — only wall time (see the
+    /// determinism argument in the module docs).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Disables (or re-enables) both the per-DBC cost memo and the
+    /// membership-keyed subsequence cache. Useful for pure random sampling,
+    /// where neither lists nor memberships recur.
+    pub fn with_memo(mut self, enabled: bool) -> Self {
+        let caching = enabled && self.mode == EvalMode::Incremental;
+        self.memo = caching.then(|| Mutex::new(Memo::default()));
+        self.subseq = caching.then(|| Mutex::new(SubseqCache::default()));
+        self
+    }
+
+    /// The trace this engine evaluates against.
+    pub fn seq(&self) -> &'a AccessSequence {
+        self.seq
+    }
+
+    /// The cost model in effect.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    /// Resolved worker count for batch evaluation.
+    pub fn threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        }
+    }
+
+    /// A fresh scratch buffer.
+    pub fn scratch(&self) -> EvalScratch {
+        EvalScratch::default()
+    }
+
+    /// Snapshot of the engine's work counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            evaluations: self.evaluations.load(Ordering::Relaxed),
+            dbc_recomputations: self.dbc_recomputations.load(Ordering::Relaxed),
+            dbc_cache_hits: self.dbc_cache_hits.load(Ordering::Relaxed),
+            subseq_cache_hits: self.subseq_cache_hits.load(Ordering::Relaxed),
+            dbc_inherited: self.dbc_inherited.load(Ordering::Relaxed),
+            eval_nanos: self.eval_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    // ---- Single-DBC costing -----------------------------------------------
+
+    /// Cost of one DBC list, computed from its members' access positions.
+    ///
+    /// Equivalent to `CostModel::per_dbc_costs` on a placement containing
+    /// only this DBC — each variable must appear at most once across the
+    /// whole placement for per-DBC separability to hold (every search path
+    /// in this crate maintains that invariant).
+    pub fn dbc_cost(&self, list: &[VarId]) -> u64 {
+        self.dbc_cost_with(list, &mut self.scratch())
+    }
+
+    /// [`dbc_cost`](Self::dbc_cost) with an explicit scratch buffer
+    /// (allocation-free once the buffer has grown to the working set).
+    pub fn dbc_cost_with(&self, list: &[VarId], scratch: &mut EvalScratch) -> u64 {
+        if let Some(memo) = &self.memo {
+            if let Some(&c) = memo.lock().expect("memo poisoned").get(list) {
+                self.dbc_cache_hits.fetch_add(1, Ordering::Relaxed);
+                return c;
+            }
+            let c = self.dbc_cost_uncached(list, scratch);
+            let mut map = memo.lock().expect("memo poisoned");
+            if map.len() >= MEMO_CAPACITY {
+                map.clear();
+            }
+            map.insert(list.into(), c);
+            c
+        } else {
+            self.dbc_cost_uncached(list, scratch)
+        }
+    }
+
+    fn dbc_cost_uncached(&self, list: &[VarId], scratch: &mut EvalScratch) -> u64 {
+        self.dbc_recomputations.fetch_add(1, Ordering::Relaxed);
+        // Populate the var -> offset table and find the accessed members.
+        let table_len = self.index.var_count();
+        if scratch.offsets.len() < table_len {
+            scratch.offsets.resize(table_len, u32::MAX);
+        }
+        let mut members = 0usize;
+        let mut last_offset = 0u32;
+        let mut set_key = 0u64;
+        for (off, &v) in list.iter().enumerate() {
+            let i = v.index();
+            if i < table_len && self.index.frequency(v) > 0 {
+                scratch.offsets[i] = off as u32;
+                members += 1;
+                last_offset = off as u32;
+                set_key = set_key.wrapping_add(mix_member(i as u64));
+            }
+        }
+        let total = match members {
+            0 => 0,
+            // One accessed member: every access hits the same offset, so
+            // only the initial alignment can cost anything.
+            1 => self.cost.access_cost(None, last_offset as usize).0,
+            _ => match &self.subseq {
+                Some(cache) => {
+                    // Membership lookup by order-independent hash; order-only
+                    // changes (transpose/permute mutations) hit this cache
+                    // and skip the merge entirely. The hash is only a key —
+                    // the entry's stored membership is verified against the
+                    // offsets table (same size + every stored member present
+                    // ⇒ identical sets), so a collision is just a miss.
+                    let cached = {
+                        let c = cache.lock().expect("subseq cache poisoned");
+                        c.map.get(&set_key).and_then(|e| {
+                            let verified = e.members.len() == members
+                                && e.members
+                                    .iter()
+                                    .all(|v| scratch.offsets[v.index()] != u32::MAX);
+                            verified.then(|| e.summary.clone())
+                        })
+                    };
+                    match cached {
+                        Some(s) => {
+                            self.subseq_cache_hits.fetch_add(1, Ordering::Relaxed);
+                            self.walk_summary(&s, &scratch.offsets)
+                        }
+                        None => {
+                            self.merge_members(list, scratch);
+                            let total = self.walk_seq_buf(scratch);
+                            // Promote only memberships seen twice — the
+                            // first sighting costs nothing but a filter
+                            // write, so crossover churn never allocates.
+                            let mut c = cache.lock().expect("subseq cache poisoned");
+                            let slot = (set_key as usize) & (FILTER_SLOTS - 1);
+                            if c.filter[slot] == set_key {
+                                let s = std::sync::Arc::new(self.summary_of_seq_buf(scratch));
+                                let entry = SubseqEntry {
+                                    members: list
+                                        .iter()
+                                        .copied()
+                                        .filter(|&v| self.index.frequency(v) > 0)
+                                        .collect(),
+                                    summary: s.clone(),
+                                };
+                                c.stored += s.weight();
+                                if c.stored > SUBSEQ_ELEM_CAPACITY {
+                                    c.map.clear();
+                                    c.stored = s.weight();
+                                }
+                                c.map.insert(set_key, entry);
+                            } else {
+                                c.filter[slot] = set_key;
+                            }
+                            total
+                        }
+                    }
+                }
+                None => {
+                    self.merge_members(list, scratch);
+                    self.walk_seq_buf(scratch)
+                }
+            },
+        };
+        // Clear the table for the next costing.
+        for &v in list {
+            let i = v.index();
+            if i < table_len {
+                scratch.offsets[i] = u32::MAX;
+            }
+        }
+        total
+    }
+
+    /// Merges the members' access positions into trace order
+    /// (`scratch.seq_buf`) without any sort: positions are scattered into a
+    /// per-position slot array gated by a bitmap, then extracted in
+    /// ascending order by iterating the bitmap's set bits.
+    fn merge_members(&self, list: &[VarId], scratch: &mut EvalScratch) {
+        let raw = self.index.raw_positions();
+        let len = self.index.access_count();
+        let words = len.div_ceil(64);
+        if scratch.slots.len() < len {
+            scratch.slots.resize(len, 0);
+        }
+        if scratch.bitmap.len() < words {
+            scratch.bitmap.resize(words, 0);
+        }
+        for &v in list {
+            let (start, end) = self.index.span(v);
+            for &p in &raw[start as usize..end as usize] {
+                scratch.slots[p as usize] = v.index() as u32;
+                scratch.bitmap[(p >> 6) as usize] |= 1u64 << (p & 63);
+            }
+        }
+        scratch.seq_buf.clear();
+        for w in 0..words {
+            let mut bits = scratch.bitmap[w];
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                scratch.seq_buf.push(scratch.slots[(w << 6) + b]);
+            }
+        }
+        scratch.bitmap[..words].fill(0);
+    }
+
+    /// Costs the freshly merged subsequence (`scratch.seq_buf`) against the
+    /// offsets table in one pass.
+    fn walk_seq_buf(&self, scratch: &mut EvalScratch) -> u64 {
+        let mut disp: Option<i64> = None;
+        let mut total = 0u64;
+        for &var in &scratch.seq_buf {
+            let off = scratch.offsets[var as usize];
+            let (c, nd) = self.cost.access_cost(disp, off as usize);
+            total += c;
+            disp = Some(nd);
+        }
+        total
+    }
+
+    /// Builds the membership summary from the freshly merged
+    /// `scratch.seq_buf`: transition pairs for single-port models, the full
+    /// member-access sequence otherwise.
+    fn summary_of_seq_buf(&self, scratch: &EvalScratch) -> Summary {
+        let seq = &scratch.seq_buf;
+        if self.cost.ports_per_track() == 1 {
+            let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(seq.len());
+            for w in seq.windows(2) {
+                // Self-transitions never shift; drop them at build time.
+                if w[0] != w[1] {
+                    pairs.push((w[0], w[1]));
+                }
+            }
+            Summary::Transitions {
+                first: seq[0],
+                pairs: pairs.into_boxed_slice(),
+            }
+        } else {
+            Summary::Sequence(seq.as_slice().into())
+        }
+    }
+
+    /// Costs a summary against the current var -> offset table.
+    fn walk_summary(&self, summary: &Summary, offsets: &[u32]) -> u64 {
+        match summary {
+            Summary::Transitions { first, pairs } => {
+                let mut total = self
+                    .cost
+                    .access_cost(None, offsets[*first as usize] as usize)
+                    .0;
+                for &(u, v) in pairs.iter() {
+                    total +=
+                        (offsets[u as usize] as i64 - offsets[v as usize] as i64).unsigned_abs();
+                }
+                total
+            }
+            Summary::Sequence(seq) => {
+                let mut disp: Option<i64> = None;
+                let mut total = 0u64;
+                for &var in seq.iter() {
+                    let (c, nd) = self.cost.access_cost(disp, offsets[var as usize] as usize);
+                    total += c;
+                    disp = Some(nd);
+                }
+                total
+            }
+        }
+    }
+
+    /// Allocation-free full replay of a complete placement: one pass over
+    /// the trace with scratch lookup tables — naive semantics without the
+    /// naive path's clone and `Placement` build. Used for fresh candidates
+    /// (random walk) where no per-DBC structure can be reused.
+    fn replay_lists(&self, lists: &[Vec<VarId>], scratch: &mut EvalScratch) -> u64 {
+        self.dbc_recomputations
+            .fetch_add(lists.len() as u64, Ordering::Relaxed);
+        let table_len = self.index.var_count();
+        if scratch.offsets.len() < table_len {
+            scratch.offsets.resize(table_len, u32::MAX);
+        }
+        if scratch.dbc_of.len() < table_len {
+            scratch.dbc_of.resize(table_len, u32::MAX);
+        }
+        for (d, list) in lists.iter().enumerate() {
+            for (off, &v) in list.iter().enumerate() {
+                let i = v.index();
+                if i < table_len {
+                    scratch.offsets[i] = off as u32;
+                    scratch.dbc_of[i] = d as u32;
+                }
+            }
+        }
+        scratch.disp.clear();
+        scratch.disp.resize(lists.len(), None);
+        let mut total = 0u64;
+        for &v in self.seq.accesses() {
+            let i = v.index();
+            let d = scratch.dbc_of[i];
+            if d == u32::MAX {
+                continue; // unplaced variable
+            }
+            let (c, nd) = self
+                .cost
+                .access_cost(scratch.disp[d as usize], scratch.offsets[i] as usize);
+            total += c;
+            scratch.disp[d as usize] = Some(nd);
+        }
+        for list in lists {
+            for &v in list {
+                let i = v.index();
+                if i < table_len {
+                    scratch.offsets[i] = u32::MAX;
+                    scratch.dbc_of[i] = u32::MAX;
+                }
+            }
+        }
+        total
+    }
+
+    // ---- Whole-placement costing ------------------------------------------
+
+    /// Per-DBC costs of a full set of lists (one fitness evaluation).
+    pub fn per_dbc_costs(&self, lists: &[Vec<VarId>]) -> Vec<u64> {
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        let mut scratch = self.scratch();
+        let costs = match self.mode {
+            EvalMode::Incremental => lists
+                .iter()
+                .map(|l| self.dbc_cost_with(l, &mut scratch))
+                .collect(),
+            EvalMode::Naive => self.naive_per_dbc_costs(lists),
+        };
+        self.add_eval_time(start);
+        costs
+    }
+
+    /// Total shift cost of a full set of lists.
+    pub fn lists_cost(&self, lists: &[Vec<VarId>]) -> u64 {
+        self.per_dbc_costs(lists).into_iter().sum()
+    }
+
+    /// Total shift cost of a built placement.
+    pub fn shift_cost(&self, placement: &Placement) -> u64 {
+        self.lists_cost(placement.dbc_lists())
+    }
+
+    /// The pre-engine evaluation, verbatim: clone the lists, build a
+    /// placement, replay the whole trace.
+    fn naive_per_dbc_costs(&self, lists: &[Vec<VarId>]) -> Vec<u64> {
+        self.dbc_recomputations
+            .fetch_add(lists.len() as u64, Ordering::Relaxed);
+        let p = Placement::from_dbc_lists(lists.to_vec());
+        self.cost.per_dbc_costs(&p, self.seq.accesses())
+    }
+
+    // ---- Batch evaluation --------------------------------------------------
+
+    /// Evaluates a batch of jobs, refreshing every dirty per-DBC cost.
+    ///
+    /// Jobs are split into contiguous index chunks, one per worker; worker
+    /// `i` writes only its own chunk, so the result is independent of
+    /// scheduling and identical to a sequential pass.
+    pub fn evaluate_batch(&self, jobs: &mut [EvalJob]) {
+        self.evaluations
+            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        let start = Instant::now();
+        let workers = self.threads().min(jobs.len()).max(1);
+        if workers == 1 {
+            let mut scratch = self.scratch();
+            for job in jobs {
+                self.finish_job(job, &mut scratch);
+            }
+        } else {
+            let chunk = jobs.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                for slice in jobs.chunks_mut(chunk) {
+                    scope.spawn(move || {
+                        let mut scratch = self.scratch();
+                        for job in slice {
+                            self.finish_job(job, &mut scratch);
+                        }
+                    });
+                }
+            });
+        }
+        self.add_eval_time(start);
+    }
+
+    fn finish_job(&self, job: &mut EvalJob, scratch: &mut EvalScratch) {
+        match self.mode {
+            EvalMode::Incremental => {
+                let mut inherited = 0u64;
+                for d in 0..job.lists.len() {
+                    if job.dirty.is_dirty(d) {
+                        job.dbc_costs[d] = self.dbc_cost_with(&job.lists[d], scratch);
+                    } else {
+                        inherited += 1;
+                    }
+                }
+                self.dbc_inherited.fetch_add(inherited, Ordering::Relaxed);
+            }
+            EvalMode::Naive => job.dbc_costs = self.naive_per_dbc_costs(&job.lists),
+        }
+    }
+
+    /// Evaluates independent candidates with no inherited state (the random
+    /// walk's workload): returns the total cost of each, in order.
+    pub fn batch_costs(&self, candidates: &[Vec<Vec<VarId>>]) -> Vec<u64> {
+        self.evaluations
+            .fetch_add(candidates.len() as u64, Ordering::Relaxed);
+        let start = Instant::now();
+        let workers = self.threads().min(candidates.len()).max(1);
+        let mut out = vec![0u64; candidates.len()];
+        if workers == 1 {
+            let mut scratch = self.scratch();
+            for (slot, lists) in out.iter_mut().zip(candidates) {
+                *slot = self.total_cost_uncached(lists, &mut scratch);
+            }
+        } else {
+            let chunk = candidates.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (out_chunk, in_chunk) in out.chunks_mut(chunk).zip(candidates.chunks(chunk)) {
+                    scope.spawn(move || {
+                        let mut scratch = self.scratch();
+                        for (slot, lists) in out_chunk.iter_mut().zip(in_chunk) {
+                            *slot = self.total_cost_uncached(lists, &mut scratch);
+                        }
+                    });
+                }
+            });
+        }
+        self.add_eval_time(start);
+        out
+    }
+
+    fn add_eval_time(&self, start: Instant) {
+        self.eval_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn total_cost_uncached(&self, lists: &[Vec<VarId>], scratch: &mut EvalScratch) -> u64 {
+        match self.mode {
+            EvalMode::Incremental => self.replay_lists(lists, scratch),
+            EvalMode::Naive => self.naive_per_dbc_costs(lists).into_iter().sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtm_trace::AccessSequence;
+
+    const PAPER_SEQ: &str = "a b a b c a c a d d a i e f e f g e g h g i h i";
+
+    fn ids(seq: &AccessSequence, names: &[&str]) -> Vec<VarId> {
+        names.iter().map(|n| seq.vars().id(n).unwrap()).collect()
+    }
+
+    fn paper_placement(seq: &AccessSequence) -> Vec<Vec<VarId>> {
+        vec![
+            ids(seq, &["b", "c", "d", "e", "h"]),
+            ids(seq, &["a", "f", "g", "i"]),
+        ]
+    }
+
+    #[test]
+    fn matches_cost_model_on_paper_example() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let lists = paper_placement(&seq);
+        let engine = FitnessEngine::new(&seq, CostModel::single_port());
+        assert_eq!(engine.per_dbc_costs(&lists), vec![4, 7]);
+        assert_eq!(engine.lists_cost(&lists), 11);
+        let p = Placement::from_dbc_lists(lists);
+        assert_eq!(engine.shift_cost(&p), 11);
+    }
+
+    #[test]
+    fn naive_mode_matches_incremental() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let lists = paper_placement(&seq);
+        for cost in [CostModel::single_port(), CostModel::multi_port(2, 8)] {
+            let inc = FitnessEngine::new(&seq, cost);
+            let naive = FitnessEngine::naive(&seq, cost);
+            assert_eq!(inc.per_dbc_costs(&lists), naive.per_dbc_costs(&lists));
+        }
+    }
+
+    #[test]
+    fn memo_cache_hits_on_repeats() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let lists = paper_placement(&seq);
+        let engine = FitnessEngine::new(&seq, CostModel::single_port());
+        engine.per_dbc_costs(&lists);
+        engine.per_dbc_costs(&lists);
+        let stats = engine.stats();
+        assert_eq!(stats.evaluations, 2);
+        assert_eq!(stats.dbc_recomputations, 2); // first pass only
+        assert_eq!(stats.dbc_cache_hits, 2); // second pass fully cached
+    }
+
+    #[test]
+    fn dirty_mask_drives_incremental_reuse() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let lists = paper_placement(&seq);
+        let engine = FitnessEngine::new(&seq, CostModel::single_port()).with_memo(false);
+        let costs = engine.per_dbc_costs(&lists);
+        // Swap two variables in DBC1 only; DBC0's cost is inherited.
+        let mut mutated = lists.clone();
+        mutated[1].swap(0, 1);
+        let mut job = EvalJob::derived(mutated, costs.clone());
+        job.dirty.mark(1);
+        engine.evaluate_batch(std::slice::from_mut(&mut job));
+        assert_eq!(job.dbc_costs[0], costs[0]);
+        let reference = FitnessEngine::new(&seq, CostModel::single_port());
+        assert_eq!(job.dbc_costs, reference.per_dbc_costs(&job.lists));
+        assert_eq!(engine.stats().dbc_inherited, 1);
+    }
+
+    #[test]
+    fn batch_results_are_thread_count_invariant() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let base = paper_placement(&seq);
+        // 16 jobs with different rotations of DBC1.
+        let candidates: Vec<Vec<Vec<VarId>>> = (0..16)
+            .map(|i| {
+                let mut l = base.clone();
+                l[1].rotate_left(i % 4);
+                l
+            })
+            .collect();
+        let seq_engine = FitnessEngine::new(&seq, CostModel::single_port()).with_threads(1);
+        let par_engine = FitnessEngine::new(&seq, CostModel::single_port()).with_threads(4);
+        assert_eq!(
+            seq_engine.batch_costs(&candidates),
+            par_engine.batch_costs(&candidates)
+        );
+        let mut jobs_a: Vec<EvalJob> = candidates.iter().cloned().map(EvalJob::fresh).collect();
+        let mut jobs_b = jobs_a.clone();
+        seq_engine.evaluate_batch(&mut jobs_a);
+        par_engine.evaluate_batch(&mut jobs_b);
+        let totals_a: Vec<u64> = jobs_a.iter().map(EvalJob::total).collect();
+        let totals_b: Vec<u64> = jobs_b.iter().map(EvalJob::total).collect();
+        assert_eq!(totals_a, totals_b);
+    }
+
+    #[test]
+    fn unplaced_and_unknown_variables_are_ignored() {
+        let seq = AccessSequence::parse("a b a b").unwrap();
+        let engine = FitnessEngine::new(&seq, CostModel::single_port());
+        // Only `a` placed: b's accesses don't move the port.
+        assert_eq!(engine.dbc_cost(&[VarId::from_index(0)]), 0);
+        // A variable the trace never saw contributes nothing.
+        assert_eq!(
+            engine.dbc_cost(&[VarId::from_index(0), VarId::from_index(99)]),
+            0
+        );
+    }
+
+    #[test]
+    fn multi_port_costs_match_cost_model() {
+        let seq = AccessSequence::parse("x y x y z x").unwrap();
+        let vars: Vec<VarId> = (0..3).map(VarId::from_index).collect();
+        let lists = vec![vars];
+        for (ports, len) in [(2, 8), (3, 9)] {
+            let cost = CostModel::multi_port(ports, len);
+            let engine = FitnessEngine::new(&seq, cost);
+            let p = Placement::from_dbc_lists(lists.clone());
+            assert_eq!(
+                engine.per_dbc_costs(&lists),
+                cost.per_dbc_costs(&p, seq.accesses())
+            );
+        }
+    }
+}

@@ -18,6 +18,7 @@
 
 use crate::cost::CostModel;
 use crate::error::PlacementError;
+use crate::eval::{DirtyMask, EvalJob, FitnessEngine};
 use crate::inter::{check_fit, Dma, InterHeuristic};
 use crate::placement::Placement;
 use rand::seq::SliceRandom;
@@ -120,11 +121,25 @@ pub struct GaOutcome {
     pub evaluations: usize,
 }
 
-/// One individual: per-DBC ordered variable lists plus cached fitness.
+/// One individual: per-DBC ordered variable lists plus cached per-DBC and
+/// total fitness (the per-DBC costs are what makes offspring evaluation
+/// incremental — unchanged DBCs inherit them).
 #[derive(Debug, Clone)]
 struct Individual {
     dbcs: Vec<Vec<VarId>>,
+    dbc_costs: Vec<u64>,
     cost: u64,
+}
+
+impl Individual {
+    fn from_job(job: EvalJob) -> Self {
+        let cost = job.total();
+        Self {
+            dbcs: job.lists,
+            dbc_costs: job.dbc_costs,
+            cost,
+        }
+    }
 }
 
 /// The genetic-algorithm solver.
@@ -132,6 +147,7 @@ struct Individual {
 pub struct GeneticPlacer {
     config: GaConfig,
     cost: CostModel,
+    threads: usize,
 }
 
 impl GeneticPlacer {
@@ -141,12 +157,20 @@ impl GeneticPlacer {
         Self {
             config,
             cost: CostModel::single_port(),
+            threads: 0,
         }
     }
 
     /// Overrides the cost model (e.g. multi-port).
     pub fn with_cost_model(mut self, cost: CostModel) -> Self {
         self.cost = cost;
+        self
+    }
+
+    /// Sets the fitness-engine worker count (`0` = auto-detect). The GA is
+    /// bit-identical for any thread count; this only trades wall time.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -181,28 +205,48 @@ impl GeneticPlacer {
         capacity: usize,
         seeds: &[Placement],
     ) -> Result<GaOutcome, PlacementError> {
+        let engine = FitnessEngine::new(seq, self.cost).with_threads(self.threads);
+        self.run_with_engine(&engine, dbcs, capacity, seeds)
+    }
+
+    /// Like [`run_seeded`](Self::run_seeded), but evaluating through a
+    /// caller-owned [`FitnessEngine`] (whose trace and cost model are used) —
+    /// lets the caller pick the evaluation mode and read
+    /// [`FitnessEngine::stats`] afterwards.
+    ///
+    /// The outcome is bit-identical for every engine mode and thread count:
+    /// evaluation never touches the RNG, per-DBC costs are pure functions of
+    /// list content, and batch results are written to per-offspring slots in
+    /// generation order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError`] if the variables cannot fit the geometry.
+    pub fn run_with_engine(
+        &self,
+        engine: &FitnessEngine<'_>,
+        dbcs: usize,
+        capacity: usize,
+        seeds: &[Placement],
+    ) -> Result<GaOutcome, PlacementError> {
+        let seq = engine.seq();
         let live = seq.liveness();
         let vars = live.by_first_occurrence(); // first-appearance order, as §III-C indexes V
         check_fit(vars.len(), dbcs, capacity)?;
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
         let mut evaluations = 0usize;
 
-        let evaluate = |dbcs_lists: &[Vec<VarId>], evals: &mut usize| -> u64 {
-            *evals += 1;
-            let p = Placement::from_dbc_lists(dbcs_lists.to_vec());
-            self.cost.shift_cost(&p, seq.accesses())
-        };
-
         // ---- Initial population -------------------------------------------
-        let mut population: Vec<Individual> = Vec::with_capacity(self.config.mu);
+        // Candidates are generated first (RNG order unchanged from the
+        // sequential implementation), then costed as one batch.
+        let mut initial: Vec<EvalJob> = Vec::with_capacity(self.config.mu);
         for seed_placement in seeds {
             let lists = seed_placement.dbc_lists().to_vec();
             let valid = lists.len() == dbcs
                 && lists.iter().all(|l| l.len() <= capacity)
                 && seed_placement.validate(seq, capacity).is_ok();
-            if valid && population.len() < self.config.mu {
-                let cost = evaluate(&lists, &mut evaluations);
-                population.push(Individual { dbcs: lists, cost });
+            if valid && initial.len() < self.config.mu {
+                initial.push(EvalJob::fresh(lists));
             }
         }
         if self.config.seed_with_heuristics {
@@ -213,18 +257,18 @@ impl GeneticPlacer {
             .into_iter()
             .flatten()
             {
-                let cost = evaluate(&dist, &mut evaluations);
-                population.push(Individual { dbcs: dist, cost });
+                initial.push(EvalJob::fresh(dist));
             }
         }
-        while population.len() < self.config.mu {
-            let dbcs_lists = random_assignment(&vars, dbcs, capacity, &mut rng);
-            let cost = evaluate(&dbcs_lists, &mut evaluations);
-            population.push(Individual {
-                dbcs: dbcs_lists,
-                cost,
-            });
+        while initial.len() < self.config.mu {
+            initial.push(EvalJob::fresh(random_assignment(
+                &vars, dbcs, capacity, &mut rng,
+            )));
         }
+        evaluations += initial.len();
+        engine.evaluate_batch(&mut initial);
+        let mut population: Vec<Individual> =
+            initial.into_iter().map(Individual::from_job).collect();
 
         let mut best = population
             .iter()
@@ -236,47 +280,42 @@ impl GeneticPlacer {
 
         // ---- Generations ---------------------------------------------------
         for _ in 0..self.config.generations {
-            let mut offspring = Vec::with_capacity(self.config.lambda);
-            while offspring.len() < self.config.lambda {
+            // Generate the whole λ-batch first (all RNG draws, in the exact
+            // order of the sequential implementation), then evaluate it —
+            // possibly in parallel — and only recompute the DBCs the
+            // operators actually touched.
+            let mut jobs: Vec<EvalJob> = Vec::with_capacity(self.config.lambda);
+            while jobs.len() < self.config.lambda {
                 let a = tournament(&population, self.config.tournament, &mut rng);
                 if rng.gen_bool(self.config.crossover_rate) {
                     let b = tournament(&population, self.config.tournament, &mut rng);
-                    let (mut c1, mut c2) = crossover(
-                        &population[a].dbcs,
-                        &population[b].dbcs,
-                        &vars,
-                        capacity,
-                        &mut rng,
-                    );
+                    let (mut j1, mut j2) =
+                        crossover(&population[a], &population[b], &vars, capacity, &mut rng);
                     if rng.gen_bool(self.config.mutation_rate) {
-                        mutate(&mut c1, capacity, &mut rng);
+                        mutate(&mut j1.lists, capacity, &mut rng, &mut j1.dirty);
                     }
                     if rng.gen_bool(self.config.mutation_rate) {
-                        mutate(&mut c2, capacity, &mut rng);
+                        mutate(&mut j2.lists, capacity, &mut rng, &mut j2.dirty);
                     }
-                    let cost1 = evaluate(&c1, &mut evaluations);
-                    offspring.push(Individual {
-                        dbcs: c1,
-                        cost: cost1,
-                    });
-                    if offspring.len() < self.config.lambda {
-                        let cost2 = evaluate(&c2, &mut evaluations);
-                        offspring.push(Individual {
-                            dbcs: c2,
-                            cost: cost2,
-                        });
+                    jobs.push(j1);
+                    if jobs.len() < self.config.lambda {
+                        jobs.push(j2);
                     }
                 } else {
-                    let mut c = population[a].dbcs.clone();
-                    mutate(&mut c, capacity, &mut rng);
-                    let cost = evaluate(&c, &mut evaluations);
-                    offspring.push(Individual { dbcs: c, cost });
+                    let mut j = EvalJob::derived(
+                        population[a].dbcs.clone(),
+                        population[a].dbc_costs.clone(),
+                    );
+                    mutate(&mut j.lists, capacity, &mut rng, &mut j.dirty);
+                    jobs.push(j);
                 }
             }
+            evaluations += jobs.len();
+            engine.evaluate_batch(&mut jobs);
 
             // µ+λ survivor selection: best of the union (elitist truncation;
             // the paper's tournament selection is used for parents).
-            population.extend(offspring);
+            population.extend(jobs.into_iter().map(Individual::from_job));
             population.sort_by_key(|i| i.cost);
             population.truncate(self.config.mu);
 
@@ -337,18 +376,21 @@ pub(crate) fn random_assignment(
 /// DBC differs between the parents, swap the DBC memberships (the variable
 /// is appended at the tail of its new DBC). Offspring remain valid
 /// placements; moves that would overflow `capacity` are skipped.
+///
+/// The children start as clones of the parents (inheriting their per-DBC
+/// costs) and every DBC an actual move touches is marked dirty.
 fn crossover(
-    a: &[Vec<VarId>],
-    b: &[Vec<VarId>],
+    a: &Individual,
+    b: &Individual,
     vars: &[VarId],
     capacity: usize,
     rng: &mut impl Rng,
-) -> (Vec<Vec<VarId>>, Vec<Vec<VarId>>) {
+) -> (EvalJob, EvalJob) {
     let n = vars.len();
-    let mut c1 = a.to_vec();
-    let mut c2 = b.to_vec();
+    let mut j1 = EvalJob::derived(a.dbcs.clone(), a.dbc_costs.clone());
+    let mut j2 = EvalJob::derived(b.dbcs.clone(), b.dbc_costs.clone());
     if n < 2 {
-        return (c1, c2);
+        return (j1, j2);
     }
     let f = rng.gen_range(0..n - 1);
     let l = rng.gen_range(f + 1..n);
@@ -362,8 +404,9 @@ fn crossover(
     };
 
     for &v in &vars[f..=l] {
-        let da = dbc_of(&c1, v);
-        let db = dbc_of(&c2, v);
+        let (c1, c2) = (&mut j1.lists, &mut j2.lists);
+        let da = dbc_of(c1, v);
+        let db = dbc_of(c2, v);
         if da == db {
             continue;
         }
@@ -372,32 +415,45 @@ fn crossover(
         if c1[db].len() < capacity {
             c1[da].retain(|&x| x != v);
             c1[db].push(v);
+            j1.dirty.mark(da);
+            j1.dirty.mark(db);
         }
         if c2[da].len() < capacity {
             c2[db].retain(|&x| x != v);
             c2[da].push(v);
+            j2.dirty.mark(da);
+            j2.dirty.mark(db);
         }
     }
-    (c1, c2)
+    (j1, j2)
 }
 
-/// The paper's three mutations, weighted 10 : 10 : 3.
-fn mutate(dbcs: &mut [Vec<VarId>], capacity: usize, rng: &mut impl Rng) {
+/// The paper's three mutations, weighted 10 : 10 : 3. DBCs whose content or
+/// order may have changed are recorded in `dirty`.
+fn mutate(dbcs: &mut [Vec<VarId>], capacity: usize, rng: &mut impl Rng, dirty: &mut DirtyMask) {
     // Weighted choice over (move, transpose, permute-all).
     let roll = rng.gen_range(0..23u32);
     if roll < 10 {
-        move_mutation(dbcs, capacity, rng);
+        move_mutation(dbcs, capacity, rng, dirty);
     } else if roll < 20 {
-        transpose_mutation(dbcs, rng);
+        transpose_mutation(dbcs, rng, dirty);
     } else {
-        for l in dbcs.iter_mut() {
+        for (d, l) in dbcs.iter_mut().enumerate() {
             l.shuffle(rng);
+            if l.len() >= 2 {
+                dirty.mark(d); // shuffling 0 or 1 elements cannot change cost
+            }
         }
     }
 }
 
 /// Move a random variable to the tail of another DBC.
-fn move_mutation(dbcs: &mut [Vec<VarId>], capacity: usize, rng: &mut impl Rng) {
+fn move_mutation(
+    dbcs: &mut [Vec<VarId>],
+    capacity: usize,
+    rng: &mut impl Rng,
+    dirty: &mut DirtyMask,
+) {
     if dbcs.len() < 2 {
         return;
     }
@@ -416,10 +472,12 @@ fn move_mutation(dbcs: &mut [Vec<VarId>], capacity: usize, rng: &mut impl Rng) {
     let i = rng.gen_range(0..dbcs[src].len());
     let v = dbcs[src].remove(i);
     dbcs[dst].push(v);
+    dirty.mark(src);
+    dirty.mark(dst);
 }
 
 /// Swap two variables within one DBC.
-fn transpose_mutation(dbcs: &mut [Vec<VarId>], rng: &mut impl Rng) {
+fn transpose_mutation(dbcs: &mut [Vec<VarId>], rng: &mut impl Rng, dirty: &mut DirtyMask) {
     let eligible: Vec<usize> = (0..dbcs.len()).filter(|&d| dbcs[d].len() >= 2).collect();
     if eligible.is_empty() {
         return;
@@ -432,6 +490,7 @@ fn transpose_mutation(dbcs: &mut [Vec<VarId>], rng: &mut impl Rng) {
         j = (j + 1) % n;
     }
     dbcs[d].swap(i, j);
+    dirty.mark(d);
 }
 
 #[cfg(test)]
@@ -501,17 +560,50 @@ mod tests {
         assert!(out.evaluations <= cfg.max_evaluations() + cfg.generations + 2);
     }
 
+    fn indiv(engine: &FitnessEngine<'_>, dbcs: Vec<Vec<VarId>>) -> Individual {
+        let dbc_costs = engine.per_dbc_costs(&dbcs);
+        let cost = dbc_costs.iter().sum();
+        Individual {
+            dbcs,
+            dbc_costs,
+            cost,
+        }
+    }
+
     #[test]
     fn crossover_preserves_validity() {
         let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
         let vars = seq.liveness().by_first_occurrence();
-        let a = Dma.distribute(&seq, 3, 4).unwrap();
-        let b = crate::inter::Afd.distribute(&seq, 3, 4).unwrap();
+        let engine = FitnessEngine::new(&seq, CostModel::single_port());
+        let a = indiv(&engine, Dma.distribute(&seq, 3, 4).unwrap());
+        let b = indiv(&engine, crate::inter::Afd.distribute(&seq, 3, 4).unwrap());
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         for _ in 0..50 {
-            let (c1, c2) = crossover(&a, &b, &vars, 4, &mut rng);
-            assert_valid(&c1, &seq, 4);
-            assert_valid(&c2, &seq, 4);
+            let (j1, j2) = crossover(&a, &b, &vars, 4, &mut rng);
+            assert_valid(&j1.lists, &seq, 4);
+            assert_valid(&j2.lists, &seq, 4);
+        }
+    }
+
+    #[test]
+    fn operators_report_accurate_dirty_masks() {
+        // Inherited (clean) per-DBC costs plus recomputed dirty ones must
+        // always equal a from-scratch evaluation.
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let vars = seq.liveness().by_first_occurrence();
+        let engine = FitnessEngine::new(&seq, CostModel::single_port());
+        let a = indiv(&engine, Dma.distribute(&seq, 3, 4).unwrap());
+        let b = indiv(&engine, crate::inter::Afd.distribute(&seq, 3, 4).unwrap());
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        for _ in 0..100 {
+            let (mut j1, mut j2) = crossover(&a, &b, &vars, 4, &mut rng);
+            mutate(&mut j1.lists, 4, &mut rng, &mut j1.dirty);
+            mutate(&mut j2.lists, 4, &mut rng, &mut j2.dirty);
+            for mut job in [j1, j2] {
+                let expect = engine.per_dbc_costs(&job.lists);
+                engine.evaluate_batch(std::slice::from_mut(&mut job));
+                assert_eq!(job.dbc_costs, expect);
+            }
         }
     }
 
@@ -521,7 +613,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let mut dbcs = Dma.distribute(&seq, 3, 4).unwrap();
         for _ in 0..200 {
-            mutate(&mut dbcs, 4, &mut rng);
+            mutate(&mut dbcs, 4, &mut rng, &mut DirtyMask::clean());
             assert_valid(&dbcs, &seq, 4);
         }
     }
@@ -533,13 +625,13 @@ mod tests {
         let v: Vec<VarId> = (0..3).map(VarId::from_index).collect();
         let mut single = vec![v.clone()];
         for _ in 0..50 {
-            mutate(&mut single, 8, &mut rng);
+            mutate(&mut single, 8, &mut rng, &mut DirtyMask::clean());
             assert_eq!(single[0].len(), 3);
         }
         // Empty DBCs alongside a singleton.
         let mut sparse = vec![vec![VarId::from_index(0)], vec![], vec![]];
         for _ in 0..50 {
-            mutate(&mut sparse, 1, &mut rng);
+            mutate(&mut sparse, 1, &mut rng, &mut DirtyMask::clean());
             let total: usize = sparse.iter().map(Vec::len).sum();
             assert_eq!(total, 1);
         }

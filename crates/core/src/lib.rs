@@ -9,6 +9,8 @@
 //! * [`CostModel`] — the shift-cost evaluator (the fitness function of the
 //!   whole paper): consecutive accesses `u, v` mapped to the same DBC cost
 //!   `|offset(u) − offset(v)|` shifts.
+//! * [`eval`] — the incremental, allocation-free, parallel fitness engine
+//!   that every search path evaluates through.
 //! * [`inter`] — inter-DBC distribution: the **AFD** baseline of Chen'16 and
 //!   the paper's **DMA** heuristic (Algorithm 1).
 //! * [`intra`] — intra-DBC orderings: **OFU** (order of first use),
@@ -44,6 +46,7 @@
 
 mod cost;
 mod error;
+pub mod eval;
 pub mod exact;
 pub mod ga;
 pub mod inter;
@@ -54,6 +57,7 @@ mod strategy;
 
 pub use cost::{CostModel, InitialAlignment};
 pub use error::PlacementError;
+pub use eval::{EngineStats, FitnessEngine};
 pub use ga::{GaConfig, GaOutcome, GeneticPlacer};
 pub use placement::{Location, Placement};
 pub use random_walk::RandomWalkConfig;

@@ -8,12 +8,17 @@
 
 use crate::cost::CostModel;
 use crate::error::PlacementError;
+use crate::eval::FitnessEngine;
 use crate::ga::random_assignment;
 use crate::inter::check_fit;
 use crate::placement::Placement;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use rtm_trace::AccessSequence;
+use rtm_trace::{AccessSequence, VarId};
+
+/// Candidates costed per engine batch (bounds peak memory while giving the
+/// parallel evaluator enough work per fan-out).
+const BATCH: usize = 256;
 
 /// Configuration of the random-walk search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,19 +86,49 @@ pub fn search(
     cost: CostModel,
     config: RandomWalkConfig,
 ) -> Result<(Placement, u64), PlacementError> {
+    // Memoization is useless for pure random sampling; skip the cache.
+    let engine = FitnessEngine::new(seq, cost).with_memo(false);
+    search_with_engine(&engine, dbcs, capacity, config)
+}
+
+/// Like [`search`], but evaluating through a caller-owned
+/// [`FitnessEngine`] (whose trace and cost model are used).
+///
+/// Candidates are generated sequentially from the seeded RNG and costed in
+/// batches; the best placement (earliest, on ties) is identical to a fully
+/// sequential run for any engine mode or thread count.
+///
+/// # Errors
+///
+/// Returns [`PlacementError`] if the variables cannot fit the geometry.
+pub fn search_with_engine(
+    engine: &FitnessEngine<'_>,
+    dbcs: usize,
+    capacity: usize,
+    config: RandomWalkConfig,
+) -> Result<(Placement, u64), PlacementError> {
+    let seq = engine.seq();
     let vars = seq.liveness().by_first_occurrence();
     check_fit(vars.len(), dbcs, capacity)?;
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
-    let mut best: Option<(Placement, u64)> = None;
-    for _ in 0..config.iterations.max(1) {
-        let lists = random_assignment(&vars, dbcs, capacity, &mut rng);
-        let p = Placement::from_dbc_lists(lists);
-        let c = cost.shift_cost(&p, seq.accesses());
-        if best.as_ref().is_none_or(|(_, bc)| c < *bc) {
-            best = Some((p, c));
+    let mut best: Option<(Vec<Vec<VarId>>, u64)> = None;
+    let mut remaining = config.iterations.max(1);
+    let mut batch: Vec<Vec<Vec<VarId>>> = Vec::with_capacity(BATCH.min(remaining));
+    while remaining > 0 {
+        batch.clear();
+        for _ in 0..BATCH.min(remaining) {
+            batch.push(random_assignment(&vars, dbcs, capacity, &mut rng));
+        }
+        remaining -= batch.len();
+        let costs = engine.batch_costs(&batch);
+        for (lists, c) in batch.drain(..).zip(costs) {
+            if best.as_ref().is_none_or(|(_, bc)| c < *bc) {
+                best = Some((lists, c));
+            }
         }
     }
-    Ok(best.expect("at least one iteration"))
+    let (lists, c) = best.expect("at least one iteration");
+    Ok((Placement::from_dbc_lists(lists), c))
 }
 
 #[cfg(test)]

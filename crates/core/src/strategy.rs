@@ -1,5 +1,6 @@
 use crate::cost::CostModel;
 use crate::error::PlacementError;
+use crate::eval::FitnessEngine;
 use crate::ga::{GaConfig, GeneticPlacer};
 use crate::inter::{Afd, Dma, InterHeuristic};
 use crate::intra::{Chen, IntraHeuristic, Ofu, ShiftsReduce};
@@ -115,6 +116,7 @@ pub struct PlacementProblem {
     dbcs: usize,
     capacity: usize,
     cost: CostModel,
+    threads: usize,
 }
 
 impl PlacementProblem {
@@ -126,6 +128,7 @@ impl PlacementProblem {
             dbcs,
             capacity,
             cost: CostModel::single_port(),
+            threads: 0,
         }
     }
 
@@ -133,6 +136,18 @@ impl PlacementProblem {
     pub fn with_cost_model(mut self, cost: CostModel) -> Self {
         self.cost = cost;
         self
+    }
+
+    /// Sets the fitness-engine worker count used by the search strategies
+    /// (`0` = auto-detect). Results are bit-identical for any value.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The fitness engine for this problem's trace and cost model.
+    pub fn engine(&self) -> FitnessEngine<'_> {
+        FitnessEngine::new(&self.seq, self.cost).with_threads(self.threads)
     }
 
     /// The trace.
@@ -156,6 +171,13 @@ impl PlacementProblem {
     }
 
     /// Evaluates an externally produced placement against this problem.
+    ///
+    /// One-shot costing through the cost model directly — building a
+    /// [`FitnessEngine`] would cost as much as the evaluation itself, and
+    /// the direct path keeps the historical semantics for placements that
+    /// would not pass [`Placement::validate`] (e.g. duplicated variables,
+    /// where the location table's last occurrence wins). Callers
+    /// evaluating many placements should hold an [`engine`](Self::engine).
     pub fn evaluate(&self, placement: &Placement) -> u64 {
         self.cost.shift_cost(placement, self.seq.accesses())
     }
@@ -191,15 +213,19 @@ impl PlacementProblem {
                 .iter()
                 .filter_map(|s| self.solve(s).ok().map(|sol| sol.placement))
                 .collect();
+                let engine = self.engine();
                 GeneticPlacer::new(*cfg)
-                    .with_cost_model(self.cost)
-                    .run_seeded(&self.seq, self.dbcs, self.capacity, &seeds)?
+                    .run_with_engine(&engine, self.dbcs, self.capacity, &seeds)?
                     .best
             }
             Strategy::RandomWalk(cfg) => {
-                random_walk::search(&self.seq, self.dbcs, self.capacity, self.cost, *cfg)?.0
+                // Memoization is useless for pure random sampling.
+                let engine = self.engine().with_memo(false);
+                random_walk::search_with_engine(&engine, self.dbcs, self.capacity, *cfg)?.0
             }
         };
+        // One-shot final costing: the direct cost-model pass costs the same
+        // as one engine evaluation without the engine's O(|S|) index build.
         let per_dbc_shifts = self.cost.per_dbc_costs(&placement, self.seq.accesses());
         let shifts = per_dbc_shifts.iter().sum();
         Ok(Solution {

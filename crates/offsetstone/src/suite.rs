@@ -75,6 +75,42 @@ impl Benchmark {
     }
 }
 
+/// Generates the canonical traces of `benchmarks` on up to `threads` scoped
+/// workers (`0` = auto-detect), returning them in input order.
+///
+/// Trace generation is pure and deterministically seeded per benchmark, so
+/// the result is identical to a sequential `b.trace()` loop for any thread
+/// count — this is the fan-out used to load the whole suite concurrently
+/// before an experiment sweep.
+pub fn generate_traces(benchmarks: &[Benchmark], threads: usize) -> Vec<AccessSequence> {
+    if benchmarks.is_empty() {
+        return Vec::new();
+    }
+    let workers = if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    }
+    .clamp(1, benchmarks.len());
+    if workers == 1 {
+        return benchmarks.iter().map(Benchmark::trace).collect();
+    }
+    let chunk = benchmarks.len().div_ceil(workers);
+    let mut out: Vec<Option<AccessSequence>> = vec![None; benchmarks.len()];
+    std::thread::scope(|scope| {
+        for (out_chunk, in_chunk) in out.chunks_mut(chunk).zip(benchmarks.chunks(chunk)) {
+            scope.spawn(move || {
+                for (slot, b) in out_chunk.iter_mut().zip(in_chunk) {
+                    *slot = Some(b.trace());
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|t| t.expect("every slot written by exactly one worker"))
+        .collect()
+}
+
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
@@ -374,5 +410,15 @@ mod tests {
         let small = Benchmark::by_name("anagram").unwrap().sequence_count();
         let large = Benchmark::by_name("f2c").unwrap().sequence_count();
         assert!(large > small);
+    }
+
+    #[test]
+    fn parallel_trace_generation_matches_sequential() {
+        let benchmarks: Vec<Benchmark> = suite().into_iter().take(6).collect();
+        let sequential: Vec<_> = benchmarks.iter().map(Benchmark::trace).collect();
+        for threads in [1, 3, 8] {
+            assert_eq!(generate_traces(&benchmarks, threads), sequential);
+        }
+        assert!(generate_traces(&[], 4).is_empty());
     }
 }

@@ -1,0 +1,169 @@
+use crate::sequence::AccessSequence;
+use crate::var::VarId;
+
+/// Per-variable access-position index of a trace, in compressed sparse row
+/// (CSR) layout.
+///
+/// For every variable `v` the index stores the sorted list of 0-based trace
+/// positions at which `v` is accessed. This is the inverse view of an
+/// [`AccessSequence`]: where the sequence answers "which variable is accessed
+/// at position `i`?", the index answers "at which positions is `v` accessed?".
+///
+/// The fitness engine of the placement crate is built on this: the shift cost
+/// of one DBC depends only on the subsequence of accesses touching its own
+/// variables, so a DBC can be costed from the position lists of its members —
+/// `O(accesses-in-DBC)` work instead of a full `O(|S|)` trace replay.
+///
+/// # Example
+///
+/// ```
+/// use rtm_trace::{AccessSequence, PositionIndex};
+///
+/// let seq = AccessSequence::parse("a b a c a")?;
+/// let idx = PositionIndex::of(&seq);
+/// let a = seq.vars().id("a").unwrap();
+/// assert_eq!(idx.positions(a), &[0, 2, 4]);
+/// # Ok::<(), rtm_trace::ParseTraceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PositionIndex {
+    /// `starts[v] .. starts[v + 1]` is `v`'s slice of `positions`.
+    starts: Vec<u32>,
+    /// All access positions, grouped by variable, ascending within a group.
+    positions: Vec<u32>,
+}
+
+impl PositionIndex {
+    /// Builds the index of `seq` in `O(|S| + |V|)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace has more than `u32::MAX` accesses (positions are
+    /// stored as `u32` to halve the memory traffic of the hot path).
+    pub fn of(seq: &AccessSequence) -> Self {
+        let len = u32::try_from(seq.len()).expect("trace longer than u32::MAX accesses");
+        let vars = seq.vars().len();
+        // Counting sort by variable: prefix sums give each variable's slice.
+        let mut starts = vec![0u32; vars + 1];
+        for &v in seq.accesses() {
+            starts[v.index() + 1] += 1;
+        }
+        for i in 1..=vars {
+            starts[i] += starts[i - 1];
+        }
+        let mut fill = starts.clone();
+        let mut positions = vec![0u32; len as usize];
+        for (pos, &v) in seq.accesses().iter().enumerate() {
+            positions[fill[v.index()] as usize] = pos as u32;
+            fill[v.index()] += 1;
+        }
+        Self { starts, positions }
+    }
+
+    /// The ascending 0-based trace positions of `v`'s accesses.
+    ///
+    /// Variables outside the indexed table (or never accessed) yield an
+    /// empty slice.
+    pub fn positions(&self, v: VarId) -> &[u32] {
+        let i = v.index();
+        if i + 1 >= self.starts.len() {
+            return &[];
+        }
+        &self.positions[self.starts[i] as usize..self.starts[i + 1] as usize]
+    }
+
+    /// Number of accesses of `v` (its frequency `A_v`).
+    pub fn frequency(&self, v: VarId) -> usize {
+        self.positions(v).len()
+    }
+
+    /// `v`'s run as a `start..end` index range into
+    /// [`raw_positions`](Self::raw_positions) (empty for out-of-range or
+    /// never-accessed variables) — the zero-indirection view used by merge
+    /// loops that walk several runs at once.
+    pub fn span(&self, v: VarId) -> (u32, u32) {
+        let i = v.index();
+        if i + 1 >= self.starts.len() {
+            return (0, 0);
+        }
+        (self.starts[i], self.starts[i + 1])
+    }
+
+    /// The full grouped position array underlying [`span`](Self::span).
+    pub fn raw_positions(&self) -> &[u32] {
+        &self.positions
+    }
+
+    /// Number of variables covered by the index.
+    pub fn var_count(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Total number of indexed accesses, `|S|`.
+    pub fn access_count(&self) -> usize {
+        self.positions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_SEQ: &str = "a b a b c a c a d d a i e f e f g e g h g i h i";
+
+    #[test]
+    fn positions_match_linear_scan() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let idx = PositionIndex::of(&seq);
+        assert_eq!(idx.var_count(), seq.vars().len());
+        assert_eq!(idx.access_count(), seq.len());
+        for vi in 0..seq.vars().len() {
+            let v = VarId::from_index(vi);
+            let expect: Vec<u32> = seq
+                .accesses()
+                .iter()
+                .enumerate()
+                .filter(|(_, &a)| a == v)
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(idx.positions(v), expect.as_slice(), "positions of {v}");
+            assert_eq!(idx.frequency(v), expect.len());
+        }
+    }
+
+    #[test]
+    fn frequencies_agree_with_liveness() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let idx = PositionIndex::of(&seq);
+        let live = seq.liveness();
+        for vi in 0..seq.vars().len() {
+            let v = VarId::from_index(vi);
+            assert_eq!(idx.frequency(v) as u64, live.frequency(v));
+        }
+    }
+
+    #[test]
+    fn out_of_range_variable_is_empty() {
+        let seq = AccessSequence::parse("a b").unwrap();
+        let idx = PositionIndex::of(&seq);
+        assert_eq!(idx.positions(VarId::from_index(99)), &[] as &[u32]);
+        assert_eq!(idx.frequency(VarId::from_index(99)), 0);
+    }
+
+    #[test]
+    fn unaccessed_interned_variable_is_empty() {
+        let mut b = crate::SequenceBuilder::new();
+        b.var("ghost");
+        b.access_named("a", crate::AccessKind::Read);
+        let seq = b.finish();
+        let idx = PositionIndex::of(&seq);
+        let ghost = seq.vars().id("ghost").unwrap();
+        assert_eq!(idx.positions(ghost), &[] as &[u32]);
+    }
+
+    #[test]
+    fn sequence_convenience_constructor() {
+        let seq = AccessSequence::parse("x y x").unwrap();
+        assert_eq!(seq.position_index(), PositionIndex::of(&seq));
+    }
+}

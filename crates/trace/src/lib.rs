@@ -14,6 +14,9 @@
 //! * [`Liveness`] — access frequency `A_v`, first occurrence `F_v`, last
 //!   occurrence `L_v`, lifespans and pairwise disjointness, i.e. exactly the
 //!   per-variable quantities lines 1–4 of the paper's Algorithm 1 compute.
+//! * [`PositionIndex`] — the inverse view of a trace (per-variable access
+//!   positions, CSR layout) that lets a single DBC be costed from only its
+//!   own accesses instead of a full trace replay.
 //!
 //! # Example
 //!
@@ -34,6 +37,7 @@
 
 mod error;
 mod graph;
+mod index;
 mod liveness;
 mod sequence;
 mod stats;
@@ -41,6 +45,7 @@ mod var;
 
 pub use error::ParseTraceError;
 pub use graph::{AccessGraph, Edge};
+pub use index::PositionIndex;
 pub use liveness::{Liveness, VarLiveness};
 pub use sequence::{AccessKind, AccessSequence, SequenceBuilder};
 pub use stats::TraceStats;

@@ -48,8 +48,8 @@ pub use rtm_trace as trace;
 pub use rtm_arch::{MemoryParams, RtmGeometry, ScalingModel};
 pub use rtm_offsetstone::{suite, Benchmark, GeneratorConfig};
 pub use rtm_placement::{
-    CostModel, GaConfig, GeneticPlacer, Placement, PlacementProblem, RandomWalkConfig, Solution,
-    Strategy,
+    CostModel, FitnessEngine, GaConfig, GeneticPlacer, Placement, PlacementProblem,
+    RandomWalkConfig, Solution, Strategy,
 };
 pub use rtm_sim::{SimStats, Simulator};
 pub use rtm_trace::{AccessSequence, SequenceBuilder, VarId, VarTable};
