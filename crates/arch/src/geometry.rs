@@ -79,6 +79,34 @@ impl RtmGeometry {
         Self::iso_capacity(4096, dbcs, 32, 1)
     }
 
+    /// The paper's 4 KiB configuration with a multi-port track variant —
+    /// the §V generalization axis (Chen's heuristic assumes ≥ 2 ports per
+    /// track; DMA is port-independent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::CapacityMismatch`] if 4 KiB does not divide
+    /// into `dbcs` DBCs of 32 tracks, or [`ConfigError::TooManyPorts`] if
+    /// `ports` exceeds the resulting track length.
+    pub fn paper_4kib_with_ports(dbcs: usize, ports: usize) -> Result<Self, ConfigError> {
+        Self::iso_capacity(4096, dbcs, 32, ports)
+    }
+
+    /// Returns the same geometry with a different port count per track.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroPorts`] / [`ConfigError::TooManyPorts`]
+    /// if the new count is invalid for this track length.
+    pub fn with_ports(self, ports_per_track: usize) -> Result<Self, ConfigError> {
+        Self::new(
+            self.dbcs,
+            self.tracks_per_dbc,
+            self.domains_per_track,
+            ports_per_track,
+        )
+    }
+
     /// Builds a geometry holding exactly `capacity_bytes` with the given DBC
     /// and track counts, deriving the domains per track.
     ///
@@ -212,6 +240,27 @@ mod tests {
         assert_eq!(RtmGeometry::new(1, 1, 1, 0), Err(ConfigError::ZeroPorts));
         assert!(matches!(
             RtmGeometry::new(1, 1, 4, 5),
+            Err(ConfigError::TooManyPorts { .. })
+        ));
+    }
+
+    #[test]
+    fn paper_config_port_variants() {
+        for ports in [1, 2, 4] {
+            let g = RtmGeometry::paper_4kib_with_ports(4, ports).unwrap();
+            assert_eq!(g.ports_per_track(), ports);
+            assert_eq!(g.domains_per_track(), 256);
+        }
+        assert_eq!(
+            RtmGeometry::paper_4kib(8).unwrap().with_ports(2).unwrap(),
+            RtmGeometry::paper_4kib_with_ports(8, 2).unwrap()
+        );
+        assert!(matches!(
+            RtmGeometry::paper_4kib(16).unwrap().with_ports(0),
+            Err(ConfigError::ZeroPorts)
+        ));
+        assert!(matches!(
+            RtmGeometry::paper_4kib(16).unwrap().with_ports(65),
             Err(ConfigError::TooManyPorts { .. })
         ));
     }

@@ -71,7 +71,18 @@ pub fn params_for(dbcs: usize) -> MemoryParams {
 /// Panics if the geometry is degenerate (zero counts) — impossible for the
 /// experiment sweeps.
 pub fn simulator_for(dbcs: usize, capacity: usize) -> Simulator {
-    let geometry = RtmGeometry::new(dbcs, 32, capacity, 1).expect("valid geometry");
+    simulator_with_ports(dbcs, capacity, 1)
+}
+
+/// Like [`simulator_for`], with `ports` access ports per track (the
+/// `ports` experiment's §V sweep).
+///
+/// # Panics
+///
+/// Panics if the geometry is degenerate (zero counts, or more ports than
+/// domains) — the sweeps cap the port count at the capacity.
+pub fn simulator_with_ports(dbcs: usize, capacity: usize, ports: usize) -> Simulator {
+    let geometry = RtmGeometry::new(dbcs, 32, capacity, ports).expect("valid geometry");
     Simulator::new(geometry, params_for(dbcs)).expect("matching params")
 }
 

@@ -26,5 +26,5 @@ mod stats;
 mod table;
 
 pub use opts::ExperimentOpts;
-pub use stats::{geomean, mean};
+pub use stats::{geomean, geomean_nonzero, mean};
 pub use table::Table;

@@ -7,6 +7,7 @@ use std::path::PathBuf;
 ///
 /// * `--quick` — reduced GA/RW budgets for smoke runs;
 /// * `--dbcs 2,4,8,16` — DBC configurations to sweep;
+/// * `--ports 1,2,4` — access-port counts to sweep (`ports` experiment);
 /// * `--seed N` — base RNG seed;
 /// * `--benchmarks gzip,dct` — restrict the benchmark set;
 /// * `--generations N` — GA generations override (`ga_convergence`);
@@ -15,6 +16,8 @@ use std::path::PathBuf;
 pub struct ExperimentOpts {
     /// DBC configurations to sweep.
     pub dbcs: Vec<usize>,
+    /// Access-port counts per track to sweep (the `ports` experiment).
+    pub ports: Vec<usize>,
     /// Base RNG seed.
     pub seed: u64,
     /// Use reduced search budgets.
@@ -34,6 +37,7 @@ impl Default for ExperimentOpts {
     fn default() -> Self {
         Self {
             dbcs: vec![2, 4, 8, 16],
+            ports: vec![1, 2, 4],
             seed: 1,
             quick: false,
             benchmarks: Vec::new(),
@@ -74,6 +78,16 @@ impl ExperimentOpts {
                         .split(',')
                         .map(|s| s.trim().parse().expect("--dbcs takes integers"))
                         .collect();
+                }
+                "--ports" => {
+                    opts.ports = value("--ports")
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("--ports takes integers"))
+                        .collect();
+                    assert!(
+                        !opts.ports.is_empty() && opts.ports.iter().all(|&p| p >= 1),
+                        "--ports takes positive integers"
+                    );
                 }
                 "--seed" => opts.seed = value("--seed").parse().expect("--seed takes an integer"),
                 "--benchmarks" => {
@@ -139,8 +153,20 @@ mod tests {
     fn defaults() {
         let o = parse(&[]);
         assert_eq!(o.dbcs, vec![2, 4, 8, 16]);
+        assert_eq!(o.ports, vec![1, 2, 4]);
         assert!(!o.quick);
         assert!(o.selects("anything"));
+    }
+
+    #[test]
+    fn parses_ports() {
+        assert_eq!(parse(&["--ports", "1,2"]).ports, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--ports takes positive integers")]
+    fn rejects_zero_ports() {
+        parse(&["--ports", "0,2"]);
     }
 
     #[test]

@@ -9,6 +9,21 @@ pub fn geomean(xs: &[f64]) -> f64 {
     (sum / xs.len() as f64).exp()
 }
 
+/// Geometric mean of the strictly positive entries plus an explicit count
+/// of the zero entries — for inputs where zeros are meaningful results
+/// (e.g. zero-shift benchmarks in the `ports` experiment) and must be
+/// *reported*, not silently clamped into the mean.
+///
+/// Returns `(geomean of positives, zero count)`; the geomean is 0.0 when
+/// no positive entry exists. Negative entries are rejected by debug
+/// assertion (shift counts are never negative).
+pub fn geomean_nonzero(xs: &[f64]) -> (f64, usize) {
+    debug_assert!(xs.iter().all(|&x| x >= 0.0), "negative input to geomean");
+    let zeros = xs.iter().filter(|&&x| x == 0.0).count();
+    let positives: Vec<f64> = xs.iter().copied().filter(|&x| x > 0.0).collect();
+    (geomean(&positives), zeros)
+}
+
 /// Arithmetic mean (0 if empty).
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -32,6 +47,15 @@ mod tests {
     fn geomean_survives_zero() {
         let g = geomean(&[0.0, 4.0]);
         assert!(g.is_finite());
+    }
+
+    #[test]
+    fn geomean_nonzero_counts_zeros_explicitly() {
+        let (g, z) = geomean_nonzero(&[0.0, 2.0, 8.0, 0.0]);
+        assert!((g - 4.0).abs() < 1e-12, "zeros must not drag the mean");
+        assert_eq!(z, 2);
+        assert_eq!(geomean_nonzero(&[]), (0.0, 0));
+        assert_eq!(geomean_nonzero(&[0.0]), (0.0, 1));
     }
 
     #[test]

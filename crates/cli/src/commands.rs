@@ -10,14 +10,15 @@ type CmdResult = Result<(), Box<dyn std::error::Error>>;
 /// `rtm place` — solve the placement and print the layout.
 pub fn place(args: &CliArgs) -> CmdResult {
     let seq = read_trace(args)?;
-    let (problem, dbcs, capacity) = build_problem(args, &seq)?;
+    let (problem, dbcs, capacity, ports) = build_problem(args, &seq)?;
     let strategy = parse_strategy(args.get("strategy").unwrap_or("dma-sr"))?;
     let sol = problem.solve(&strategy)?;
     println!(
-        "strategy {} on {} DBCs x {} locations: {} shifts",
+        "strategy {} on {} DBCs x {} locations ({} port(s)/track): {} shifts",
         strategy.name(),
         dbcs,
         capacity,
+        ports,
         sol.shifts
     );
     for (d, list) in sol.placement.dbc_lists().iter().enumerate() {
@@ -34,10 +35,10 @@ pub fn place(args: &CliArgs) -> CmdResult {
 /// `rtm simulate` — place and replay, printing latency/energy.
 pub fn simulate(args: &CliArgs) -> CmdResult {
     let seq = read_trace(args)?;
-    let (problem, dbcs, capacity) = build_problem(args, &seq)?;
+    let (problem, dbcs, capacity, ports) = build_problem(args, &seq)?;
     let strategy = parse_strategy(args.get("strategy").unwrap_or("dma-sr"))?;
     let sol = problem.solve(&strategy)?;
-    let sim = build_simulator(dbcs, capacity)?;
+    let sim = build_simulator(dbcs, capacity, ports)?;
     let stats = sim.run(&seq, &sol.placement)?;
     println!("strategy {}: {stats}", strategy.name());
     println!("runtime {:.1} (incl. compute gaps)", stats.runtime());
@@ -164,6 +165,30 @@ mod tests {
             ("strategy", "afd-ofu"),
         ]);
         simulate(&a).unwrap();
+        let _ = std::fs::remove_file(f);
+    }
+
+    #[test]
+    fn place_and_simulate_accept_ports() {
+        let f = trace_file("a b a b c c a b a");
+        for cmd in [place as fn(&CliArgs) -> CmdResult, simulate] {
+            let a = args(&[
+                ("trace", f.to_str().unwrap()),
+                ("dbcs", "2"),
+                ("ports", "2"),
+            ]);
+            cmd(&a).unwrap();
+        }
+        let _ = std::fs::remove_file(f);
+    }
+
+    #[test]
+    fn invalid_ports_are_an_error() {
+        let f = trace_file("a b");
+        for bad in ["0", "100000"] {
+            let a = args(&[("trace", f.to_str().unwrap()), ("ports", bad)]);
+            assert!(place(&a).is_err(), "--ports {bad} should be rejected");
+        }
         let _ = std::fs::remove_file(f);
     }
 

@@ -1,8 +1,8 @@
 //! `rtm` — command-line front end for racetrack-memory data placement.
 //!
 //! ```text
-//! rtm place    --trace FILE [--dbcs N] [--capacity N] [--strategy NAME] [--threads N]
-//! rtm simulate --trace FILE [--dbcs N] [--strategy NAME] [--threads N]
+//! rtm place    --trace FILE [--dbcs N] [--capacity N] [--ports N] [--strategy NAME] [--threads N]
+//! rtm simulate --trace FILE [--dbcs N] [--ports N] [--strategy NAME] [--threads N]
 //! rtm stats    --trace FILE
 //! rtm suite    [--benchmark NAME]
 //! rtm strategies
@@ -59,8 +59,8 @@ fn main() -> ExitCode {
 const USAGE: &str = "rtm — racetrack-memory data placement
 
 USAGE:
-    rtm place     --trace FILE [--dbcs N] [--capacity N] [--strategy NAME] [--threads N]
-    rtm simulate  --trace FILE [--dbcs N] [--strategy NAME] [--threads N]
+    rtm place     --trace FILE [--dbcs N] [--capacity N] [--ports N] [--strategy NAME] [--threads N]
+    rtm simulate  --trace FILE [--dbcs N] [--ports N] [--strategy NAME] [--threads N]
     rtm stats     --trace FILE
     rtm suite     [--benchmark NAME]
     rtm strategies
@@ -69,6 +69,8 @@ OPTIONS:
     --trace FILE      trace file (`-` for stdin)
     --dbcs N          number of DBCs (default 4)
     --capacity N      locations per DBC (default: fit the 4 KiB subarray)
+    --ports N         access ports per track (default 1); placement search,
+                      scoring, and simulation all use the N-port model
     --strategy NAME   afd-ofu | dma-ofu | dma-chen | dma-sr | dma-multi-sr |
                       ga | rw  (default dma-sr)
     --threads N       fitness-engine workers for ga/rw (default: all cores;
@@ -104,28 +106,43 @@ fn parse_strategy(name: &str) -> Result<Strategy, String> {
     })
 }
 
-/// Builds the placement problem implied by the options.
+/// Builds the placement problem implied by the options. Returns the
+/// problem plus the resolved `(dbcs, capacity, ports)`.
 fn build_problem(
     args: &CliArgs,
     seq: &AccessSequence,
-) -> Result<(PlacementProblem, usize, usize), Box<dyn std::error::Error>> {
+) -> Result<(PlacementProblem, usize, usize, usize), Box<dyn std::error::Error>> {
     let dbcs: usize = args.get_parsed("dbcs")?.unwrap_or(4);
     if dbcs == 0 {
         return Err("--dbcs must be at least 1".into());
     }
     let default_cap = (4096 * 8 / (dbcs * 32)).max(seq.vars().len().div_ceil(dbcs));
     let capacity: usize = args.get_parsed("capacity")?.unwrap_or(default_cap);
+    let ports: usize = args.get_parsed("ports")?.unwrap_or(1);
+    if ports == 0 {
+        return Err("--ports must be at least 1".into());
+    }
+    if ports > capacity {
+        return Err(format!("--ports {ports} exceeds the track length {capacity}").into());
+    }
     let threads: usize = args.get_parsed("threads")?.unwrap_or(0);
     Ok((
-        PlacementProblem::new(seq.clone(), dbcs, capacity).with_threads(threads),
+        PlacementProblem::new(seq.clone(), dbcs, capacity)
+            .with_ports(ports)
+            .with_threads(threads),
         dbcs,
         capacity,
+        ports,
     ))
 }
 
 /// Builds a simulator matching the problem geometry.
-fn build_simulator(dbcs: usize, capacity: usize) -> Result<Simulator, Box<dyn std::error::Error>> {
-    let geometry = rtm_arch::RtmGeometry::new(dbcs, 32, capacity, 1)?;
+fn build_simulator(
+    dbcs: usize,
+    capacity: usize,
+    ports: usize,
+) -> Result<Simulator, Box<dyn std::error::Error>> {
+    let geometry = rtm_arch::RtmGeometry::new(dbcs, 32, capacity, ports)?;
     let params = rtm_arch::table1::preset(dbcs)
         .unwrap_or_else(|| rtm_arch::ScalingModel::from_table1().params(dbcs));
     Ok(Simulator::new(geometry, params)?)

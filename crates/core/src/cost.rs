@@ -90,6 +90,12 @@ impl CostModel {
         self.ports_per_track
     }
 
+    /// Track length in domains (`None` for single-port models, which are
+    /// length-independent).
+    pub fn track_length(&self) -> Option<usize> {
+        self.track_length
+    }
+
     /// Initial alignment policy.
     pub fn initial(&self) -> InitialAlignment {
         self.initial
@@ -100,6 +106,22 @@ impl CostModel {
         match self.track_length {
             Some(len) => i * len / self.ports_per_track,
             None => 0,
+        }
+    }
+
+    /// A reusable per-access coster with the port homes resolved up front.
+    ///
+    /// [`access_cost`](Self::access_cost) recomputes `i·K/p` for every port
+    /// on every access; the evaluation inner loops (fitness engine, cost
+    /// model replays, branch-and-bound) instead walk through an
+    /// [`AccessCoster`], which pays the divisions once. Results are
+    /// bit-identical (pinned by `coster_matches_access_cost`).
+    pub(crate) fn coster(&self) -> AccessCoster {
+        AccessCoster {
+            homes: (0..self.ports_per_track)
+                .map(|p| self.port_home(p) as i64)
+                .collect(),
+            initial: self.initial,
         }
     }
 
@@ -119,6 +141,7 @@ impl CostModel {
     /// at `offset` requires `disp' = offset − home(p)` for some port `p`; the
     /// cost is `|disp' − disp|`, minimized over ports.
     pub fn per_dbc_costs(&self, placement: &Placement, accesses: &[VarId]) -> Vec<u64> {
+        let coster = self.coster();
         // Displacement state per DBC; None = untouched.
         let mut disp: Vec<Option<i64>> = vec![None; placement.dbc_count()];
         let mut costs = vec![0u64; placement.dbc_count()];
@@ -126,7 +149,7 @@ impl CostModel {
             let Some(loc) = placement.location(v) else {
                 continue;
             };
-            let (cost, new_disp) = self.access_cost(disp[loc.dbc], loc.offset);
+            let (cost, new_disp) = coster.access_cost(disp[loc.dbc], loc.offset);
             costs[loc.dbc] += cost;
             disp[loc.dbc] = Some(new_disp);
         }
@@ -136,9 +159,10 @@ impl CostModel {
     /// Cost of one access given the DBC's current displacement; returns
     /// `(shifts, new_displacement)`.
     ///
-    /// This is the innermost operation of every fitness evaluation in the
-    /// workspace (`pub(crate)` so the fitness engine can drive it directly
-    /// over per-DBC subsequences).
+    /// The *definition* of the per-access cost. The production paths walk
+    /// an [`AccessCoster`] (same result, homes precomputed); this form is
+    /// kept as the independent reference the coster is tested against.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn access_cost(&self, disp: Option<i64>, offset: usize) -> (u64, i64) {
         // Single-port fast path: the only port is homed at 0, so the target
         // displacement is the offset itself — no port scan, no closure.
@@ -192,6 +216,62 @@ impl CostModel {
 impl Default for CostModel {
     fn default() -> Self {
         Self::single_port()
+    }
+}
+
+/// The per-access inner operation of every evaluation path in the
+/// workspace, with the port home positions precomputed (see
+/// [`CostModel::coster`]). Bit-identical to [`CostModel::access_cost`]
+/// for the model it was built from.
+#[derive(Debug, Clone)]
+pub(crate) struct AccessCoster {
+    /// Port home positions, ascending; `[0]` for single-port models.
+    homes: Box<[i64]>,
+    initial: InitialAlignment,
+}
+
+impl AccessCoster {
+    /// Port home positions (ascending).
+    pub(crate) fn homes(&self) -> &[i64] {
+        &self.homes
+    }
+
+    /// Cost of one access given the DBC's current displacement; returns
+    /// `(shifts, new_displacement)`.
+    #[inline]
+    pub(crate) fn access_cost(&self, disp: Option<i64>, offset: usize) -> (u64, i64) {
+        // Single-port fast path: the only port is homed at 0.
+        if self.homes.len() == 1 {
+            let target = offset as i64 - self.homes[0];
+            return match disp {
+                Some(d) => ((d - target).unsigned_abs(), target),
+                None => match self.initial {
+                    InitialAlignment::FirstAccess => (0, target),
+                    InitialAlignment::TrackHead => (target.unsigned_abs(), target),
+                },
+            };
+        }
+        let best_target = |from: i64| -> (u64, i64) {
+            let mut best = (u64::MAX, 0i64);
+            for &home in self.homes.iter() {
+                let target = offset as i64 - home;
+                let cand = ((from - target).unsigned_abs(), target);
+                if cand < best {
+                    best = cand;
+                }
+            }
+            best
+        };
+        match disp {
+            Some(d) => best_target(d),
+            None => match self.initial {
+                InitialAlignment::FirstAccess => {
+                    let (_, target) = best_target(0);
+                    (0, target)
+                }
+                InitialAlignment::TrackHead => best_target(0),
+            },
+        }
     }
 }
 
@@ -308,6 +388,36 @@ mod tests {
     #[should_panic(expected = "more ports than domains")]
     fn multi_port_validates() {
         CostModel::multi_port(9, 4);
+    }
+
+    #[test]
+    fn coster_matches_access_cost() {
+        // The precomputed-homes coster must replicate `access_cost` bit for
+        // bit — cost, new displacement, and tie-breaking — on every port
+        // configuration and alignment policy.
+        let models = [
+            CostModel::single_port(),
+            CostModel::multi_port(1, 8),
+            CostModel::multi_port(2, 8),
+            CostModel::multi_port(3, 10),
+            CostModel::multi_port(4, 7),
+        ];
+        let offsets = [0usize, 1, 3, 3, 6, 2, 7, 5, 0, 4];
+        for base in models {
+            for initial in [InitialAlignment::FirstAccess, InitialAlignment::TrackHead] {
+                let m = base.with_initial(initial);
+                let coster = m.coster();
+                let mut disp_a: Option<i64> = None;
+                let mut disp_b: Option<i64> = None;
+                for &off in &offsets {
+                    let a = m.access_cost(disp_a, off);
+                    let b = coster.access_cost(disp_b, off);
+                    assert_eq!(a, b, "offset {off} from {disp_a:?} under {m:?}");
+                    disp_a = Some(a.1);
+                    disp_b = Some(b.1);
+                }
+            }
+        }
     }
 
     #[test]

@@ -25,6 +25,16 @@
 //! of the list's content, so neither thread count nor scheduling can change
 //! a result (see `DESIGN.md` §7 for the full argument).
 //!
+//! The engine is **port-aware end to end**: every path serves each access
+//! at the minimum displacement change over the cost model's port homes
+//! (precomputed once per engine), so GA/random-walk/`Strategy::solve` can
+//! *search* under a multi-port objective, bit-exactly with
+//! [`CostModel::per_dbc_costs`] at any port count. Both caches are
+//! engine-local and an engine's [`CostModel`] (port configuration
+//! included) is fixed at construction, so cache keys are implicitly scoped
+//! to the port config — costs cached under one model can never answer a
+//! query under another.
+//!
 //! The engine also keeps the pre-engine evaluation path alive as
 //! [`FitnessEngine::naive`] — a reference evaluator used by the equivalence
 //! test-suite and as the baseline of the `rtm-bench perf` experiment.
@@ -44,7 +54,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use crate::cost::CostModel;
+use crate::cost::{AccessCoster, CostModel};
 use crate::placement::Placement;
 use rtm_trace::{AccessSequence, PositionIndex, VarId};
 use std::collections::HashMap;
@@ -335,6 +345,10 @@ impl EvalJob {
 pub struct FitnessEngine<'a> {
     seq: &'a AccessSequence,
     cost: CostModel,
+    /// The per-access coster with port homes precomputed — the multi-port
+    /// min-over-ports displacement runs in the merge/walk inner loops
+    /// without a division per port per access.
+    coster: AccessCoster,
     index: PositionIndex,
     mode: EvalMode,
     threads: usize,
@@ -368,6 +382,7 @@ impl<'a> FitnessEngine<'a> {
         Self {
             seq,
             cost,
+            coster: cost.coster(),
             index: PositionIndex::of(seq),
             mode,
             threads: 0,
@@ -492,7 +507,7 @@ impl<'a> FitnessEngine<'a> {
             0 => 0,
             // One accessed member: every access hits the same offset, so
             // only the initial alignment can cost anything.
-            1 => self.cost.access_cost(None, last_offset as usize).0,
+            1 => self.coster.access_cost(None, last_offset as usize).0,
             _ => match &self.subseq {
                 Some(cache) => {
                     // Membership lookup by order-independent hash; order-only
@@ -603,7 +618,7 @@ impl<'a> FitnessEngine<'a> {
         let mut total = 0u64;
         for &var in &scratch.seq_buf {
             let off = scratch.offsets[var as usize];
-            let (c, nd) = self.cost.access_cost(disp, off as usize);
+            let (c, nd) = self.coster.access_cost(disp, off as usize);
             total += c;
             disp = Some(nd);
         }
@@ -628,7 +643,17 @@ impl<'a> FitnessEngine<'a> {
                 pairs: pairs.into_boxed_slice(),
             }
         } else {
-            Summary::Sequence(seq.as_slice().into())
+            // Self-transitions are free under every port count (the access
+            // re-aligns to the same target at zero displacement change), so
+            // consecutive duplicates are dropped at build time here too —
+            // only the run boundaries carry cost in the stateful walk.
+            let mut deduped: Vec<u32> = Vec::with_capacity(seq.len());
+            for &var in seq.iter() {
+                if deduped.last() != Some(&var) {
+                    deduped.push(var);
+                }
+            }
+            Summary::Sequence(deduped.into_boxed_slice())
         }
     }
 
@@ -637,7 +662,7 @@ impl<'a> FitnessEngine<'a> {
         match summary {
             Summary::Transitions { first, pairs } => {
                 let mut total = self
-                    .cost
+                    .coster
                     .access_cost(None, offsets[*first as usize] as usize)
                     .0;
                 for &(u, v) in pairs.iter() {
@@ -650,7 +675,9 @@ impl<'a> FitnessEngine<'a> {
                 let mut disp: Option<i64> = None;
                 let mut total = 0u64;
                 for &var in seq.iter() {
-                    let (c, nd) = self.cost.access_cost(disp, offsets[var as usize] as usize);
+                    let (c, nd) = self
+                        .coster
+                        .access_cost(disp, offsets[var as usize] as usize);
                     total += c;
                     disp = Some(nd);
                 }
@@ -692,7 +719,7 @@ impl<'a> FitnessEngine<'a> {
                 continue; // unplaced variable
             }
             let (c, nd) = self
-                .cost
+                .coster
                 .access_cost(scratch.disp[d as usize], scratch.offsets[i] as usize);
             total += c;
             scratch.disp[d as usize] = Some(nd);

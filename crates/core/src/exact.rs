@@ -12,7 +12,7 @@
 //! the variable sequence across `q` DBCs in every order), pruning branches
 //! whose partial cost already exceeds the incumbent.
 
-use crate::cost::CostModel;
+use crate::cost::{CostModel, InitialAlignment};
 use crate::error::PlacementError;
 use crate::inter::check_fit;
 use crate::placement::Placement;
@@ -66,6 +66,7 @@ pub fn solve(
     let mut best_cost = u64::MAX;
     let mut best: Vec<Vec<VarId>> = vec![Vec::new(); dbcs];
     let mut current: Vec<Vec<VarId>> = vec![Vec::new(); dbcs];
+    let bound = PruneBound::new(&cost, capacity);
     search(
         seq,
         &vars,
@@ -73,6 +74,7 @@ pub fn solve(
         dbcs,
         capacity,
         &cost,
+        &bound,
         &mut current,
         &mut best,
         &mut best_cost,
@@ -80,8 +82,142 @@ pub fn solve(
     Ok((ExactPlacement { lists: best }, best_cost))
 }
 
+/// Sound branch-and-bound pruning for any port count.
+///
+/// The bound used before this existed — the restricted shift cost of the
+/// already-placed variables — is only sound for single-port models. Under
+/// a multi-port model, inserting a later variable *between* two placed
+/// ones grows their offset gap, and `min`-over-ports costing can make the
+/// grown gap land exactly on a port-home difference, so a transition gets
+/// *cheaper* in a descendant (ports homed at 0/4: offsets `0 → 3` cost 1,
+/// but `0 → 4` cost 0). Pruning on the restricted cost would then cut off
+/// branches that still lead to the optimum.
+///
+/// The sound generalization bounds each restricted transition from below
+/// over everything a descendant can do:
+///
+/// * the relative order of placed variables in a DBC never changes, so a
+///   transition's signed offset gap `Δ` can only grow in magnitude —
+///   bounded by `min(capacity, track length) − 1`;
+/// * serving any chain of interleaved new accesses moves the track at
+///   least the displacement distance between the endpoints' port
+///   alignments (triangle inequality), which is at least
+///   `min over port pairs |Δ − (home_p − home_q)|`.
+///
+/// Minimizing that distance over the whole reachable gap interval yields
+/// a valid per-transition lower bound. For single-port models the
+/// home-difference set is `{0}`, the interval minimum is `|Δ|`, and the
+/// bound equals the old restricted cost — single-port pruning strength is
+/// unchanged.
+struct PruneBound {
+    /// Distinct pairwise port-home differences (symmetric, contains 0).
+    home_diffs: Vec<i64>,
+    /// Port home positions (for [`InitialAlignment::TrackHead`] bounds).
+    homes: Vec<i64>,
+    /// Largest offset any variable can occupy in a completed placement.
+    max_offset: i64,
+    initial: InitialAlignment,
+}
+
+impl PruneBound {
+    fn new(cost: &CostModel, capacity: usize) -> Self {
+        let homes: Vec<i64> = cost.coster().homes().to_vec();
+        let mut home_diffs: Vec<i64> = homes
+            .iter()
+            .flat_map(|&a| homes.iter().map(move |&b| a - b))
+            .collect();
+        home_diffs.sort_unstable();
+        home_diffs.dedup();
+        let track = cost.track_length().unwrap_or(capacity);
+        Self {
+            home_diffs,
+            homes,
+            max_offset: capacity.min(track).saturating_sub(1) as i64,
+            initial: cost.initial(),
+        }
+    }
+
+    /// Distance from the closed interval `[lo, hi]` to the point `d`.
+    fn interval_dist(lo: i64, hi: i64, d: i64) -> u64 {
+        if d < lo {
+            (lo - d) as u64
+        } else if d > hi {
+            (d - hi) as u64
+        } else {
+            0
+        }
+    }
+
+    /// Lower bound on what a transition whose current signed offset gap is
+    /// `gap` can cost in any completed descendant placement.
+    fn transition(&self, gap: i64) -> u64 {
+        if gap == 0 {
+            return 0; // same variable: a self-transition stays free
+        }
+        // Descendant gaps keep the sign and can only grow in magnitude.
+        let (lo, hi) = if gap > 0 {
+            (gap, self.max_offset)
+        } else {
+            (-self.max_offset, gap)
+        };
+        self.home_diffs
+            .iter()
+            .map(|&d| Self::interval_dist(lo, hi, d))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Lower bound on a DBC's first access, currently at offset `off`.
+    fn first_access(&self, off: i64) -> u64 {
+        match self.initial {
+            InitialAlignment::FirstAccess => 0,
+            InitialAlignment::TrackHead => self
+                .homes
+                .iter()
+                .map(|&h| Self::interval_dist(off, self.max_offset, h))
+                .min()
+                .unwrap_or(0),
+        }
+    }
+
+    /// Sound lower bound on the cost of every completed placement reachable
+    /// from `lists`: one pass over the trace restricted to placed
+    /// variables, summing per-transition bounds.
+    fn lower_bound(&self, seq: &AccessSequence, lists: &[Vec<VarId>]) -> u64 {
+        let var_count = seq.vars().len();
+        let mut dbc_of = vec![u32::MAX; var_count];
+        let mut off_of = vec![0u32; var_count];
+        for (d, list) in lists.iter().enumerate() {
+            for (off, &v) in list.iter().enumerate() {
+                if v.index() < var_count {
+                    dbc_of[v.index()] = d as u32;
+                    off_of[v.index()] = off as u32;
+                }
+            }
+        }
+        // Last placed offset per DBC; `i64::MIN` = untouched.
+        let mut last: Vec<i64> = vec![i64::MIN; lists.len()];
+        let mut total = 0u64;
+        for &v in seq.accesses() {
+            let i = v.index();
+            if i >= var_count || dbc_of[i] == u32::MAX {
+                continue;
+            }
+            let d = dbc_of[i] as usize;
+            let off = off_of[i] as i64;
+            total += if last[d] == i64::MIN {
+                self.first_access(off)
+            } else {
+                self.transition(off - last[d])
+            };
+            last[d] = off;
+        }
+        total
+    }
+}
+
 /// Recursive enumeration: place `vars[i..]`, each variable at every DBC and
-/// every insertion position, pruning on the incumbent.
+/// every insertion position, pruning on the incumbent via [`PruneBound`].
 #[allow(clippy::too_many_arguments)]
 fn search(
     seq: &AccessSequence,
@@ -90,6 +226,7 @@ fn search(
     dbcs: usize,
     capacity: usize,
     cost: &CostModel,
+    bound: &PruneBound,
     current: &mut Vec<Vec<VarId>>,
     best: &mut Vec<Vec<VarId>>,
     best_cost: &mut u64,
@@ -103,15 +240,8 @@ fn search(
         }
         return;
     }
-    // Partial-cost bound: the cost of the already-placed variables only
-    // grows as more variables join (their accesses add port movement), so
-    // the restricted cost is a valid lower bound.
-    if *best_cost != u64::MAX {
-        let p = Placement::from_dbc_lists(current.clone());
-        let partial = cost.shift_cost(&p, seq.accesses());
-        if partial >= *best_cost {
-            return;
-        }
+    if *best_cost != u64::MAX && bound.lower_bound(seq, current) >= *best_cost {
+        return;
     }
     let v = vars[i];
     for d in 0..dbcs {
@@ -132,6 +262,7 @@ fn search(
                 dbcs,
                 capacity,
                 cost,
+                bound,
                 current,
                 best,
                 best_cost,
@@ -237,6 +368,104 @@ mod tests {
         let text: String = (0..12).map(|i| format!("v{i} ")).collect();
         let seq = AccessSequence::parse(&text).unwrap();
         let _ = solve(&seq, 2, 12, CostModel::single_port());
+    }
+
+    /// Unpruned exhaustive reference: the plain minimum over every
+    /// (assignment, permutation), no bound involved.
+    fn brute_force(seq: &AccessSequence, dbcs: usize, capacity: usize, cost: CostModel) -> u64 {
+        fn rec(
+            seq: &AccessSequence,
+            vars: &[VarId],
+            i: usize,
+            capacity: usize,
+            cost: &CostModel,
+            current: &mut Vec<Vec<VarId>>,
+            best: &mut u64,
+        ) {
+            if i == vars.len() {
+                let p = Placement::from_dbc_lists(current.clone());
+                *best = (*best).min(cost.shift_cost(&p, seq.accesses()));
+                return;
+            }
+            for d in 0..current.len() {
+                if current[d].len() >= capacity {
+                    continue;
+                }
+                for pos in 0..=current[d].len() {
+                    current[d].insert(pos, vars[i]);
+                    rec(seq, vars, i + 1, capacity, cost, current, best);
+                    current[d].remove(pos);
+                }
+            }
+        }
+        let vars = seq.liveness().by_first_occurrence();
+        let mut best = u64::MAX;
+        let mut current = vec![Vec::new(); dbcs];
+        rec(seq, &vars, 0, capacity, &cost, &mut current, &mut best);
+        best
+    }
+
+    #[test]
+    fn multi_port_pruning_is_sound() {
+        // The pre-PruneBound restricted-cost prune was unsound for
+        // multi-port models (a grown gap can land on a port-home difference
+        // and get cheaper); compare against the unpruned enumeration on
+        // traces engineered around the 0/4-home geometry and a few generic
+        // shapes.
+        let traces = [
+            "a b a b c d a c",
+            "a b c a b c d d",
+            "x y z w x z y w",
+            "p q p r q p r r",
+        ];
+        for t in traces {
+            let seq = AccessSequence::parse(t).unwrap();
+            let n = seq.vars().len();
+            for (ports, track) in [(2, n.max(2)), (2, 8), (4, 8)] {
+                let cost = CostModel::multi_port(ports, track);
+                let (p, c) = solve(&seq, 2, n, cost).unwrap();
+                assert_eq!(
+                    c,
+                    brute_force(&seq, 2, n, cost),
+                    "{t} @ {ports} ports over {track} domains"
+                );
+                let placement = p.into_placement();
+                assert_eq!(cost.shift_cost(&placement, seq.accesses()), c);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_port_optimum_never_exceeds_single_port() {
+        for t in ["a b a c b a c c", "m n m n o o m", "x y z x z y y x"] {
+            let seq = AccessSequence::parse(t).unwrap();
+            let n = seq.vars().len();
+            let (_, opt1) = solve(&seq, 2, n, CostModel::single_port()).unwrap();
+            let (_, opt2) = solve(&seq, 2, n, CostModel::multi_port(2, n)).unwrap();
+            assert!(opt2 <= opt1, "{t}: 2-port optimum {opt2} > 1-port {opt1}");
+        }
+    }
+
+    #[test]
+    fn prune_bound_equals_restricted_cost_for_single_port() {
+        // For single-port models the generalized bound must degenerate to
+        // the old restricted partial cost (same pruning strength).
+        let seq = AccessSequence::parse("a b a c b a c c d a").unwrap();
+        let id = |i| VarId::from_index(i);
+        let partials = [
+            vec![vec![id(0)], vec![]],
+            vec![vec![id(0), id(2)], vec![id(1)]],
+            vec![vec![id(2), id(0)], vec![id(1), id(3)]],
+        ];
+        let cost = CostModel::single_port();
+        let bound = PruneBound::new(&cost, 6);
+        for lists in partials {
+            let p = Placement::from_dbc_lists(lists.clone());
+            assert_eq!(
+                bound.lower_bound(&seq, &lists),
+                cost.shift_cost(&p, seq.accesses())
+            );
+        }
     }
 
     #[test]

@@ -86,7 +86,8 @@ pub fn search(
     cost: CostModel,
     config: RandomWalkConfig,
 ) -> Result<(Placement, u64), PlacementError> {
-    // Memoization is useless for pure random sampling; skip the cache.
+    // `batch_costs` replays candidates without consulting the caches;
+    // disabling them just skips building unused maps.
     let engine = FitnessEngine::new(seq, cost).with_memo(false);
     search_with_engine(&engine, dbcs, capacity, config)
 }

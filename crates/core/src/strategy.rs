@@ -138,6 +138,24 @@ impl PlacementProblem {
         self
     }
 
+    /// Convenience for the paper's §V generalization axis: searches and
+    /// scores under a multi-port model with `ports` access ports spread
+    /// evenly over this problem's track length (= its capacity). `1` is
+    /// the single-port default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is zero or exceeds the capacity (more ports than
+    /// domains on a track).
+    pub fn with_ports(self, ports: usize) -> Self {
+        let cost = if ports == 1 {
+            CostModel::single_port()
+        } else {
+            CostModel::multi_port(ports, self.capacity)
+        };
+        self.with_cost_model(cost)
+    }
+
     /// Sets the fitness-engine worker count used by the search strategies
     /// (`0` = auto-detect). Results are bit-identical for any value.
     pub fn with_threads(mut self, threads: usize) -> Self {
@@ -219,7 +237,8 @@ impl PlacementProblem {
                     .best
             }
             Strategy::RandomWalk(cfg) => {
-                // Memoization is useless for pure random sampling.
+                // The random walk's batch path never consults the caches;
+                // disabling them just skips building unused maps.
                 let engine = self.engine().with_memo(false);
                 random_walk::search_with_engine(&engine, self.dbcs, self.capacity, *cfg)?.0
             }
@@ -396,5 +415,36 @@ mod tests {
     #[test]
     fn display_matches_name() {
         assert_eq!(Strategy::DmaSr.to_string(), "DMA-SR");
+    }
+
+    #[test]
+    fn with_ports_builds_the_matching_model() {
+        let p = problem(2);
+        assert_eq!(
+            p.clone().with_ports(1).cost_model(),
+            CostModel::single_port()
+        );
+        assert_eq!(p.with_ports(4).cost_model(), CostModel::multi_port(4, 512));
+    }
+
+    #[test]
+    fn port_aware_search_never_loses_to_rescored_agnostic_placement() {
+        // The §V claim made searchable: a GA running under the 2-port
+        // objective (seeded with the port-agnostic heuristics) can never be
+        // worse than re-scoring the port-agnostic DMA-SR placement, because
+        // that very placement is in its elitist initial population.
+        let agnostic = problem(2).solve(&Strategy::DmaSr).unwrap();
+        for ports in [2usize, 4] {
+            let aware_problem = problem(2).with_ports(ports);
+            let rescored = aware_problem.evaluate(&agnostic.placement);
+            let aware = aware_problem
+                .solve(&Strategy::Ga(GaConfig::quick()))
+                .unwrap();
+            assert!(
+                aware.shifts <= rescored,
+                "{ports} ports: aware {} > rescored {rescored}",
+                aware.shifts
+            );
+        }
     }
 }

@@ -2,7 +2,7 @@ use crate::dbc::DbcState;
 use crate::error::SimError;
 use crate::stats::SimStats;
 use rtm_arch::{table1, ConfigError, MemoryParams, Ns, RtmGeometry, ScalingModel};
-use rtm_placement::Placement;
+use rtm_placement::{CostModel, Placement};
 use rtm_trace::{AccessKind, AccessSequence};
 
 /// The RTM controller: replays an access trace against a data placement on
@@ -77,7 +77,18 @@ impl Simulator {
     /// Returns [`ConfigError`] if 4 KiB does not divide into `dbcs` DBCs of
     /// 32 tracks.
     pub fn for_paper_config(dbcs: usize) -> Result<Self, ConfigError> {
-        let geometry = RtmGeometry::paper_4kib(dbcs)?;
+        Self::for_paper_config_with_ports(dbcs, 1)
+    }
+
+    /// Like [`for_paper_config`](Self::for_paper_config), with `ports`
+    /// access ports per track (the §V multi-port generalization axis).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if 4 KiB does not divide into `dbcs` DBCs of
+    /// 32 tracks, or if `ports` is zero or exceeds the track length.
+    pub fn for_paper_config_with_ports(dbcs: usize, ports: usize) -> Result<Self, ConfigError> {
+        let geometry = RtmGeometry::paper_4kib_with_ports(dbcs, ports)?;
         let params =
             table1::preset(dbcs).unwrap_or_else(|| ScalingModel::from_table1().params(dbcs));
         Ok(Self {
@@ -90,6 +101,22 @@ impl Simulator {
     /// The geometry being simulated.
     pub fn geometry(&self) -> RtmGeometry {
         self.geometry
+    }
+
+    /// The analytic cost model this simulator is shift-count bit-exact
+    /// with — the crate's fidelity contract (DESIGN.md §3.1), stated as
+    /// code: `sim.run(seq, p)?.shifts == sim.cost_model().shift_cost(p,
+    /// seq.accesses())` for every in-geometry placement, at any port
+    /// count.
+    pub fn cost_model(&self) -> CostModel {
+        if self.geometry.ports_per_track() == 1 {
+            CostModel::single_port()
+        } else {
+            CostModel::multi_port(
+                self.geometry.ports_per_track(),
+                self.geometry.domains_per_track(),
+            )
+        }
     }
 
     /// The per-operation parameters in use.
@@ -150,7 +177,7 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rtm_placement::{CostModel, PlacementProblem, Strategy};
+    use rtm_placement::{PlacementProblem, Strategy};
     use rtm_trace::VarId;
 
     const PAPER_SEQ: &str = "a b a b c a c a d d a i e f e f g e g h g i h i";
@@ -250,6 +277,29 @@ mod tests {
         let mut p = table1::preset(2).unwrap();
         p.dbcs = dbcs;
         p
+    }
+
+    #[test]
+    fn paper_config_port_variants_match_their_cost_model() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let sol = PlacementProblem::new(seq.clone(), 2, 512)
+            .solve(&Strategy::DmaSr)
+            .unwrap();
+        for ports in [1usize, 2, 4] {
+            let sim = Simulator::for_paper_config_with_ports(2, ports).unwrap();
+            assert_eq!(sim.geometry().ports_per_track(), ports);
+            assert_eq!(sim.cost_model().ports_per_track(), ports);
+            let stats = sim.run(&seq, &sol.placement).unwrap();
+            assert_eq!(
+                stats.shifts,
+                sim.cost_model().shift_cost(&sol.placement, seq.accesses()),
+                "{ports} ports"
+            );
+        }
+        assert_eq!(
+            Simulator::for_paper_config(2).unwrap().cost_model(),
+            CostModel::single_port()
+        );
     }
 
     #[test]

@@ -26,10 +26,11 @@ fn arb_trace(
     })
 }
 
-/// A simulator over `dbcs` single-port DBCs of `capacity` locations, with
-/// Table I parameters re-tagged to the requested DBC count.
-fn simulator(dbcs: usize, capacity: usize) -> Simulator {
-    let geometry = RtmGeometry::new(dbcs, 32, capacity, 1).unwrap();
+/// A simulator over `dbcs` DBCs of `capacity` locations with `ports`
+/// access ports per track, Table I parameters re-tagged to the requested
+/// DBC count.
+fn simulator(dbcs: usize, capacity: usize, ports: usize) -> Simulator {
+    let geometry = RtmGeometry::new(dbcs, 32, capacity, ports).unwrap();
     let mut params = table1::preset(2).unwrap();
     params.dbcs = dbcs;
     Simulator::new(geometry, params).unwrap()
@@ -47,7 +48,7 @@ proptest! {
     ) {
         let capacity = seq.vars().len().div_ceil(dbcs).max(2);
         let problem = PlacementProblem::new(seq.clone(), dbcs, capacity);
-        let sim = simulator(dbcs, capacity);
+        let sim = simulator(dbcs, capacity, 1);
         for strategy in [
             Strat::AfdNative,
             Strat::AfdOfu,
@@ -82,14 +83,47 @@ proptest! {
             .unwrap();
         let model = CostModel::single_port();
         let analytic = model.shift_cost(&sol.placement, seq.accesses());
-        let stats = simulator(dbcs, capacity).run(&seq, &sol.placement).unwrap();
+        let stats = simulator(dbcs, capacity, 1).run(&seq, &sol.placement).unwrap();
         prop_assert_eq!(stats.shifts, analytic);
         prop_assert_eq!(stats.per_dbc_shifts, model.per_dbc_costs(&sol.placement, seq.accesses()));
+    }
+
+    /// The bit-exactness claim holds at every port count the paper's §V
+    /// sweep uses (1/2/4): replay totals and per-DBC shift counts equal
+    /// the matching multi-port cost model on random traces, with the
+    /// placement searched under that same model.
+    #[test]
+    fn replay_matches_cost_model_at_every_port_count(
+        seq in arb_trace(20, 120),
+        dbcs in 1usize..5,
+        port_sel in 0usize..3,
+    ) {
+        let ports = [1usize, 2, 4][port_sel];
+        let capacity = seq.vars().len().div_ceil(dbcs).max(2).max(ports);
+        let sol = PlacementProblem::new(seq.clone(), dbcs, capacity)
+            .with_ports(ports)
+            .solve(&Strat::DmaSr)
+            .unwrap();
+        let sim = simulator(dbcs, capacity, ports);
+        let model = sim.cost_model();
+        let stats = sim.run(&seq, &sol.placement).unwrap();
+        prop_assert_eq!(stats.shifts, sol.shifts, "{} ports total", ports);
+        prop_assert_eq!(
+            stats.shifts,
+            model.shift_cost(&sol.placement, seq.accesses())
+        );
+        prop_assert_eq!(
+            &stats.per_dbc_shifts,
+            &model.per_dbc_costs(&sol.placement, seq.accesses()),
+            "{} ports per-DBC",
+            ports
+        );
     }
 }
 
 /// The same equivalence on the realistic suite workloads (phase structure,
-/// Zipf skew, loop bursts) — cheap smoke over a few named benchmarks.
+/// Zipf skew, loop bursts) — cheap smoke over a few named benchmarks, at
+/// every §V port count.
 #[test]
 fn replay_matches_cost_model_on_offsetstone_workloads() {
     for name in ["adpcm", "gzip", "sparse"] {
@@ -98,15 +132,42 @@ fn replay_matches_cost_model_on_offsetstone_workloads() {
             .trace();
         for dbcs in [2usize, 8] {
             let capacity = (4096 * 8 / (dbcs * 32)).max(seq.vars().len().div_ceil(dbcs));
-            let sol = PlacementProblem::new(seq.clone(), dbcs, capacity)
-                .solve(&Strat::DmaSr)
-                .unwrap();
-            let stats = simulator(dbcs, capacity).run(&seq, &sol.placement).unwrap();
-            assert_eq!(stats.shifts, sol.shifts, "{name} @ {dbcs} DBCs");
-            assert_eq!(
-                stats.per_dbc_shifts, sol.per_dbc_shifts,
-                "{name} @ {dbcs} DBCs"
-            );
+            for ports in [1usize, 2, 4] {
+                let sol = PlacementProblem::new(seq.clone(), dbcs, capacity)
+                    .with_ports(ports)
+                    .solve(&Strat::DmaSr)
+                    .unwrap();
+                let stats = simulator(dbcs, capacity, ports)
+                    .run(&seq, &sol.placement)
+                    .unwrap();
+                assert_eq!(
+                    stats.shifts, sol.shifts,
+                    "{name} @ {dbcs} DBCs, {ports} ports"
+                );
+                assert_eq!(
+                    stats.per_dbc_shifts, sol.per_dbc_shifts,
+                    "{name} @ {dbcs} DBCs, {ports} ports"
+                );
+            }
         }
+    }
+}
+
+/// The full OffsetStone suite at 2 ports: totals only, one strategy —
+/// the wide net behind the fidelity contract of DESIGN.md §3.1.
+#[test]
+fn replay_matches_cost_model_on_full_suite_two_ports() {
+    for b in rtm_offsetstone::suite() {
+        let seq = b.trace();
+        let dbcs = 4usize;
+        let capacity = (4096 * 8 / (dbcs * 32)).max(seq.vars().len().div_ceil(dbcs));
+        let sol = PlacementProblem::new(seq.clone(), dbcs, capacity)
+            .with_ports(2)
+            .solve(&Strat::DmaSr)
+            .unwrap();
+        let stats = simulator(dbcs, capacity, 2)
+            .run(&seq, &sol.placement)
+            .unwrap();
+        assert_eq!(stats.shifts, sol.shifts, "{}", b.name());
     }
 }

@@ -142,6 +142,95 @@ proptest! {
         prop_assert_eq!(&job.dbc_costs, &reference.per_dbc_costs(&job.lists));
     }
 
+    /// Multi-port lane: arbitrary dirty-mask histories through the
+    /// incremental engine — sequential and 4-thread — stay bit-identical
+    /// to the naive `CostModel::multi_port` replay at every step.
+    #[test]
+    fn multi_port_dirty_mask_histories_match_naive_replay(
+        seq in arb_trace(16, 100),
+        dbcs in 2usize..5,
+        dbc_of in vec(0usize..5, 16),
+        order in vec(any::<u8>(), 16),
+        ports in 2usize..5,
+        edit_dbcs in vec(0usize..5, 5),
+        edit_is in vec(0usize..16, 5),
+        edit_js in vec(0usize..16, 5),
+    ) {
+        let lists = placement_from(&dbc_of, &order, seq.vars().len(), dbcs);
+        let track = lists.iter().map(Vec::len).max().unwrap_or(1).max(ports);
+        let cost = CostModel::multi_port(ports, track);
+        let seq_engine = FitnessEngine::new(&seq, cost).with_threads(1);
+        let par_engine = FitnessEngine::new(&seq, cost).with_threads(4);
+        let naive = FitnessEngine::naive(&seq, cost);
+        let mut current = lists;
+        let mut costs = seq_engine.per_dbc_costs(&current);
+        prop_assert_eq!(&costs, &naive.per_dbc_costs(&current));
+        prop_assert_eq!(&costs, &par_engine.per_dbc_costs(&current));
+        // Replay a mutation history: each step derives a job from the
+        // previous per-DBC costs, edits one DBC, and marks only it dirty.
+        for ((d, i), j) in edit_dbcs.into_iter().zip(edit_is).zip(edit_js) {
+            let d = d % dbcs;
+            let n = current[d].len();
+            if n < 2 {
+                continue;
+            }
+            let mut job = EvalJob::derived(current.clone(), costs.clone());
+            job.lists[d].swap(i % n, j % n);
+            job.dirty.mark(d);
+            let mut par_job = job.clone();
+            seq_engine.evaluate_batch(std::slice::from_mut(&mut job));
+            par_engine.evaluate_batch(std::slice::from_mut(&mut par_job));
+            prop_assert_eq!(&job.dbc_costs, &naive.per_dbc_costs(&job.lists));
+            prop_assert_eq!(&job.dbc_costs, &par_job.dbc_costs);
+            current = job.lists;
+            costs = job.dbc_costs;
+        }
+    }
+
+    /// Multi-port batch evaluation is thread-count invariant and equals the
+    /// naive replay (fresh jobs, both batch entry points).
+    #[test]
+    fn multi_port_batches_are_thread_invariant(
+        seq in arb_trace(12, 80),
+        dbcs in 1usize..4,
+        dbc_of in vec(0usize..4, 12),
+        order in vec(any::<u8>(), 12),
+        ports in 2usize..4,
+    ) {
+        let lists = placement_from(&dbc_of, &order, seq.vars().len(), dbcs);
+        let track = lists.iter().map(Vec::len).max().unwrap_or(1).max(ports);
+        let cost = CostModel::multi_port(ports, track);
+        let candidates: Vec<Vec<Vec<VarId>>> = (0..8)
+            .map(|r| {
+                let mut c = lists.clone();
+                for l in &mut c {
+                    if !l.is_empty() {
+                        let n = l.len();
+                        l.rotate_left(r % n);
+                    }
+                }
+                c
+            })
+            .collect();
+        let one = FitnessEngine::new(&seq, cost).with_memo(false).with_threads(1);
+        let four = FitnessEngine::new(&seq, cost).with_memo(false).with_threads(4);
+        let naive = FitnessEngine::naive(&seq, cost);
+        let a = one.batch_costs(&candidates);
+        let b = four.batch_costs(&candidates);
+        prop_assert_eq!(&a, &b);
+        for (lists, &got) in candidates.iter().zip(&a) {
+            prop_assert_eq!(got, naive.per_dbc_costs(lists).into_iter().sum::<u64>());
+        }
+        let mut jobs_a: Vec<EvalJob> = candidates.iter().cloned().map(EvalJob::fresh).collect();
+        let mut jobs_b = jobs_a.clone();
+        one.evaluate_batch(&mut jobs_a);
+        four.evaluate_batch(&mut jobs_b);
+        let totals_a: Vec<u64> = jobs_a.iter().map(EvalJob::total).collect();
+        let totals_b: Vec<u64> = jobs_b.iter().map(EvalJob::total).collect();
+        prop_assert_eq!(&totals_a, &a);
+        prop_assert_eq!(totals_a, totals_b);
+    }
+
     /// Same seed ⇒ identical GA outcome regardless of evaluator mode or
     /// thread count.
     #[test]

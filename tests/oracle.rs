@@ -80,6 +80,35 @@ proptest! {
         let (_, opt2) = exact::solve(&seq, 2, n, CostModel::single_port()).unwrap();
         prop_assert!(opt2 <= opt1);
     }
+
+    /// 2-port lane: no heuristic or search strategy, scored under the
+    /// 2-port model, ever falls below the 2-port optimum — and the
+    /// single-port optimum upper-bounds the 2-port optimum on every
+    /// instance (an extra port is pure freedom).
+    #[test]
+    fn two_port_oracle_bounds_heuristics(seq in arb_small_trace()) {
+        let n = seq.vars().len();
+        let two_port = CostModel::multi_port(2, n);
+        let (p, opt2) = exact::solve(&seq, 2, n, two_port).unwrap();
+        let (_, opt1) = exact::solve(&seq, 2, n, CostModel::single_port()).unwrap();
+        prop_assert!(opt2 <= opt1, "2-port optimum {opt2} > single-port {opt1}");
+        prop_assert_eq!(
+            two_port.shift_cost(&p.into_placement(), seq.accesses()),
+            opt2
+        );
+        let problem = PlacementProblem::new(seq.clone(), 2, n).with_cost_model(two_port);
+        for strat in [
+            Strat::AfdOfu,
+            Strat::DmaOfu,
+            Strat::DmaChen,
+            Strat::DmaSr,
+            Strat::Ga(GaConfig::quick()),
+        ] {
+            let sol = problem.solve(&strat).unwrap();
+            prop_assert!(sol.shifts >= opt2,
+                "{} reported {} < 2-port optimum {opt2}", strat.name(), sol.shifts);
+        }
+    }
 }
 
 #[test]

@@ -71,6 +71,33 @@ proptest! {
         prop_assert_eq!(stats.per_dbc_shifts, sol.per_dbc_shifts);
     }
 
+    /// The simulator ≡ cost model equivalence also holds on multi-port
+    /// geometries, with the placement *searched* under the same multi-port
+    /// objective (total and per-DBC shift counts alike).
+    #[test]
+    fn simulator_equals_cost_model_multi_port(
+        seq in arb_trace(16, 80),
+        dbcs in 1usize..5,
+        two_ports in any::<bool>(),
+    ) {
+        let ports = if two_ports { 2usize } else { 4 };
+        let capacity = seq.vars().len().div_ceil(dbcs).max(2).max(ports);
+        let problem = PlacementProblem::new(seq.clone(), dbcs, capacity).with_ports(ports);
+        let sol = problem.solve(&Strat::DmaSr).unwrap();
+        let geometry = RtmGeometry::new(dbcs, 32, capacity, ports).unwrap();
+        let mut params = rtm::arch::table1::preset(2).unwrap();
+        params.dbcs = dbcs;
+        let sim = Simulator::new(geometry, params).unwrap();
+        let stats = sim.run(&seq, &sol.placement).unwrap();
+        prop_assert_eq!(stats.shifts, sol.shifts);
+        prop_assert_eq!(&stats.per_dbc_shifts, &sol.per_dbc_shifts);
+        // The simulator's own model bridge agrees too.
+        prop_assert_eq!(
+            stats.per_dbc_shifts,
+            sim.cost_model().per_dbc_costs(&sol.placement, seq.accesses())
+        );
+    }
+
     /// DMA's selected set is pairwise disjoint, and together with the
     /// non-disjoint set forms a partition of the accessed variables.
     #[test]
