@@ -5,6 +5,8 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum ConfigError {
+    /// The number of subarrays in an array must be at least 1.
+    ZeroSubarrays,
     /// The number of DBCs must be at least 1.
     ZeroDbcs,
     /// Each DBC needs at least one track.
@@ -34,6 +36,7 @@ pub enum ConfigError {
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            ConfigError::ZeroSubarrays => write!(f, "number of subarrays must be at least 1"),
             ConfigError::ZeroDbcs => write!(f, "number of DBCs must be at least 1"),
             ConfigError::ZeroTracks => write!(f, "tracks per DBC must be at least 1"),
             ConfigError::ZeroDomains => write!(f, "domains per track must be at least 1"),

@@ -10,7 +10,10 @@
 //!
 //! The second half of the crate models RTM *geometry*: how many Domain Block
 //! Clusters (DBCs) a subarray has, how many tracks and domains per DBC, and
-//! how many access ports each track carries ([`RtmGeometry`]).
+//! how many access ports each track carries ([`RtmGeometry`], aliased
+//! [`SubarrayGeometry`] in array contexts). An [`ArrayGeometry`] composes
+//! multiple identical subarrays — the capacity-aware form the experiments
+//! use when a workload exceeds one 4 KiB subarray.
 //!
 //! # Example
 //!
@@ -29,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod array;
 mod energy;
 mod error;
 mod geometry;
@@ -36,8 +40,12 @@ mod params;
 mod scaling;
 pub mod table1;
 
+pub use array::ArrayGeometry;
 pub use energy::{EnergyBreakdown, LatencyReport};
 pub use error::ConfigError;
 pub use geometry::RtmGeometry;
+/// Role-named alias for [`RtmGeometry`]: in an [`ArrayGeometry`] every
+/// subarray is one `RtmGeometry` (the paper-faithful 4 KiB Table I unit).
+pub type SubarrayGeometry = RtmGeometry;
 pub use params::{MemoryParams, Mm2, Mw, Ns, Pj};
 pub use scaling::ScalingModel;

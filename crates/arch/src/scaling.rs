@@ -80,7 +80,19 @@ impl ScalingModel {
         let (a, b) = (&seg[0], &seg[1]);
         let (xa, xb) = ((a.dbcs as f64).log2(), (b.dbcs as f64).log2());
         let t = (x - xa) / (xb - xa);
-        field(a) + (field(b) - field(a)) * t
+        let raw = field(a) + (field(b) - field(a)) * t;
+        // Physical floor: extrapolating a shrinking quantity (e.g. shift
+        // latency) far past the table would eventually cross zero; clamp to
+        // a small fraction of the smallest anchor value so every derived
+        // energy/latency stays strictly positive while the extrapolation
+        // remains monotone (flat once the floor is reached).
+        let floor = self
+            .anchors
+            .iter()
+            .map(&field)
+            .fold(f64::INFINITY, f64::min)
+            * 1e-3;
+        raw.max(floor)
     }
 
     /// Parameters for an arbitrary DBC count (≥ 1).
@@ -162,6 +174,65 @@ mod tests {
         assert!(p32.leakage_power.value() > 8.94);
         assert!(p32.shift_latency.value() < 0.78);
         assert!(p32.shift_latency.value() > 0.0);
+    }
+
+    #[test]
+    fn extrapolation_is_monotone_outside_the_table() {
+        // Below 2 and beyond 16 the nearest segment extrapolates; each
+        // quantity must keep its direction (non-strictly, because of the
+        // positivity floor) across the whole out-of-range sweep.
+        let m = ScalingModel::from_table1();
+        let sweep: Vec<usize> = vec![1, 2, 16, 24, 32, 64, 128, 256, 1024];
+        let mut prev = m.params(sweep[0]);
+        for &d in &sweep[1..] {
+            let p = m.params(d);
+            assert!(
+                p.leakage_power.value() >= prev.leakage_power.value(),
+                "leakage at {d}"
+            );
+            assert!(p.area.value() >= prev.area.value(), "area at {d}");
+            assert!(
+                p.shift_latency.value() <= prev.shift_latency.value(),
+                "shift lat at {d}"
+            );
+            assert!(
+                p.shift_energy.value() <= prev.shift_energy.value(),
+                "shift energy at {d}"
+            );
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn extrapolation_is_exact_at_tabulated_points() {
+        // The clamp must not disturb the anchors themselves (already pinned
+        // by `exact_at_anchors`, restated here against the out-of-range
+        // code path: querying far outside and then an anchor again).
+        let m = ScalingModel::from_table1();
+        let _ = m.params(1024);
+        for d in table1::TABULATED_DBCS {
+            assert_eq!(m.params(d), table1::preset(d).unwrap());
+        }
+    }
+
+    #[test]
+    fn extrapolation_never_produces_non_positive_values() {
+        let m = ScalingModel::from_table1();
+        for d in [1usize, 32, 64, 256, 1024, 4096, 1 << 20] {
+            let p = m.params(d);
+            for (name, v) in [
+                ("leakage", p.leakage_power.value()),
+                ("write energy", p.write_energy.value()),
+                ("read energy", p.read_energy.value()),
+                ("shift energy", p.shift_energy.value()),
+                ("read latency", p.read_latency.value()),
+                ("write latency", p.write_latency.value()),
+                ("shift latency", p.shift_latency.value()),
+                ("area", p.area.value()),
+            ] {
+                assert!(v > 0.0, "{name} non-positive ({v}) at {d} DBCs");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,8 @@
+//! Sweeps the subarray count of the capacity-aware hierarchical placement
+//! path and compares it against the legacy grown-track spill. See
+//! `DESIGN.md` §4.
+
+fn main() -> std::io::Result<()> {
+    let opts = rtm_bench::ExperimentOpts::from_args();
+    rtm_bench::experiments::capacity::run(&opts).emit(&opts)
+}

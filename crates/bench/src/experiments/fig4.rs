@@ -2,7 +2,7 @@
 //! count, normalized to the genetic algorithm (GA = 1.0, exactly as the
 //! paper plots it), plus the §IV-B geomean summaries.
 
-use super::{selected_benchmarks, solve_and_simulate, ExperimentResult};
+use super::{selected_benchmarks, solve_and_simulate_with, ExperimentResult};
 use crate::{geomean, ExperimentOpts, Table};
 use rtm_placement::Strategy;
 use std::collections::BTreeMap;
@@ -67,7 +67,7 @@ pub fn collect(opts: &ExperimentOpts) -> Fig4Data {
         data.benchmarks.push(bench.name().to_owned());
         for &d in &opts.dbcs {
             for strat in &strategies {
-                let (sol, _) = solve_and_simulate(&seq, d, strat);
+                let (sol, _) = solve_and_simulate_with(&seq, d, strat, opts.legacy_spill);
                 data.shifts.insert(
                     (strat.name().to_owned(), bench.name().to_owned(), d),
                     sol.shifts,

@@ -2,7 +2,7 @@
 //! broken into leakage / read-write / shift energy and normalized to the
 //! AFD-OFU baseline of each DBC configuration.
 
-use super::{selected_benchmarks, solve_and_simulate, ExperimentResult};
+use super::{selected_benchmarks, solve_and_simulate_with, ExperimentResult};
 use crate::{ExperimentOpts, Table};
 use rtm_arch::EnergyBreakdown;
 use rtm_placement::Strategy;
@@ -20,7 +20,7 @@ pub fn collect(opts: &ExperimentOpts) -> BTreeMap<(String, usize), EnergyBreakdo
     for (_, seq) in selected_benchmarks(opts) {
         for &d in &opts.dbcs {
             for strat in strategies() {
-                let (_, stats) = solve_and_simulate(&seq, d, &strat);
+                let (_, stats) = solve_and_simulate_with(&seq, d, &strat, opts.legacy_spill);
                 let e = out.entry((strat.name().to_owned(), d)).or_default();
                 *e = *e + stats.energy;
             }

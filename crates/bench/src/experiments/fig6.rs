@@ -4,7 +4,7 @@
 //! configuration* (>1 = better than 2 DBCs; area shrinks below 1 because
 //! more ports cost area).
 
-use super::{params_for, selected_sequences, solve_and_simulate, ExperimentResult};
+use super::{params_for, selected_sequences, solve_and_simulate_with, ExperimentResult};
 use crate::{ExperimentOpts, Table};
 use rtm_placement::Strategy;
 
@@ -36,7 +36,8 @@ pub fn collect(opts: &ExperimentOpts) -> Vec<(usize, ConfigMetrics)> {
             };
             for (_, seqs) in &benchmarks {
                 for seq in seqs {
-                    let (_, stats) = solve_and_simulate(seq, d, &Strategy::DmaSr);
+                    let (_, stats) =
+                        solve_and_simulate_with(seq, d, &Strategy::DmaSr, opts.legacy_spill);
                     m.shifts += stats.shifts;
                     m.latency_ns += stats.runtime().value();
                     m.energy_pj += stats.energy.total().value();

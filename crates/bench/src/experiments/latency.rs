@@ -2,7 +2,7 @@
 //! AFD-OFU, per DBC count (the paper reports e.g. 50.3 % / 50.5 % / 33.1 %
 //! / 10.4 % for DMA-OFU on 2/4/8/16 DBCs).
 
-use super::{selected_benchmarks, solve_and_simulate, ExperimentResult};
+use super::{selected_benchmarks, solve_and_simulate_with, ExperimentResult};
 use crate::{ExperimentOpts, Table};
 use rtm_placement::Strategy;
 use std::collections::BTreeMap;
@@ -18,7 +18,7 @@ pub fn collect(opts: &ExperimentOpts) -> BTreeMap<(String, usize), f64> {
     for (_, seq) in selected_benchmarks(opts) {
         for &d in &opts.dbcs {
             for strat in [Strategy::AfdOfu].iter().chain(contenders().iter()) {
-                let (_, stats) = solve_and_simulate(&seq, d, strat);
+                let (_, stats) = solve_and_simulate_with(&seq, d, strat, opts.legacy_spill);
                 *out.entry((strat.name().to_owned(), d)).or_insert(0.0) +=
                     stats.latency.total().value();
             }

@@ -1,6 +1,7 @@
 //! One module per table/figure of the paper's evaluation.
 
 pub mod ablation;
+pub mod capacity;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
@@ -12,7 +13,7 @@ pub mod table1;
 
 use crate::ExperimentOpts;
 use crate::Table;
-use rtm_arch::{table1 as arch_table1, MemoryParams, RtmGeometry, ScalingModel};
+use rtm_arch::{table1 as arch_table1, ArrayGeometry, MemoryParams, RtmGeometry, ScalingModel};
 use rtm_offsetstone::{suite, Benchmark};
 use rtm_placement::{PlacementProblem, Solution, Strategy};
 use rtm_sim::{SimStats, Simulator};
@@ -42,19 +43,32 @@ impl ExperimentResult {
     }
 }
 
-/// Locations per DBC used by the experiments for a benchmark with `vars`
-/// variables on a `dbcs`-DBC configuration.
+/// Locations per DBC of the **legacy grown-track spill**: the paper's 4 KiB
+/// subarray offers 512/256/128/64 locations for 2/4/8/16 DBCs, and
+/// benchmarks that exceed it get their tracks stretched just enough to fit.
 ///
-/// The paper's 4 KiB subarray offers `1024 / dbcs · … ` — concretely
-/// 512/256/128/64 locations for 2/4/8/16 DBCs. A few OffsetStone sequences
-/// (up to 1336 variables) exceed the subarray; the paper does not describe
-/// special handling, so the experiments grow the track length just enough to
-/// fit while keeping the per-operation Table I parameters (the spill is
-/// documented in `DESIGN.md` §3; it affects both sides of every comparison
-/// equally).
+/// This was the experiments' default until the capacity-aware
+/// multi-subarray path replaced it ([`array_for`]); it is kept as the
+/// explicit `--legacy-spill` comparison baseline and for the perf/ablation
+/// micro-harnesses where the grown flat geometry is the measured artifact.
 pub fn capacity_for(dbcs: usize, vars: usize) -> usize {
     let table_capacity = 4096 * 8 / (dbcs * 32);
     table_capacity.max(vars.div_ceil(dbcs))
+}
+
+/// The paper-faithful 4 KiB subarray for a DBC count: 32 tracks, Table I
+/// domains per track, single port. Tracks are **never grown**.
+pub fn subarray_for(dbcs: usize) -> RtmGeometry {
+    let table_capacity = 4096 * 8 / (dbcs * 32);
+    RtmGeometry::new(dbcs, 32, table_capacity, 1).expect("paper subarray is valid")
+}
+
+/// The smallest array of paper-faithful 4 KiB subarrays (each `dbcs` DBCs)
+/// holding `vars` variables — the capacity-aware replacement for the
+/// [`capacity_for`] track-growing spill: workloads that exceed one subarray
+/// get more subarrays, not longer tracks.
+pub fn array_for(dbcs: usize, vars: usize) -> ArrayGeometry {
+    ArrayGeometry::sized_for(subarray_for(dbcs), vars)
 }
 
 /// The per-operation parameters for a DBC count: Table I when tabulated,
@@ -87,17 +101,45 @@ pub fn simulator_with_ports(dbcs: usize, capacity: usize, ports: usize) -> Simul
 }
 
 /// Solves one benchmark trace for one configuration with one strategy and
-/// simulates the result.
+/// simulates the result — the **capacity-aware** path: placement happens
+/// inside the smallest array of paper-faithful 4 KiB subarrays that fits
+/// the benchmark ([`array_for`]); tracks are never grown.
+///
+/// For benchmarks that fit one subarray this is bit-identical to the
+/// historical behavior (the array degenerates to the flat geometry).
 ///
 /// # Panics
 ///
-/// Panics if the strategy fails (capacities are sized by
-/// [`capacity_for`], so this indicates a bug).
+/// Panics if the strategy fails (arrays are sized by [`array_for`], so
+/// this indicates a bug).
 pub fn solve_and_simulate(
     seq: &AccessSequence,
     dbcs: usize,
     strategy: &Strategy,
 ) -> (Solution, SimStats) {
+    let array = array_for(dbcs, seq.vars().len());
+    let problem = PlacementProblem::for_array(seq.clone(), &array);
+    let solution = problem
+        .solve(strategy)
+        .expect("experiment arrays always fit");
+    let stats = Simulator::for_array(&array)
+        .run(seq, &solution.placement)
+        .expect("solution placements are valid");
+    (solution, stats)
+}
+
+/// [`solve_and_simulate`] with the historical `--legacy-spill` behavior
+/// switchable: `legacy_spill` grows the flat subarray's tracks just enough
+/// to fit ([`capacity_for`]) instead of adding subarrays.
+pub fn solve_and_simulate_with(
+    seq: &AccessSequence,
+    dbcs: usize,
+    strategy: &Strategy,
+    legacy_spill: bool,
+) -> (Solution, SimStats) {
+    if !legacy_spill {
+        return solve_and_simulate(seq, dbcs, strategy);
+    }
     let capacity = capacity_for(dbcs, seq.vars().len());
     let problem = PlacementProblem::new(seq.clone(), dbcs, capacity);
     let solution = problem
@@ -150,6 +192,46 @@ mod tests {
         assert_eq!(capacity_for(16, 100), 64);
         // mpeg2: 1336 vars on 16 DBCs -> needs 84 per DBC.
         assert_eq!(capacity_for(16, 1336), 84);
+    }
+
+    #[test]
+    fn arrays_never_grow_tracks() {
+        for dbcs in [2usize, 4, 8, 16] {
+            let sub = subarray_for(dbcs);
+            assert_eq!(sub.capacity_bytes(), 4096);
+            // mpeg2's 1336 variables: more subarrays, same tracks.
+            let a = array_for(dbcs, 1336);
+            assert_eq!(a.locations_per_dbc(), sub.locations_per_dbc());
+            assert!(a.fits(1336));
+            // Small benchmarks stay on one subarray.
+            assert_eq!(array_for(dbcs, 100).subarrays(), 1);
+        }
+        assert_eq!(array_for(16, 1336).subarrays(), 2);
+    }
+
+    #[test]
+    fn capacity_aware_path_matches_legacy_when_nothing_spills() {
+        // adpcm (165 vars) fits one subarray at 4 DBCs: the new default
+        // must reproduce the legacy behavior bit for bit.
+        let seq = Benchmark::by_name("adpcm").unwrap().trace();
+        let (sol_new, stats_new) = solve_and_simulate(&seq, 4, &Strategy::DmaSr);
+        let (sol_old, stats_old) = solve_and_simulate_with(&seq, 4, &Strategy::DmaSr, true);
+        assert_eq!(sol_new.placement, sol_old.placement);
+        assert_eq!(sol_new.shifts, sol_old.shifts);
+        assert_eq!(stats_new, stats_old);
+    }
+
+    #[test]
+    fn spilling_benchmark_is_placed_within_paper_subarrays() {
+        // mpeg2 at 16 DBCs used to grow tracks to 84 domains; the
+        // capacity-aware path keeps 64-domain tracks on 2 subarrays.
+        let seq = Benchmark::by_name("mpeg2").unwrap().trace();
+        let array = array_for(16, seq.vars().len());
+        assert_eq!((array.subarrays(), array.locations_per_dbc()), (2, 64));
+        let (sol, stats) = solve_and_simulate(&seq, 16, &Strategy::DmaSr);
+        assert_eq!(sol.shifts, stats.shifts);
+        sol.placement.validate_array(&seq, &array).unwrap();
+        assert_eq!(stats.per_subarray_shifts(16).len(), 2);
     }
 
     #[test]

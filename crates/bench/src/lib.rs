@@ -11,11 +11,15 @@
 //! | `fig6` | Fig. 6 — DBC-count trade-off for DMA-SR |
 //! | `latency` | §IV-C — latency improvement over AFD-OFU |
 //! | `ga_convergence` | §IV-B — long-GA optimality-gap study |
+//! | `capacity` | subarray-count sweep of the capacity-aware path vs the legacy grown-track spill |
 //! | `perf` | search-stack throughput, written to `BENCH_perf.json` |
 //!
 //! All binaries accept `--quick` (reduced GA/RW budgets), `--dbcs 2,4,8,16`,
 //! `--seed N`, `--benchmarks a,b,c` and write CSV next to the printed table
-//! under `target/experiments/`.
+//! under `target/experiments/`. Fig. 4/5/6 and latency place benchmarks
+//! that exceed one 4 KiB subarray across multiple paper-faithful subarrays
+//! by default; `--legacy-spill` restores the historical grown-track
+//! behavior as an explicit baseline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

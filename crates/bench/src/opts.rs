@@ -8,6 +8,11 @@ use std::path::PathBuf;
 /// * `--quick` — reduced GA/RW budgets for smoke runs;
 /// * `--dbcs 2,4,8,16` — DBC configurations to sweep;
 /// * `--ports 1,2,4` — access-port counts to sweep (`ports` experiment);
+/// * `--subarrays 1,2,4` — subarray counts to sweep (`capacity`
+///   experiment);
+/// * `--legacy-spill` — revert Fig. 4/5/6 and latency to the historical
+///   grown-track behavior instead of the capacity-aware multi-subarray
+///   path (kept as an explicit comparison baseline);
 /// * `--seed N` — base RNG seed;
 /// * `--benchmarks gzip,dct` — restrict the benchmark set;
 /// * `--generations N` — GA generations override (`ga_convergence`);
@@ -18,6 +23,11 @@ pub struct ExperimentOpts {
     pub dbcs: Vec<usize>,
     /// Access-port counts per track to sweep (the `ports` experiment).
     pub ports: Vec<usize>,
+    /// Subarray counts to sweep (the `capacity` experiment).
+    pub subarrays: Vec<usize>,
+    /// Use the historical grown-track spill instead of the capacity-aware
+    /// multi-subarray path (Fig. 4/5/6 and latency).
+    pub legacy_spill: bool,
     /// Base RNG seed.
     pub seed: u64,
     /// Use reduced search budgets.
@@ -38,6 +48,8 @@ impl Default for ExperimentOpts {
         Self {
             dbcs: vec![2, 4, 8, 16],
             ports: vec![1, 2, 4],
+            subarrays: vec![1, 2, 4],
+            legacy_spill: false,
             seed: 1,
             quick: false,
             benchmarks: Vec::new(),
@@ -73,6 +85,17 @@ impl ExperimentOpts {
             match arg.as_str() {
                 "--quick" => opts.quick = true,
                 "--multi-seq" => opts.multi_seq = true,
+                "--legacy-spill" => opts.legacy_spill = true,
+                "--subarrays" => {
+                    opts.subarrays = value("--subarrays")
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("--subarrays takes integers"))
+                        .collect();
+                    assert!(
+                        !opts.subarrays.is_empty() && opts.subarrays.iter().all(|&s| s >= 1),
+                        "--subarrays takes positive integers"
+                    );
+                }
                 "--dbcs" => {
                     opts.dbcs = value("--dbcs")
                         .split(',')
@@ -161,6 +184,22 @@ mod tests {
     #[test]
     fn parses_ports() {
         assert_eq!(parse(&["--ports", "1,2"]).ports, vec![1, 2]);
+    }
+
+    #[test]
+    fn parses_subarrays_and_legacy_spill() {
+        let o = parse(&["--subarrays", "1,4", "--legacy-spill"]);
+        assert_eq!(o.subarrays, vec![1, 4]);
+        assert!(o.legacy_spill);
+        let d = parse(&[]);
+        assert_eq!(d.subarrays, vec![1, 2, 4]);
+        assert!(!d.legacy_spill);
+    }
+
+    #[test]
+    #[should_panic(expected = "--subarrays takes positive integers")]
+    fn rejects_zero_subarrays() {
+        parse(&["--subarrays", "0,2"]);
     }
 
     #[test]

@@ -3,7 +3,11 @@
 use std::collections::HashMap;
 use std::str::FromStr;
 
-/// Parsed `--key value` pairs.
+/// Options that are bare flags (no value follows them on the command
+/// line); everything else is a `--key value` pair.
+const BOOL_FLAGS: &[&str] = &["json"];
+
+/// Parsed `--key value` pairs plus bare boolean flags.
 #[derive(Debug, Clone, Default)]
 pub struct CliArgs {
     values: HashMap<String, String>,
@@ -18,6 +22,10 @@ impl CliArgs {
             let Some(key) = arg.strip_prefix("--") else {
                 return Err(format!("expected an option, got `{arg}`"));
             };
+            if BOOL_FLAGS.contains(&key) {
+                values.insert(key.to_owned(), "true".to_owned());
+                continue;
+            }
             let value = it
                 .next()
                 .ok_or_else(|| format!("option --{key} requires a value"))?;
@@ -29,6 +37,12 @@ impl CliArgs {
     /// Raw string value of an option.
     pub fn get(&self, key: &str) -> Option<&str> {
         self.values.get(key).map(String::as_str)
+    }
+
+    /// Whether a bare boolean flag (e.g. `--json`) was given.
+    pub fn flag(&self, key: &str) -> bool {
+        debug_assert!(BOOL_FLAGS.contains(&key), "unregistered flag `{key}`");
+        self.values.contains_key(key)
     }
 
     /// Parsed value of an option, `None` if absent.
@@ -81,5 +95,15 @@ mod tests {
     fn rejects_bad_parse() {
         let a = parse(&["--dbcs", "many"]).unwrap();
         assert!(a.get_parsed::<usize>("dbcs").is_err());
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let a = parse(&["--json", "--dbcs", "8"]).unwrap();
+        assert!(a.flag("json"));
+        assert_eq!(a.get_parsed::<usize>("dbcs").unwrap(), Some(8));
+        assert!(!parse(&["--dbcs", "8"]).unwrap().flag("json"));
+        // Trailing flag still parses (no value consumed).
+        assert!(parse(&["--dbcs", "8", "--json"]).unwrap().flag("json"));
     }
 }

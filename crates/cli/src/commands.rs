@@ -1,48 +1,189 @@
 //! The five subcommands.
 
 use crate::args::CliArgs;
-use crate::{build_problem, build_simulator, parse_strategy, read_trace};
+use crate::{build_problem, build_simulator, parse_strategy, read_trace, ProblemSpec};
 use rtm_offsetstone::{suite as bench_suite, Benchmark};
-use rtm_placement::{GaConfig, RandomWalkConfig, Strategy};
+use rtm_placement::{GaConfig, RandomWalkConfig, Solution, Strategy};
+use rtm_sim::SimStats;
+use rtm_trace::AccessSequence;
+use std::fmt::Write as _;
 
 type CmdResult = Result<(), Box<dyn std::error::Error>>;
 
-/// `rtm place` — solve the placement and print the layout.
+/// `rtm place` — solve the placement and print the layout (or, with
+/// `--json`, the machine-readable report).
 pub fn place(args: &CliArgs) -> CmdResult {
+    println!("{}", place_report(args)?);
+    Ok(())
+}
+
+/// `rtm simulate` — place and replay, printing latency/energy (or, with
+/// `--json`, the machine-readable report).
+pub fn simulate(args: &CliArgs) -> CmdResult {
+    println!("{}", simulate_report(args)?);
+    Ok(())
+}
+
+/// Builds the full `rtm place` output.
+pub(crate) fn place_report(args: &CliArgs) -> Result<String, Box<dyn std::error::Error>> {
     let seq = read_trace(args)?;
-    let (problem, dbcs, capacity, ports) = build_problem(args, &seq)?;
+    let spec = build_problem(args, &seq)?;
     let strategy = parse_strategy(args.get("strategy").unwrap_or("dma-sr"))?;
-    let sol = problem.solve(&strategy)?;
-    println!(
-        "strategy {} on {} DBCs x {} locations ({} port(s)/track): {} shifts",
+    let sol = spec.problem.solve(&strategy)?;
+    if args.flag("json") {
+        return Ok(json_report("place", &strategy, &spec, &seq, &sol, None));
+    }
+    // Flat invocations keep the historical header verbatim; the subarray
+    // prefix only appears for a real hierarchy.
+    let geometry_label = if spec.subarrays() > 1 {
+        format!("{} subarrays x {} DBCs", spec.subarrays(), spec.dbcs())
+    } else {
+        format!("{} DBCs", spec.dbcs())
+    };
+    let mut out = format!(
+        "strategy {} on {geometry_label} x {} locations ({} port(s)/track): {} shifts",
         strategy.name(),
-        dbcs,
-        capacity,
-        ports,
+        spec.capacity(),
+        spec.ports(),
         sol.shifts
     );
     for (d, list) in sol.placement.dbc_lists().iter().enumerate() {
         let names: Vec<&str> = list.iter().map(|&v| seq.vars().name(v)).collect();
-        println!(
-            "DBC{d} ({} shifts): {}",
+        let label = if spec.subarrays() > 1 {
+            format!("S{}.DBC{}", d / spec.dbcs(), d % spec.dbcs())
+        } else {
+            format!("DBC{d}")
+        };
+        write!(
+            out,
+            "\n{label} ({} shifts): {}",
             sol.per_dbc_shifts[d],
             names.join(" ")
-        );
+        )?;
     }
-    Ok(())
+    Ok(out)
 }
 
-/// `rtm simulate` — place and replay, printing latency/energy.
-pub fn simulate(args: &CliArgs) -> CmdResult {
+/// Builds the full `rtm simulate` output.
+pub(crate) fn simulate_report(args: &CliArgs) -> Result<String, Box<dyn std::error::Error>> {
     let seq = read_trace(args)?;
-    let (problem, dbcs, capacity, ports) = build_problem(args, &seq)?;
+    let spec = build_problem(args, &seq)?;
     let strategy = parse_strategy(args.get("strategy").unwrap_or("dma-sr"))?;
-    let sol = problem.solve(&strategy)?;
-    let sim = build_simulator(dbcs, capacity, ports)?;
+    let sol = spec.problem.solve(&strategy)?;
+    let sim = build_simulator(&spec);
     let stats = sim.run(&seq, &sol.placement)?;
-    println!("strategy {}: {stats}", strategy.name());
-    println!("runtime {:.1} (incl. compute gaps)", stats.runtime());
-    Ok(())
+    if args.flag("json") {
+        return Ok(json_report(
+            "simulate",
+            &strategy,
+            &spec,
+            &seq,
+            &sol,
+            Some(&stats),
+        ));
+    }
+    Ok(format!(
+        "strategy {}: {stats}\nruntime {:.1} (incl. compute gaps)",
+        strategy.name(),
+        stats.runtime()
+    ))
+}
+
+/// Escapes a string for a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The stable machine-readable schema shared by `place` and `simulate`:
+/// geometry, per-DBC and per-subarray costs, totals — plus a `simulation`
+/// object when simulator statistics are available.
+fn json_report(
+    command: &str,
+    strategy: &Strategy,
+    spec: &ProblemSpec,
+    seq: &AccessSequence,
+    sol: &Solution,
+    stats: Option<&SimStats>,
+) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"command\":\"{}\",\"strategy\":\"{}\",\"geometry\":{{\"subarrays\":{},\
+         \"dbcs_per_subarray\":{},\"locations_per_dbc\":{},\"ports_per_track\":{},\
+         \"total_dbcs\":{}}},\"total_shifts\":{}",
+        json_escape(command),
+        json_escape(strategy.name()),
+        spec.subarrays(),
+        spec.dbcs(),
+        spec.capacity(),
+        spec.ports(),
+        spec.subarrays() * spec.dbcs(),
+        sol.shifts
+    );
+    let per_subarray = sol.per_subarray_shifts(spec.dbcs());
+    let _ = write!(
+        out,
+        ",\"per_subarray_shifts\":[{}]",
+        per_subarray
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    out.push_str(",\"dbcs\":[");
+    for (d, list) in sol.placement.dbc_lists().iter().enumerate() {
+        if d > 0 {
+            out.push(',');
+        }
+        let vars: Vec<String> = list
+            .iter()
+            .map(|&v| format!("\"{}\"", json_escape(seq.vars().name(v))))
+            .collect();
+        let _ = write!(
+            out,
+            "{{\"subarray\":{},\"dbc\":{},\"shifts\":{},\"vars\":[{}]}}",
+            d / spec.dbcs(),
+            d % spec.dbcs(),
+            sol.per_dbc_shifts[d],
+            vars.join(",")
+        );
+    }
+    out.push(']');
+    if let Some(s) = stats {
+        let _ = write!(
+            out,
+            ",\"simulation\":{{\"reads\":{},\"writes\":{},\"shifts\":{},\
+             \"shifts_per_access\":{:.6},\"latency_ns\":{:.6},\"runtime_ns\":{:.6},\
+             \"energy_pj\":{{\"leakage\":{:.6},\"read_write\":{:.6},\"shift\":{:.6},\
+             \"total\":{:.6}}}}}",
+            s.reads,
+            s.writes,
+            s.shifts,
+            s.shifts_per_access(),
+            s.latency.total().value(),
+            s.runtime().value(),
+            s.energy.leakage.value(),
+            s.energy.read_write.value(),
+            s.energy.shift.value(),
+            s.energy.total().value()
+        );
+    }
+    out.push('}');
+    out
 }
 
 /// `rtm stats` — trace shape summary.
@@ -131,9 +272,16 @@ mod tests {
     use super::*;
 
     fn args(pairs: &[(&str, &str)]) -> CliArgs {
+        // An empty value denotes a bare boolean flag (e.g. `--json`).
         let argv: Vec<String> = pairs
             .iter()
-            .flat_map(|(k, v)| [format!("--{k}"), v.to_string()])
+            .flat_map(|(k, v)| {
+                if v.is_empty() {
+                    vec![format!("--{k}")]
+                } else {
+                    vec![format!("--{k}"), v.to_string()]
+                }
+            })
             .collect();
         CliArgs::parse(argv.into_iter()).unwrap()
     }
@@ -165,6 +313,235 @@ mod tests {
             ("strategy", "afd-ofu"),
         ]);
         simulate(&a).unwrap();
+        let _ = std::fs::remove_file(f);
+    }
+
+    /// Minimal recursive-descent JSON parser (objects, arrays, strings,
+    /// numbers, booleans, null): the `--json` outputs must be *valid* JSON,
+    /// not just JSON-looking text.
+    mod json {
+        pub fn parse(s: &str) -> Result<(), String> {
+            let b = s.as_bytes();
+            let mut i = 0usize;
+            value(b, &mut i)?;
+            skip_ws(b, &mut i);
+            if i != b.len() {
+                return Err(format!("trailing data at byte {i}"));
+            }
+            Ok(())
+        }
+
+        fn skip_ws(b: &[u8], i: &mut usize) {
+            while *i < b.len() && (b[*i] as char).is_ascii_whitespace() {
+                *i += 1;
+            }
+        }
+
+        fn expect(b: &[u8], i: &mut usize, c: u8) -> Result<(), String> {
+            if b.get(*i) == Some(&c) {
+                *i += 1;
+                Ok(())
+            } else {
+                Err(format!("expected `{}` at byte {}", c as char, i))
+            }
+        }
+
+        fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b'{') => object(b, i),
+                Some(b'[') => array(b, i),
+                Some(b'"') => string(b, i),
+                Some(b't') => literal(b, i, "true"),
+                Some(b'f') => literal(b, i, "false"),
+                Some(b'n') => literal(b, i, "null"),
+                Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+                other => Err(format!("unexpected {other:?} at byte {i}")),
+            }
+        }
+
+        fn object(b: &[u8], i: &mut usize) -> Result<(), String> {
+            expect(b, i, b'{')?;
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b'}') {
+                *i += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, i);
+                string(b, i)?;
+                skip_ws(b, i);
+                expect(b, i, b':')?;
+                value(b, i)?;
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b'}') => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    other => return Err(format!("bad object separator {other:?} at {i}")),
+                }
+            }
+        }
+
+        fn array(b: &[u8], i: &mut usize) -> Result<(), String> {
+            expect(b, i, b'[')?;
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b']') {
+                *i += 1;
+                return Ok(());
+            }
+            loop {
+                value(b, i)?;
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b']') => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    other => return Err(format!("bad array separator {other:?} at {i}")),
+                }
+            }
+        }
+
+        fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+            expect(b, i, b'"')?;
+            while let Some(&c) = b.get(*i) {
+                *i += 1;
+                match c {
+                    b'"' => return Ok(()),
+                    b'\\' => *i += 1, // skip the escaped byte
+                    _ => {}
+                }
+            }
+            Err("unterminated string".into())
+        }
+
+        fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
+            let start = *i;
+            while let Some(&c) = b.get(*i) {
+                if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                    *i += 1;
+                } else {
+                    break;
+                }
+            }
+            std::str::from_utf8(&b[start..*i])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(|_| ())
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+
+        fn literal(b: &[u8], i: &mut usize, lit: &str) -> Result<(), String> {
+            if b[*i..].starts_with(lit.as_bytes()) {
+                *i += lit.len();
+                Ok(())
+            } else {
+                Err(format!("bad literal at byte {i}"))
+            }
+        }
+    }
+
+    #[test]
+    fn place_json_is_valid_and_carries_the_schema() {
+        let f = trace_file("a b a b c c a");
+        let a = args(&[("trace", f.to_str().unwrap()), ("dbcs", "2"), ("json", "")]);
+        let out = place_report(&a).unwrap();
+        json::parse(&out).unwrap_or_else(|e| panic!("invalid JSON: {e}\n{out}"));
+        for key in [
+            "\"command\":\"place\"",
+            "\"strategy\":\"DMA-SR\"",
+            "\"geometry\"",
+            "\"subarrays\":1",
+            "\"dbcs_per_subarray\":2",
+            "\"locations_per_dbc\"",
+            "\"ports_per_track\":1",
+            "\"total_dbcs\":2",
+            "\"total_shifts\"",
+            "\"per_subarray_shifts\"",
+            "\"dbcs\":[",
+            "\"vars\":[",
+        ] {
+            assert!(out.contains(key), "missing {key} in {out}");
+        }
+        let _ = std::fs::remove_file(f);
+    }
+
+    #[test]
+    fn simulate_json_is_valid_and_includes_simulation_totals() {
+        let f = trace_file("x y x y z z x");
+        let a = args(&[
+            ("trace", f.to_str().unwrap()),
+            ("dbcs", "2"),
+            ("subarrays", "2"),
+            ("capacity", "2"),
+            ("json", ""),
+        ]);
+        let out = simulate_report(&a).unwrap();
+        json::parse(&out).unwrap_or_else(|e| panic!("invalid JSON: {e}\n{out}"));
+        for key in [
+            "\"command\":\"simulate\"",
+            "\"subarrays\":2",
+            "\"total_dbcs\":4",
+            "\"simulation\"",
+            "\"reads\"",
+            "\"energy_pj\"",
+            "\"runtime_ns\"",
+        ] {
+            assert!(out.contains(key), "missing {key} in {out}");
+        }
+        let _ = std::fs::remove_file(f);
+    }
+
+    #[test]
+    fn place_and_simulate_accept_subarrays() {
+        // 6 variables on 2 subarrays x 2 DBCs x 2 slots: no single
+        // subarray could hold them; tracks stay paper-faithful.
+        let f = trace_file("a b c d e f a b c");
+        for cmd in [place as fn(&CliArgs) -> CmdResult, simulate] {
+            let a = args(&[
+                ("trace", f.to_str().unwrap()),
+                ("dbcs", "2"),
+                ("capacity", "2"),
+                ("subarrays", "2"),
+            ]);
+            cmd(&a).unwrap();
+        }
+        // Subarray labels appear in the human-readable layout.
+        let a = args(&[
+            ("trace", f.to_str().unwrap()),
+            ("dbcs", "2"),
+            ("capacity", "2"),
+            ("subarrays", "2"),
+        ]);
+        let out = place_report(&a).unwrap();
+        assert!(out.contains("S1.DBC0"), "missing subarray label in {out}");
+        // Zero subarrays, or a workload that cannot fit, are errors.
+        let bad = args(&[("trace", f.to_str().unwrap()), ("subarrays", "0")]);
+        assert!(place(&bad).is_err());
+        let tight = args(&[
+            ("trace", f.to_str().unwrap()),
+            ("dbcs", "1"),
+            ("capacity", "2"),
+            ("subarrays", "2"),
+        ]);
+        assert!(place(&tight).is_err(), "6 vars cannot fit 4 slots");
+        let _ = std::fs::remove_file(f);
+    }
+
+    #[test]
+    fn single_subarray_output_is_unchanged() {
+        // The flat invocation keeps its historical DBC labels (no subarray
+        // prefix) — goldens that scrape it stay valid.
+        let f = trace_file("a b a b c c a");
+        let a = args(&[("trace", f.to_str().unwrap()), ("dbcs", "2")]);
+        let out = place_report(&a).unwrap();
+        assert!(out.contains("on 2 DBCs x "), "header changed: {out}");
+        assert!(out.contains("\nDBC0 ("));
+        assert!(!out.contains("subarray"));
         let _ = std::fs::remove_file(f);
     }
 

@@ -1,8 +1,8 @@
 //! `rtm` — command-line front end for racetrack-memory data placement.
 //!
 //! ```text
-//! rtm place    --trace FILE [--dbcs N] [--capacity N] [--ports N] [--strategy NAME] [--threads N]
-//! rtm simulate --trace FILE [--dbcs N] [--ports N] [--strategy NAME] [--threads N]
+//! rtm place    --trace FILE [--dbcs N] [--capacity N] [--ports N] [--subarrays N] [--strategy NAME] [--threads N] [--json]
+//! rtm simulate --trace FILE [--dbcs N] [--ports N] [--subarrays N] [--strategy NAME] [--threads N] [--json]
 //! rtm stats    --trace FILE
 //! rtm suite    [--benchmark NAME]
 //! rtm strategies
@@ -59,22 +59,26 @@ fn main() -> ExitCode {
 const USAGE: &str = "rtm — racetrack-memory data placement
 
 USAGE:
-    rtm place     --trace FILE [--dbcs N] [--capacity N] [--ports N] [--strategy NAME] [--threads N]
-    rtm simulate  --trace FILE [--dbcs N] [--ports N] [--strategy NAME] [--threads N]
+    rtm place     --trace FILE [--dbcs N] [--capacity N] [--ports N] [--subarrays N] [--strategy NAME] [--threads N] [--json]
+    rtm simulate  --trace FILE [--dbcs N] [--ports N] [--subarrays N] [--strategy NAME] [--threads N] [--json]
     rtm stats     --trace FILE
     rtm suite     [--benchmark NAME]
     rtm strategies
 
 OPTIONS:
     --trace FILE      trace file (`-` for stdin)
-    --dbcs N          number of DBCs (default 4)
-    --capacity N      locations per DBC (default: fit the 4 KiB subarray)
+    --dbcs N          number of DBCs per subarray (default 4)
+    --capacity N      locations per DBC (default: the paper's 4 KiB subarray
+                      track length; without --subarrays, grown to fit)
     --ports N         access ports per track (default 1); placement search,
                       scoring, and simulation all use the N-port model
+    --subarrays N     place across N paper-faithful 4 KiB subarrays
+                      (default 1); tracks are never grown in array mode
     --strategy NAME   afd-ofu | dma-ofu | dma-chen | dma-sr | dma-multi-sr |
                       ga | rw  (default dma-sr)
     --threads N       fitness-engine workers for ga/rw (default: all cores;
                       results are identical for any value)
+    --json            machine-readable output for place/simulate
     --benchmark NAME  one benchmark of the OffsetStone-style suite";
 
 /// Reads the trace named by `--trace` (stdin for `-`).
@@ -106,17 +110,58 @@ fn parse_strategy(name: &str) -> Result<Strategy, String> {
     })
 }
 
-/// Builds the placement problem implied by the options. Returns the
-/// problem plus the resolved `(dbcs, capacity, ports)`.
+/// The resolved problem of a `place`/`simulate` invocation: the placement
+/// problem plus the one array geometry both it and the simulator are built
+/// from (so the two can never drift apart).
+pub(crate) struct ProblemSpec {
+    pub(crate) problem: PlacementProblem,
+    pub(crate) array: rtm_arch::ArrayGeometry,
+}
+
+impl ProblemSpec {
+    /// DBCs per subarray.
+    pub(crate) fn dbcs(&self) -> usize {
+        self.array.dbcs_per_subarray()
+    }
+
+    /// Locations per DBC (per-subarray track length).
+    pub(crate) fn capacity(&self) -> usize {
+        self.array.locations_per_dbc()
+    }
+
+    pub(crate) fn ports(&self) -> usize {
+        self.array.ports_per_track()
+    }
+
+    pub(crate) fn subarrays(&self) -> usize {
+        self.array.subarrays()
+    }
+}
+
+/// Builds the placement problem implied by the options.
+///
+/// Without `--subarrays` this is the historical flat problem (default
+/// capacity grows to fit the trace). With `--subarrays N` the capacity
+/// defaults to the paper-faithful 4 KiB subarray track length — tracks are
+/// never grown; workloads must fit the `N`-subarray array.
 fn build_problem(
     args: &CliArgs,
     seq: &AccessSequence,
-) -> Result<(PlacementProblem, usize, usize, usize), Box<dyn std::error::Error>> {
+) -> Result<ProblemSpec, Box<dyn std::error::Error>> {
     let dbcs: usize = args.get_parsed("dbcs")?.unwrap_or(4);
     if dbcs == 0 {
         return Err("--dbcs must be at least 1".into());
     }
-    let default_cap = (4096 * 8 / (dbcs * 32)).max(seq.vars().len().div_ceil(dbcs));
+    let subarrays: usize = args.get_parsed("subarrays")?.unwrap_or(1);
+    if subarrays == 0 {
+        return Err("--subarrays must be at least 1".into());
+    }
+    let paper_cap = 4096 * 8 / (dbcs * 32);
+    let default_cap = if subarrays > 1 {
+        paper_cap
+    } else {
+        paper_cap.max(seq.vars().len().div_ceil(dbcs))
+    };
     let capacity: usize = args.get_parsed("capacity")?.unwrap_or(default_cap);
     let ports: usize = args.get_parsed("ports")?.unwrap_or(1);
     if ports == 0 {
@@ -126,24 +171,14 @@ fn build_problem(
         return Err(format!("--ports {ports} exceeds the track length {capacity}").into());
     }
     let threads: usize = args.get_parsed("threads")?.unwrap_or(0);
-    Ok((
-        PlacementProblem::new(seq.clone(), dbcs, capacity)
-            .with_ports(ports)
-            .with_threads(threads),
-        dbcs,
-        capacity,
-        ports,
-    ))
+    let subarray = rtm_arch::RtmGeometry::new(dbcs, 32, capacity, ports)?;
+    let array = rtm_arch::ArrayGeometry::new(subarrays, subarray)?;
+    let problem = PlacementProblem::for_array(seq.clone(), &array).with_threads(threads);
+    Ok(ProblemSpec { problem, array })
 }
 
-/// Builds a simulator matching the problem geometry.
-fn build_simulator(
-    dbcs: usize,
-    capacity: usize,
-    ports: usize,
-) -> Result<Simulator, Box<dyn std::error::Error>> {
-    let geometry = rtm_arch::RtmGeometry::new(dbcs, 32, capacity, ports)?;
-    let params = rtm_arch::table1::preset(dbcs)
-        .unwrap_or_else(|| rtm_arch::ScalingModel::from_table1().params(dbcs));
-    Ok(Simulator::new(geometry, params)?)
+/// Builds a simulator matching the problem geometry (per-operation
+/// constants from Table I for the per-subarray DBC count).
+fn build_simulator(spec: &ProblemSpec) -> Simulator {
+    Simulator::for_array(&spec.array)
 }

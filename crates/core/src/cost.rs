@@ -1,4 +1,5 @@
 use crate::placement::Placement;
+use rtm_arch::ArrayGeometry;
 use rtm_trace::VarId;
 
 /// Where each DBC's access port starts before the first access.
@@ -76,6 +77,20 @@ impl CostModel {
             ports_per_track: ports,
             track_length: Some(track_length),
             initial: InitialAlignment::FirstAccess,
+        }
+    }
+
+    /// The cost model of an [`ArrayGeometry`]: every subarray shares one
+    /// track geometry, so one per-track model covers every DBC of the
+    /// array. Single-port arrays get the length-independent
+    /// [`single_port`](Self::single_port) model — a one-subarray array
+    /// therefore produces *exactly* today's flat model.
+    pub fn for_array(array: &ArrayGeometry) -> Self {
+        let sub = array.subarray();
+        if sub.ports_per_track() == 1 {
+            Self::single_port()
+        } else {
+            Self::multi_port(sub.ports_per_track(), sub.domains_per_track())
         }
     }
 
@@ -200,6 +215,22 @@ impl CostModel {
         }
     }
 
+    /// Shift count per subarray for a hierarchical placement whose global
+    /// DBC `d` lives in subarray `d / dbcs_per_subarray`: the per-DBC costs
+    /// of [`per_dbc_costs`](Self::per_dbc_costs) summed per subarray.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dbcs_per_subarray == 0`.
+    pub fn per_subarray_costs(
+        &self,
+        placement: &Placement,
+        accesses: &[VarId],
+        dbcs_per_subarray: usize,
+    ) -> Vec<u64> {
+        sum_per_subarray(&self.per_dbc_costs(placement, accesses), dbcs_per_subarray)
+    }
+
     /// Worst-case cost bound for `accesses`: every access pays the maximum
     /// span of its DBC. Useful as a sanity ceiling in tests.
     pub fn worst_case_bound(&self, placement: &Placement, accesses: &[VarId]) -> u64 {
@@ -217,6 +248,26 @@ impl Default for CostModel {
     fn default() -> Self {
         Self::single_port()
     }
+}
+
+/// Sums per-DBC values into per-subarray totals (global DBC `d` belongs to
+/// subarray `d / dbcs_per_subarray`; a trailing partial chunk — possible
+/// only for placements narrower than the geometry — still sums).
+///
+/// The single grouping rule shared by every per-subarray report in the
+/// workspace ([`CostModel::per_subarray_costs`],
+/// [`Solution::per_subarray_shifts`](crate::Solution::per_subarray_shifts),
+/// and `rtm_sim::SimStats::per_subarray_shifts`).
+///
+/// # Panics
+///
+/// Panics if `dbcs_per_subarray == 0`.
+pub fn sum_per_subarray(per_dbc: &[u64], dbcs_per_subarray: usize) -> Vec<u64> {
+    assert!(dbcs_per_subarray > 0, "dbcs_per_subarray must be positive");
+    per_dbc
+        .chunks(dbcs_per_subarray)
+        .map(|c| c.iter().sum())
+        .collect()
 }
 
 /// The per-access inner operation of every evaluation path in the
@@ -388,6 +439,36 @@ mod tests {
     #[should_panic(expected = "more ports than domains")]
     fn multi_port_validates() {
         CostModel::multi_port(9, 4);
+    }
+
+    #[test]
+    fn per_subarray_costs_sum_per_dbc_chunks() {
+        let s = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let dbc0 = ids(&s, &["b", "c", "d", "e", "h"]);
+        let dbc1 = ids(&s, &["a", "f", "g", "i"]);
+        let p = Placement::from_dbc_lists(vec![dbc0, dbc1]);
+        let m = CostModel::single_port();
+        // Two DBCs per subarray: one subarray holds everything.
+        assert_eq!(m.per_subarray_costs(&p, s.accesses(), 2), vec![11]);
+        // One DBC per subarray: per-subarray == per-DBC.
+        assert_eq!(m.per_subarray_costs(&p, s.accesses(), 1), vec![4, 7]);
+    }
+
+    #[test]
+    fn for_array_matches_flat_models() {
+        use rtm_arch::{ArrayGeometry, RtmGeometry};
+        let flat = RtmGeometry::paper_4kib(4).unwrap();
+        assert_eq!(
+            CostModel::for_array(&ArrayGeometry::single(flat)),
+            CostModel::single_port()
+        );
+        let multi = RtmGeometry::paper_4kib_with_ports(4, 2).unwrap();
+        for subarrays in [1usize, 3] {
+            assert_eq!(
+                CostModel::for_array(&ArrayGeometry::new(subarrays, multi).unwrap()),
+                CostModel::multi_port(2, 256)
+            );
+        }
     }
 
     #[test]

@@ -289,6 +289,21 @@ impl DirtyMask {
         self.dbcs.clear();
     }
 
+    /// Marks every DBC of subarray `s` as changed (global DBCs
+    /// `s·q .. (s+1)·q` for `q = dbcs_per_subarray`) — the hierarchical
+    /// form of [`mark`](Self::mark) for operators that edit a whole
+    /// subarray at once.
+    ///
+    /// The per-DBC cost stays a pure function of the list's content in any
+    /// geometry (subarrays never interact — each DBC keeps its own port
+    /// state), so subarray-granular operators need no new cache or
+    /// evaluation path: marking the member DBCs is exact.
+    pub fn mark_subarray(&mut self, s: usize, dbcs_per_subarray: usize) {
+        for d in s * dbcs_per_subarray..(s + 1) * dbcs_per_subarray {
+            self.mark(d);
+        }
+    }
+
     /// Whether DBC `d` is dirty.
     pub fn is_dirty(&self, d: usize) -> bool {
         self.all || self.dbcs.contains(&(d as u32))
@@ -935,6 +950,27 @@ mod tests {
         let reference = FitnessEngine::new(&seq, CostModel::single_port());
         assert_eq!(job.dbc_costs, reference.per_dbc_costs(&job.lists));
         assert_eq!(engine.stats().dbc_inherited, 1);
+    }
+
+    #[test]
+    fn mark_subarray_dirties_exactly_the_member_dbcs() {
+        let seq = AccessSequence::parse("a b c d a b c d").unwrap();
+        let v = VarId::from_index;
+        // Four global DBCs = two subarrays of two DBCs.
+        let lists = vec![vec![v(0)], vec![v(1)], vec![v(2)], vec![v(3)]];
+        let engine = FitnessEngine::new(&seq, CostModel::single_port()).with_memo(false);
+        let costs = engine.per_dbc_costs(&lists);
+        // Swap the two lists of subarray 1 and mark only that subarray.
+        let mut mutated = lists.clone();
+        mutated.swap(2, 3);
+        let mut job = EvalJob::derived(mutated, costs.clone());
+        job.dirty.mark_subarray(1, 2);
+        assert!(!job.dirty.is_dirty(0) && !job.dirty.is_dirty(1));
+        assert!(job.dirty.is_dirty(2) && job.dirty.is_dirty(3));
+        engine.evaluate_batch(std::slice::from_mut(&mut job));
+        let reference = FitnessEngine::new(&seq, CostModel::single_port());
+        assert_eq!(job.dbc_costs, reference.per_dbc_costs(&job.lists));
+        assert_eq!(engine.stats().dbc_inherited, 2);
     }
 
     #[test]

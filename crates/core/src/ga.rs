@@ -148,6 +148,7 @@ pub struct GeneticPlacer {
     config: GaConfig,
     cost: CostModel,
     threads: usize,
+    subarrays: usize,
 }
 
 impl GeneticPlacer {
@@ -158,12 +159,28 @@ impl GeneticPlacer {
             config,
             cost: CostModel::single_port(),
             threads: 0,
+            subarrays: 1,
         }
     }
 
     /// Overrides the cost model (e.g. multi-port).
     pub fn with_cost_model(mut self, cost: CostModel) -> Self {
         self.cost = cost;
+        self
+    }
+
+    /// Declares the hierarchical geometry: the run's DBCs are grouped into
+    /// `subarrays` equal subarrays, and the mutation mix gains a fourth,
+    /// *subarray-migrate* operator (move a variable into a DBC of a
+    /// different subarray; weights 10 : 10 : 3 : 6) that keeps
+    /// inter-subarray redistribution alive near full capacity, where the
+    /// uniform move mutation mostly lands on full DBCs.
+    ///
+    /// With `subarrays <= 1` (or a DBC count not divisible by it) the run
+    /// is **bit-identical** to the flat GA: the extra operator and its RNG
+    /// draws only exist for a real hierarchy.
+    pub fn with_subarrays(mut self, subarrays: usize) -> Self {
+        self.subarrays = subarrays.max(1);
         self
     }
 
@@ -233,6 +250,14 @@ impl GeneticPlacer {
         let live = seq.liveness();
         let vars = live.by_first_occurrence(); // first-appearance order, as §III-C indexes V
         check_fit(vars.len(), dbcs, capacity)?;
+        // DBCs per subarray for the hierarchical mutation mix; a flat run
+        // (one subarray, or an indivisible DBC count) is encoded as
+        // `q == dbcs` and takes exactly the historical RNG path.
+        let q = if self.subarrays > 1 && dbcs.is_multiple_of(self.subarrays) {
+            dbcs / self.subarrays
+        } else {
+            dbcs
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
         let mut evaluations = 0usize;
 
@@ -292,10 +317,10 @@ impl GeneticPlacer {
                     let (mut j1, mut j2) =
                         crossover(&population[a], &population[b], &vars, capacity, &mut rng);
                     if rng.gen_bool(self.config.mutation_rate) {
-                        mutate(&mut j1.lists, capacity, &mut rng, &mut j1.dirty);
+                        mutate(&mut j1.lists, capacity, q, &mut rng, &mut j1.dirty);
                     }
                     if rng.gen_bool(self.config.mutation_rate) {
-                        mutate(&mut j2.lists, capacity, &mut rng, &mut j2.dirty);
+                        mutate(&mut j2.lists, capacity, q, &mut rng, &mut j2.dirty);
                     }
                     jobs.push(j1);
                     if jobs.len() < self.config.lambda {
@@ -306,7 +331,7 @@ impl GeneticPlacer {
                         population[a].dbcs.clone(),
                         population[a].dbc_costs.clone(),
                     );
-                    mutate(&mut j.lists, capacity, &mut rng, &mut j.dirty);
+                    mutate(&mut j.lists, capacity, q, &mut rng, &mut j.dirty);
                     jobs.push(j);
                 }
             }
@@ -428,23 +453,76 @@ fn crossover(
     (j1, j2)
 }
 
-/// The paper's three mutations, weighted 10 : 10 : 3. DBCs whose content or
-/// order may have changed are recorded in `dirty`.
-fn mutate(dbcs: &mut [Vec<VarId>], capacity: usize, rng: &mut impl Rng, dirty: &mut DirtyMask) {
-    // Weighted choice over (move, transpose, permute-all).
-    let roll = rng.gen_range(0..23u32);
+/// The paper's three mutations, weighted 10 : 10 : 3 — plus, on a real
+/// hierarchy (`dbcs_per_subarray < dbcs.len()`), a fourth *subarray-migrate*
+/// mutation at weight 6. DBCs whose content or order may have changed are
+/// recorded in `dirty`.
+///
+/// A flat geometry (`dbcs_per_subarray >= dbcs.len()`) draws from the
+/// historical `0..23` range, so single-subarray runs are bit-identical to
+/// the pre-hierarchy GA.
+fn mutate(
+    dbcs: &mut [Vec<VarId>],
+    capacity: usize,
+    dbcs_per_subarray: usize,
+    rng: &mut impl Rng,
+    dirty: &mut DirtyMask,
+) {
+    let hierarchical = dbcs_per_subarray > 0 && dbcs_per_subarray < dbcs.len();
+    // Weighted choice over (move, transpose, permute-all[, migrate]).
+    let roll = if hierarchical {
+        rng.gen_range(0..29u32)
+    } else {
+        rng.gen_range(0..23u32)
+    };
     if roll < 10 {
         move_mutation(dbcs, capacity, rng, dirty);
     } else if roll < 20 {
         transpose_mutation(dbcs, rng, dirty);
-    } else {
+    } else if roll < 23 {
         for (d, l) in dbcs.iter_mut().enumerate() {
             l.shuffle(rng);
             if l.len() >= 2 {
                 dirty.mark(d); // shuffling 0 or 1 elements cannot change cost
             }
         }
+    } else {
+        subarray_migrate_mutation(dbcs, capacity, dbcs_per_subarray, rng, dirty);
     }
+}
+
+/// Move a random variable into a non-full DBC of a *different* subarray.
+///
+/// The uniform [`move_mutation`] picks its destination among all non-full
+/// DBCs, so near full capacity — the regime multi-subarray instances live
+/// in — its probability of crossing a subarray boundary collapses with the
+/// free-slot distribution. This operator keeps the inter-subarray
+/// assignment explorable there by construction.
+fn subarray_migrate_mutation(
+    dbcs: &mut [Vec<VarId>],
+    capacity: usize,
+    dbcs_per_subarray: usize,
+    rng: &mut impl Rng,
+    dirty: &mut DirtyMask,
+) {
+    let nonempty: Vec<usize> = (0..dbcs.len()).filter(|&d| !dbcs[d].is_empty()).collect();
+    if nonempty.is_empty() {
+        return;
+    }
+    let src = nonempty[rng.gen_range(0..nonempty.len())];
+    let src_sub = src / dbcs_per_subarray;
+    let candidates: Vec<usize> = (0..dbcs.len())
+        .filter(|&d| d / dbcs_per_subarray != src_sub && dbcs[d].len() < capacity)
+        .collect();
+    if candidates.is_empty() {
+        return;
+    }
+    let dst = candidates[rng.gen_range(0..candidates.len())];
+    let i = rng.gen_range(0..dbcs[src].len());
+    let v = dbcs[src].remove(i);
+    dbcs[dst].push(v);
+    dirty.mark(src);
+    dirty.mark(dst);
 }
 
 /// Move a random variable to the tail of another DBC.
@@ -597,8 +675,8 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(17);
         for _ in 0..100 {
             let (mut j1, mut j2) = crossover(&a, &b, &vars, 4, &mut rng);
-            mutate(&mut j1.lists, 4, &mut rng, &mut j1.dirty);
-            mutate(&mut j2.lists, 4, &mut rng, &mut j2.dirty);
+            mutate(&mut j1.lists, 4, 3, &mut rng, &mut j1.dirty);
+            mutate(&mut j2.lists, 4, 3, &mut rng, &mut j2.dirty);
             for mut job in [j1, j2] {
                 let expect = engine.per_dbc_costs(&job.lists);
                 engine.evaluate_batch(std::slice::from_mut(&mut job));
@@ -613,7 +691,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let mut dbcs = Dma.distribute(&seq, 3, 4).unwrap();
         for _ in 0..200 {
-            mutate(&mut dbcs, 4, &mut rng, &mut DirtyMask::clean());
+            mutate(&mut dbcs, 4, 3, &mut rng, &mut DirtyMask::clean());
             assert_valid(&dbcs, &seq, 4);
         }
     }
@@ -625,15 +703,78 @@ mod tests {
         let v: Vec<VarId> = (0..3).map(VarId::from_index).collect();
         let mut single = vec![v.clone()];
         for _ in 0..50 {
-            mutate(&mut single, 8, &mut rng, &mut DirtyMask::clean());
+            mutate(&mut single, 8, 1, &mut rng, &mut DirtyMask::clean());
             assert_eq!(single[0].len(), 3);
         }
         // Empty DBCs alongside a singleton.
         let mut sparse = vec![vec![VarId::from_index(0)], vec![], vec![]];
         for _ in 0..50 {
-            mutate(&mut sparse, 1, &mut rng, &mut DirtyMask::clean());
+            mutate(&mut sparse, 1, 3, &mut rng, &mut DirtyMask::clean());
             let total: usize = sparse.iter().map(Vec::len).sum();
             assert_eq!(total, 1);
+        }
+    }
+
+    #[test]
+    fn single_subarray_runs_are_bit_identical_to_the_flat_ga() {
+        // `with_subarrays(1)` — and any indivisible subarray count — must
+        // take the historical RNG path exactly.
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let flat = GeneticPlacer::new(GaConfig::quick().with_seed(11))
+            .run(&seq, 4, 512)
+            .unwrap();
+        for subarrays in [1usize, 3] {
+            let hier = GeneticPlacer::new(GaConfig::quick().with_seed(11))
+                .with_subarrays(subarrays)
+                .run(&seq, 4, 512)
+                .unwrap();
+            assert_eq!(hier.best, flat.best, "{subarrays} subarray(s)");
+            assert_eq!(hier.history, flat.history);
+            assert_eq!(hier.evaluations, flat.evaluations);
+        }
+    }
+
+    #[test]
+    fn hierarchical_ga_produces_valid_placements() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        // 2 subarrays x 2 DBCs of 3 slots each (9 vars in 12 slots: tight).
+        let out = GeneticPlacer::new(GaConfig::quick())
+            .with_subarrays(2)
+            .run(&seq, 4, 3)
+            .unwrap();
+        out.best.validate(&seq, 3).unwrap();
+        // Seeded with DMA, the hierarchical GA can only improve on it.
+        let dma = Dma.distribute(&seq, 4, 3).unwrap();
+        let engine = FitnessEngine::new(&seq, CostModel::single_port());
+        assert!(out.best_cost <= engine.per_dbc_costs(&dma).iter().sum());
+    }
+
+    #[test]
+    fn subarray_migrate_preserves_validity_and_reports_dirt() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let engine = FitnessEngine::new(&seq, CostModel::single_port());
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let mut dbcs = Dma.distribute(&seq, 4, 3).unwrap();
+        for _ in 0..100 {
+            let before = dbcs.clone();
+            let costs = engine.per_dbc_costs(&dbcs);
+            let mut dirty = DirtyMask::clean();
+            subarray_migrate_mutation(&mut dbcs, 3, 2, &mut rng, &mut dirty);
+            assert_valid(&dbcs, &seq, 3);
+            // If a move happened it must have crossed a subarray boundary
+            // and marked both endpoints.
+            let changed: Vec<usize> = (0..4).filter(|&d| dbcs[d] != before[d]).collect();
+            if let [src, dst] = changed[..] {
+                assert_ne!(src / 2, dst / 2, "migration stayed in one subarray");
+                assert!(dirty.is_dirty(src) && dirty.is_dirty(dst));
+            } else {
+                assert!(changed.is_empty());
+            }
+            // Dirty-mask accounting stays exact under the hierarchy.
+            let mut job = EvalJob::derived(dbcs.clone(), costs);
+            job.dirty = dirty;
+            engine.evaluate_batch(std::slice::from_mut(&mut job));
+            assert_eq!(job.dbc_costs, engine.per_dbc_costs(&dbcs));
         }
     }
 

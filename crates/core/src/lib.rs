@@ -24,6 +24,16 @@
 //!   the evaluation (§IV-A): `AFD-OFU`, `DMA-OFU`, `DMA-Chen`, `DMA-SR`,
 //!   `GA`, `RW`.
 //!
+//! Placement is **capacity-aware and hierarchical**: a workload larger than
+//! one paper-faithful 4 KiB subarray is placed across an
+//! [`rtm_arch::ArrayGeometry`] of identical subarrays
+//! ([`PlacementProblem::for_array`]). Because the shift cost is separable
+//! per DBC and subarrays share one track geometry, the hierarchical problem
+//! is exactly the flat problem over `subarrays × dbcs` global DBCs — the
+//! inter-DBC machinery (AFD, DMA, the GA, the random walk) *is* the
+//! inter-subarray machinery, and single-subarray runs degenerate
+//! bit-exactly to the historical behavior.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -55,7 +65,7 @@ mod placement;
 pub mod random_walk;
 mod strategy;
 
-pub use cost::{CostModel, InitialAlignment};
+pub use cost::{sum_per_subarray, CostModel, InitialAlignment};
 pub use error::PlacementError;
 pub use eval::{EngineStats, FitnessEngine};
 pub use ga::{GaConfig, GaOutcome, GeneticPlacer};

@@ -1,4 +1,5 @@
 use crate::error::PlacementError;
+use rtm_arch::ArrayGeometry;
 use rtm_trace::{AccessSequence, VarId};
 use std::fmt;
 
@@ -90,6 +91,68 @@ impl Placement {
     /// The location of `v`, or `None` if `v` is not placed.
     pub fn location(&self, v: VarId) -> Option<Location> {
         self.locations.get(v.index()).copied().flatten()
+    }
+
+    /// The per-DBC lists grouped by subarray: chunk `s` holds the lists of
+    /// the global DBCs `s·q .. (s+1)·q` for `q = dbcs_per_subarray`
+    /// (the last chunk may be shorter when the placement is narrower than
+    /// the geometry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dbcs_per_subarray == 0`.
+    pub fn subarray_lists(&self, dbcs_per_subarray: usize) -> impl Iterator<Item = &[Vec<VarId>]> {
+        assert!(dbcs_per_subarray > 0, "dbcs_per_subarray must be positive");
+        self.dbcs.chunks(dbcs_per_subarray)
+    }
+
+    /// The hierarchical location of `v`: `(subarray, local_dbc, offset)`
+    /// under a grouping of `dbcs_per_subarray` DBCs per subarray.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dbcs_per_subarray == 0`.
+    pub fn hierarchical_location(
+        &self,
+        v: VarId,
+        dbcs_per_subarray: usize,
+    ) -> Option<(usize, usize, usize)> {
+        assert!(dbcs_per_subarray > 0, "dbcs_per_subarray must be positive");
+        self.location(v).map(|loc| {
+            (
+                loc.dbc / dbcs_per_subarray,
+                loc.dbc % dbcs_per_subarray,
+                loc.offset,
+            )
+        })
+    }
+
+    /// Validates this placement against a trace and an [`ArrayGeometry`]:
+    /// the usual duplicate/missing/capacity checks of
+    /// [`validate`](Self::validate) plus the array bound — no DBC beyond
+    /// `total_dbcs()`.
+    ///
+    /// # Errors
+    ///
+    /// The [`validate`](Self::validate) errors, or
+    /// [`PlacementError::EmptyGeometry`]-style capacity failures expressed
+    /// as [`PlacementError::DbcOverflow`] when the placement is wider than
+    /// the array.
+    pub fn validate_array(
+        &self,
+        seq: &AccessSequence,
+        array: &ArrayGeometry,
+    ) -> Result<(), PlacementError> {
+        if self.dbcs.len() > array.total_dbcs() {
+            // A list beyond the array holds variables no physical DBC
+            // backs; report it as an overflow of the first excess DBC.
+            return Err(PlacementError::DbcOverflow {
+                dbc: array.total_dbcs(),
+                assigned: self.dbcs[array.total_dbcs()].len(),
+                capacity: 0,
+            });
+        }
+        self.validate(seq, array.locations_per_dbc())
     }
 
     /// Validates this placement against a trace and a geometry.
@@ -221,6 +284,40 @@ mod tests {
         let s = AccessSequence::parse("a b").unwrap();
         let p = Placement::from_dbc_lists(vec![vec![v(1), v(0)]]);
         assert_eq!(p.display_with(&s).to_string(), "DBC0: [b, a]");
+    }
+
+    #[test]
+    fn subarray_views_group_global_dbcs() {
+        let p = Placement::from_dbc_lists(vec![vec![v(0)], vec![v(1), v(2)], vec![v(3)], vec![]]);
+        let groups: Vec<usize> = p.subarray_lists(2).map(<[Vec<VarId>]>::len).collect();
+        assert_eq!(groups, vec![2, 2]);
+        assert_eq!(p.hierarchical_location(v(3), 2), Some((1, 0, 0)));
+        assert_eq!(p.hierarchical_location(v(2), 2), Some((0, 1, 1)));
+        assert_eq!(p.hierarchical_location(v(9), 2), None);
+        // One DBC per subarray degenerates to the flat location.
+        assert_eq!(p.hierarchical_location(v(1), 1), Some((1, 0, 0)));
+    }
+
+    #[test]
+    fn validate_array_checks_bounds_and_capacity() {
+        use rtm_arch::{ArrayGeometry, RtmGeometry};
+        let s = AccessSequence::parse("a b c").unwrap();
+        let sub = RtmGeometry::new(1, 32, 2, 1).unwrap(); // 1 DBC x 2 slots
+        let two = ArrayGeometry::new(2, sub).unwrap();
+        let p = Placement::from_dbc_lists(vec![vec![v(0), v(1)], vec![v(2)]]);
+        p.validate_array(&s, &two).unwrap();
+        // Wider than the array: the third DBC has no physical backing.
+        let wide = Placement::from_dbc_lists(vec![vec![v(0)], vec![v(1)], vec![v(2)]]);
+        assert!(matches!(
+            wide.validate_array(&s, &two),
+            Err(PlacementError::DbcOverflow { dbc: 2, .. })
+        ));
+        // Per-DBC capacity still enforced.
+        let fat = Placement::from_dbc_lists(vec![vec![v(0), v(1), v(2)]]);
+        assert!(matches!(
+            fat.validate_array(&s, &two),
+            Err(PlacementError::DbcOverflow { dbc: 0, .. })
+        ));
     }
 
     #[test]

@@ -5,6 +5,14 @@
 //! The paper runs it for 60 000 iterations — the upper bound on individuals
 //! its GA could evaluate — to put the GA results in perspective (RW serves
 //! as the "how good is blind sampling" baseline in Fig. 4).
+//!
+//! The sampler is already the hierarchical form: a multi-subarray array is
+//! `subarrays × dbcs` uniform global DBCs (the cost model is separable per
+//! DBC and subarrays share one track geometry), and
+//! [`random_assignment`](crate::ga) deals variables uniformly over *all*
+//! global DBCs — which samples inter-subarray and intra-subarray
+//! distribution jointly. A single-subarray run is bit-identical to the flat
+//! sampler by construction.
 
 use crate::cost::CostModel;
 use crate::error::PlacementError;

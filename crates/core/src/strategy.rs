@@ -6,6 +6,7 @@ use crate::inter::{Afd, Dma, InterHeuristic};
 use crate::intra::{Chen, IntraHeuristic, Ofu, ShiftsReduce};
 use crate::placement::Placement;
 use crate::random_walk::{self, RandomWalkConfig};
+use rtm_arch::ArrayGeometry;
 use rtm_trace::{AccessSequence, VarId};
 use std::fmt;
 
@@ -91,8 +92,21 @@ pub struct Solution {
     pub placement: Placement,
     /// Total shifts to serve the problem's trace.
     pub shifts: u64,
-    /// Shifts per DBC.
+    /// Shifts per DBC (global DBC index for hierarchical problems).
     pub per_dbc_shifts: Vec<u64>,
+}
+
+impl Solution {
+    /// Shifts per subarray, grouping the global per-DBC counts by
+    /// `dbcs_per_subarray` ([`PlacementProblem::dbcs_per_subarray`] for a
+    /// problem built with [`PlacementProblem::for_array`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dbcs_per_subarray == 0`.
+    pub fn per_subarray_shifts(&self, dbcs_per_subarray: usize) -> Vec<u64> {
+        crate::cost::sum_per_subarray(&self.per_dbc_shifts, dbcs_per_subarray)
+    }
 }
 
 /// A data-placement problem instance: a trace plus the RTM geometry
@@ -117,6 +131,8 @@ pub struct PlacementProblem {
     capacity: usize,
     cost: CostModel,
     threads: usize,
+    /// Subarray count of the hierarchical form; `1` = today's flat problem.
+    subarrays: usize,
 }
 
 impl PlacementProblem {
@@ -129,6 +145,30 @@ impl PlacementProblem {
             capacity,
             cost: CostModel::single_port(),
             threads: 0,
+            subarrays: 1,
+        }
+    }
+
+    /// Creates the hierarchical problem of an [`ArrayGeometry`]: variables
+    /// are placed across `subarrays × dbcs_per_subarray` global DBCs, each
+    /// offering the subarray's paper-faithful `locations_per_dbc`, under
+    /// the array's port model.
+    ///
+    /// The shift-cost objective is separable per DBC and every subarray
+    /// shares one track geometry, so the hierarchical problem *is* the flat
+    /// problem over the global DBCs — which is what makes a one-subarray
+    /// array degenerate bit-exactly to [`new`](Self::new) +
+    /// [`with_ports`](Self::with_ports). The subarray count still matters
+    /// to the searchers (the GA's subarray-migrate operator) and to
+    /// per-subarray reporting.
+    pub fn for_array(seq: AccessSequence, array: &ArrayGeometry) -> Self {
+        Self {
+            seq,
+            dbcs: array.total_dbcs(),
+            capacity: array.locations_per_dbc(),
+            cost: CostModel::for_array(array),
+            threads: 0,
+            subarrays: array.subarrays(),
         }
     }
 
@@ -183,6 +223,16 @@ impl PlacementProblem {
         self.capacity
     }
 
+    /// Number of subarrays (`1` for flat problems).
+    pub fn subarrays(&self) -> usize {
+        self.subarrays
+    }
+
+    /// DBCs per subarray (`dbcs()` for flat problems).
+    pub fn dbcs_per_subarray(&self) -> usize {
+        self.dbcs / self.subarrays.max(1)
+    }
+
     /// The cost model.
     pub fn cost_model(&self) -> CostModel {
         self.cost
@@ -233,6 +283,7 @@ impl PlacementProblem {
                 .collect();
                 let engine = self.engine();
                 GeneticPlacer::new(*cfg)
+                    .with_subarrays(self.subarrays)
                     .run_with_engine(&engine, self.dbcs, self.capacity, &seeds)?
                     .best
             }
@@ -425,6 +476,54 @@ mod tests {
             CostModel::single_port()
         );
         assert_eq!(p.with_ports(4).cost_model(), CostModel::multi_port(4, 512));
+    }
+
+    #[test]
+    fn single_subarray_array_problem_degenerates_bit_exactly() {
+        use rtm_arch::{ArrayGeometry, RtmGeometry};
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        for ports in [1usize, 2] {
+            let sub = RtmGeometry::paper_4kib_with_ports(2, ports).unwrap();
+            let array = ArrayGeometry::single(sub);
+            let hier = PlacementProblem::for_array(seq.clone(), &array);
+            let flat = PlacementProblem::new(seq.clone(), 2, 512).with_ports(ports);
+            assert_eq!(hier.dbcs(), flat.dbcs());
+            assert_eq!(hier.capacity(), flat.capacity());
+            assert_eq!(hier.cost_model(), flat.cost_model());
+            assert_eq!(hier.subarrays(), 1);
+            for s in [
+                Strategy::AfdOfu,
+                Strategy::DmaSr,
+                Strategy::Ga(GaConfig::quick()),
+                Strategy::RandomWalk(RandomWalkConfig::quick()),
+            ] {
+                let a = hier.solve(&s).unwrap();
+                let b = flat.solve(&s).unwrap();
+                assert_eq!(a.placement, b.placement, "{s} @ {ports} ports");
+                assert_eq!(a.shifts, b.shifts);
+                assert_eq!(a.per_dbc_shifts, b.per_dbc_shifts);
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_problem_places_overflowing_traces() {
+        use rtm_arch::{ArrayGeometry, RtmGeometry};
+        // 9 variables on 2 subarrays x 2 DBCs x 3 slots (12 slots): no
+        // single 2x3 subarray could hold them.
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let sub = RtmGeometry::new(2, 32, 3, 1).unwrap();
+        let array = ArrayGeometry::new(2, sub).unwrap();
+        assert!(array.fits(seq.vars().len()));
+        let p = PlacementProblem::for_array(seq.clone(), &array);
+        assert_eq!((p.subarrays(), p.dbcs_per_subarray()), (2, 2));
+        for s in Strategy::evaluation_set(GaConfig::quick(), RandomWalkConfig::quick()) {
+            let sol = p.solve(&s).unwrap();
+            sol.placement.validate_array(&seq, &array).unwrap();
+            let per_sub = sol.per_subarray_shifts(p.dbcs_per_subarray());
+            assert_eq!(per_sub.iter().sum::<u64>(), sol.shifts, "{s}");
+            assert_eq!(per_sub.len(), 2, "{s}");
+        }
     }
 
     #[test]

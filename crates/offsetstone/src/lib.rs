@@ -42,4 +42,4 @@ mod suite;
 
 pub use generator::{GeneratorConfig, TraceGenerator};
 pub use profile::{BenchmarkProfile, WorkloadClass};
-pub use suite::{generate_traces, largest, suite, Benchmark};
+pub use suite::{generate_traces, largest, stress_suite, suite, Benchmark};

@@ -12,9 +12,13 @@ pub struct Benchmark {
 }
 
 impl Benchmark {
-    /// Looks up a benchmark by its Fig. 4 name (e.g. `"gzip"`).
+    /// Looks up a benchmark by name: the Fig. 4 suite (e.g. `"gzip"`) plus
+    /// the [`stress_suite`] family (e.g. `"stress-ctl"`).
     pub fn by_name(name: &str) -> Option<Benchmark> {
-        suite().into_iter().find(|b| b.profile.name == name)
+        suite()
+            .into_iter()
+            .chain(stress_suite())
+            .find(|b| b.profile.name == name)
     }
 
     /// The benchmark's name.
@@ -285,6 +289,120 @@ pub fn suite() -> Vec<Benchmark> {
         .collect()
 }
 
+/// The deterministic **stress** profile family: workloads well beyond the
+/// paper's reported OffsetStone ranges (≥ 10 000 accesses, ≥ 2 000
+/// variables each), one per workload class.
+///
+/// Every stress benchmark overflows a single 4 KiB subarray at *every*
+/// Table I DBC count (a subarray offers at most 1 024 variable slots), so
+/// suite-level tests over this family always exercise the capacity-aware
+/// multi-subarray placement path — not just unit-sized fixtures. Profiles
+/// are generated with the same seeded discipline as the Fig. 4 suite
+/// (seed = FNV-1a of the name ⇒ same name, same trace, forever).
+pub fn stress_suite() -> Vec<Benchmark> {
+    use WorkloadClass::{Control, MediaDsp, Scientific};
+    #[allow(clippy::type_complexity)]
+    let table: &[(
+        &'static str,
+        WorkloadClass,
+        usize,
+        usize,
+        usize,
+        f64,
+        f64,
+        usize,
+        usize,
+        f64,
+        f64,
+        f64,
+        f64,
+    )] = &[
+        (
+            "stress-ctl",
+            Control,
+            2600,
+            11200,
+            10,
+            1.0,
+            0.06,
+            2,
+            6,
+            0.30,
+            0.35,
+            0.60,
+            0.45,
+        ),
+        (
+            "stress-dsp",
+            MediaDsp,
+            2100,
+            12400,
+            9,
+            0.8,
+            0.06,
+            4,
+            5,
+            0.34,
+            0.50,
+            0.45,
+            0.15,
+        ),
+        (
+            "stress-sci",
+            Scientific,
+            3200,
+            14800,
+            11,
+            1.1,
+            0.05,
+            3,
+            6,
+            0.27,
+            0.40,
+            0.50,
+            0.30,
+        ),
+    ];
+    table
+        .iter()
+        .map(
+            |&(
+                name,
+                class,
+                variables,
+                length,
+                phases,
+                zipf,
+                shared,
+                iters,
+                ws,
+                writes,
+                serial,
+                gtouch,
+                irregular,
+            )| {
+                Benchmark {
+                    profile: BenchmarkProfile {
+                        name,
+                        class,
+                        variables,
+                        length,
+                        phases,
+                        zipf_exponent: zipf,
+                        shared_fraction: shared,
+                        loop_iterations: iters,
+                        working_set: ws,
+                        write_fraction: writes,
+                        serial_fraction: serial,
+                        global_touch: gtouch,
+                        irregular_fraction: irregular,
+                    },
+                }
+            },
+        )
+        .collect()
+}
+
 /// The benchmark with the longest access sequence (`mpeg2`) — the paper
 /// runs its 2000-generation GA study "for the benchmark with the largest
 /// access sequence".
@@ -346,6 +464,37 @@ mod tests {
     #[test]
     fn largest_is_mpeg2() {
         assert_eq!(largest().name(), "mpeg2");
+    }
+
+    #[test]
+    fn stress_suite_exceeds_every_4kib_subarray() {
+        let s = stress_suite();
+        assert_eq!(s.len(), 3);
+        for b in &s {
+            let p = b.profile();
+            p.validate().unwrap();
+            assert!(p.variables >= 2000, "{}: {} vars", b.name(), p.variables);
+            assert!(p.length >= 10_000, "{}: {} accesses", b.name(), p.length);
+            // A 4 KiB subarray offers at most 1024 slots at any Table I DBC
+            // count, so every stress benchmark forces the multi-subarray
+            // path.
+            assert!(p.variables > 1024);
+            assert!(Benchmark::by_name(b.name()).is_some());
+        }
+        // Disjoint from the Fig. 4 suite, distinct seeds throughout.
+        let mut seeds: Vec<u64> = suite().iter().chain(&s).map(Benchmark::seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 31 + 3);
+    }
+
+    #[test]
+    fn stress_traces_are_deterministic_and_sized() {
+        let b = Benchmark::by_name("stress-dsp").unwrap();
+        let t1 = b.trace();
+        assert_eq!(t1, b.trace());
+        assert_eq!(t1.len(), b.profile().length);
+        assert!(t1.vars().len() > 1024, "must overflow one subarray");
     }
 
     #[test]

@@ -1,13 +1,15 @@
 use crate::dbc::DbcState;
 use crate::error::SimError;
 use crate::stats::SimStats;
-use rtm_arch::{table1, ConfigError, MemoryParams, Ns, RtmGeometry, ScalingModel};
+use rtm_arch::{table1, ArrayGeometry, ConfigError, MemoryParams, Ns, RtmGeometry, ScalingModel};
 use rtm_placement::{CostModel, Placement};
 use rtm_trace::{AccessKind, AccessSequence};
 
 /// The RTM controller: replays an access trace against a data placement on
-/// a concrete geometry, shifting each DBC's tracks as needed and accounting
-/// latency and energy with Table I parameters.
+/// a concrete geometry — one subarray by default, or a whole
+/// [`ArrayGeometry`] of identical subarrays ([`Simulator::for_array`]) —
+/// shifting each DBC's tracks as needed and accounting latency and energy
+/// with Table I parameters.
 ///
 /// # Example
 ///
@@ -27,6 +29,8 @@ use rtm_trace::{AccessKind, AccessSequence};
 #[derive(Debug, Clone)]
 pub struct Simulator {
     geometry: RtmGeometry,
+    /// Number of identical subarrays simulated (1 = flat subarray).
+    subarrays: usize,
     params: MemoryParams,
     compute_gap: Ns,
 }
@@ -56,9 +60,48 @@ impl Simulator {
         }
         Ok(Self {
             geometry,
+            subarrays: 1,
             params,
             compute_gap: DEFAULT_COMPUTE_GAP,
         })
+    }
+
+    /// Creates a simulator for an [`ArrayGeometry`]: `subarrays` identical
+    /// subarrays, each with its own DBC states. Per-operation constants
+    /// stay the Table I values of *one* subarray (DESTINY models the 4 KiB
+    /// unit); static leakage integrates over every subarray in the array.
+    ///
+    /// A single-subarray array is bit-for-bit [`Simulator::new`] on the
+    /// flat geometry.
+    pub fn for_array(array: &ArrayGeometry) -> Self {
+        let sub = array.subarray();
+        let params = table1::preset(sub.dbcs())
+            .unwrap_or_else(|| ScalingModel::from_table1().params(sub.dbcs()));
+        Self {
+            geometry: sub,
+            subarrays: array.subarrays(),
+            params,
+            compute_gap: DEFAULT_COMPUTE_GAP,
+        }
+    }
+
+    /// Creates the simulator for an array of the paper's 4 KiB Table I
+    /// subarrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for an invalid subarray configuration or
+    /// `subarrays == 0`.
+    pub fn for_paper_array(
+        subarrays: usize,
+        dbcs_per_subarray: usize,
+        ports: usize,
+    ) -> Result<Self, ConfigError> {
+        Ok(Self::for_array(&ArrayGeometry::paper_array(
+            subarrays,
+            dbcs_per_subarray,
+            ports,
+        )?))
     }
 
     /// Overrides the per-access core compute gap (see
@@ -93,14 +136,26 @@ impl Simulator {
             table1::preset(dbcs).unwrap_or_else(|| ScalingModel::from_table1().params(dbcs));
         Ok(Self {
             geometry,
+            subarrays: 1,
             params,
             compute_gap: DEFAULT_COMPUTE_GAP,
         })
     }
 
-    /// The geometry being simulated.
+    /// The per-subarray geometry being simulated.
     pub fn geometry(&self) -> RtmGeometry {
         self.geometry
+    }
+
+    /// The full array geometry (one subarray unless the simulator was built
+    /// with [`for_array`](Self::for_array)).
+    pub fn array_geometry(&self) -> ArrayGeometry {
+        ArrayGeometry::new(self.subarrays, self.geometry).expect("subarrays >= 1 by construction")
+    }
+
+    /// Number of subarrays simulated.
+    pub fn subarrays(&self) -> usize {
+        self.subarrays
     }
 
     /// The analytic cost model this simulator is shift-count bit-exact
@@ -133,10 +188,15 @@ impl Simulator {
     /// * [`SimError::DbcOutOfRange`] / [`SimError::OffsetOutOfRange`] if the
     ///   placement exceeds the geometry.
     pub fn run(&self, seq: &AccessSequence, placement: &Placement) -> Result<SimStats, SimError> {
-        let q = self.geometry.dbcs();
+        // Global DBC addressing: DBC `d` lives in subarray `d / q` at local
+        // index `d % q` — all subarrays share one track geometry, so every
+        // global DBC gets an identical independent state.
+        let total_dbcs = self.subarrays * self.geometry.dbcs();
         let domains = self.geometry.domains_per_track();
         let ports = self.geometry.ports_per_track();
-        let mut dbcs: Vec<DbcState> = (0..q).map(|_| DbcState::new(domains, ports)).collect();
+        let mut dbcs: Vec<DbcState> = (0..total_dbcs)
+            .map(|_| DbcState::new(domains, ports))
+            .collect();
         let mut reads = 0u64;
         let mut writes = 0u64;
 
@@ -144,10 +204,10 @@ impl Simulator {
             let loc = placement
                 .location(v)
                 .ok_or_else(|| SimError::UnplacedVariable(seq.vars().name(v).to_owned()))?;
-            if loc.dbc >= q {
+            if loc.dbc >= total_dbcs {
                 return Err(SimError::DbcOutOfRange {
                     dbc: loc.dbc,
-                    dbcs: q,
+                    dbcs: total_dbcs,
                 });
             }
             if loc.offset >= domains {
@@ -164,8 +224,9 @@ impl Simulator {
         }
 
         let per_dbc_shifts: Vec<u64> = dbcs.iter().map(DbcState::total_shifts).collect();
-        Ok(SimStats::from_counters(
+        Ok(SimStats::from_counters_array(
             &self.params,
+            self.subarrays,
             reads,
             writes,
             per_dbc_shifts,
@@ -300,6 +361,88 @@ mod tests {
             Simulator::for_paper_config(2).unwrap().cost_model(),
             CostModel::single_port()
         );
+    }
+
+    #[test]
+    fn single_subarray_array_is_bit_identical_to_flat() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let sol = PlacementProblem::new(seq.clone(), 4, 256)
+            .solve(&Strategy::DmaSr)
+            .unwrap();
+        let flat = Simulator::for_paper_config(4).unwrap();
+        let arr = Simulator::for_paper_array(1, 4, 1).unwrap();
+        assert_eq!(arr.subarrays(), 1);
+        assert_eq!(arr.geometry(), flat.geometry());
+        assert_eq!(
+            arr.run(&seq, &sol.placement).unwrap(),
+            flat.run(&seq, &sol.placement).unwrap()
+        );
+    }
+
+    #[test]
+    fn multi_subarray_shifts_match_cost_model_at_every_port_count() {
+        // The §3.1 fidelity contract extended to the hierarchical geometry:
+        // an array of subarrays is shift-count bit-exact with the analytic
+        // cost model at 1/2/4 ports.
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        for ports in [1usize, 2, 4] {
+            // 2 subarrays x 2 DBCs x 64 domains.
+            let sub = RtmGeometry::new(2, 32, 64, ports).unwrap();
+            let array = rtm_arch::ArrayGeometry::new(2, sub).unwrap();
+            let problem = rtm_placement::PlacementProblem::for_array(seq.clone(), &array);
+            for strat in [Strategy::AfdOfu, Strategy::DmaSr, Strategy::DmaNative] {
+                let sol = problem.solve(&strat).unwrap();
+                let sim = Simulator::for_array(&array);
+                assert_eq!(sim.cost_model(), problem.cost_model());
+                let stats = sim.run(&seq, &sol.placement).unwrap();
+                assert_eq!(stats.shifts, sol.shifts, "{strat} @ {ports} ports");
+                assert_eq!(stats.per_dbc_shifts, sol.per_dbc_shifts);
+                assert_eq!(
+                    stats.per_subarray_shifts(2),
+                    sol.per_subarray_shifts(2),
+                    "{strat} @ {ports} ports"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn array_rejects_dbcs_beyond_the_last_subarray() {
+        let seq = AccessSequence::parse("a").unwrap();
+        let sim = Simulator::for_paper_array(2, 2, 1).unwrap();
+        // Global DBC 4 does not exist in a 2x2 array.
+        let p = Placement::from_dbc_lists(vec![
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+            vec![VarId::from_index(0)],
+        ]);
+        assert!(matches!(
+            sim.run(&seq, &p),
+            Err(SimError::DbcOutOfRange { dbc: 4, dbcs: 4 })
+        ));
+        // …but global DBC 3 (subarray 1, local 1) does.
+        let ok =
+            Placement::from_dbc_lists(vec![vec![], vec![], vec![], vec![VarId::from_index(0)]]);
+        assert_eq!(sim.run(&seq, &ok).unwrap().accesses(), 1);
+        assert_eq!(sim.array_geometry().total_dbcs(), 4);
+    }
+
+    #[test]
+    fn array_leakage_scales_with_subarray_count() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let sol = PlacementProblem::new(seq.clone(), 2, 64)
+            .solve(&Strategy::DmaSr)
+            .unwrap();
+        let one = Simulator::for_paper_array(1, 2, 1).unwrap();
+        let three = Simulator::for_paper_array(3, 2, 1).unwrap();
+        let s1 = one.run(&seq, &sol.placement).unwrap();
+        let s3 = three.run(&seq, &sol.placement).unwrap();
+        assert_eq!(s1.shifts, s3.shifts); // same placement, same dynamics
+        assert_eq!(s1.energy.shift, s3.energy.shift);
+        let ratio = s3.energy.leakage.value() / s1.energy.leakage.value();
+        assert!((ratio - 3.0).abs() < 1e-9, "leakage ratio {ratio}");
     }
 
     #[test]

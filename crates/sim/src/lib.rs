@@ -13,7 +13,11 @@
 //!
 //! Shift counts are bit-exact with respect to the shift-cost model of
 //! `rtm-placement` (`CostModel`); the integration tests and property tests
-//! of this crate assert that equivalence on random traces.
+//! of this crate assert that equivalence on random traces. The contract
+//! extends to hierarchical geometries: [`Simulator::for_array`] simulates
+//! an [`rtm_arch::ArrayGeometry`] of identical subarrays (RTSim models
+//! subarray structure natively), with per-subarray shift reporting and
+//! leakage integrating over every subarray, at any port count.
 //!
 //! # Example
 //!

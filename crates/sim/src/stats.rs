@@ -35,11 +35,34 @@ impl SimStats {
         per_dbc_shifts: Vec<u64>,
         compute_gap: Ns,
     ) -> Self {
+        Self::from_counters_array(params, 1, reads, writes, per_dbc_shifts, compute_gap)
+    }
+
+    /// Array form of [`from_counters`](Self::from_counters): `params` are
+    /// the per-subarray Table I constants; dynamic (per-operation) energy
+    /// and latency are unchanged, while static leakage integrates over all
+    /// `subarrays` subarrays — every subarray leaks for the whole runtime,
+    /// powered or not. `subarrays == 1` is bit-identical to
+    /// `from_counters`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subarrays == 0`.
+    pub fn from_counters_array(
+        params: &MemoryParams,
+        subarrays: usize,
+        reads: u64,
+        writes: u64,
+        per_dbc_shifts: Vec<u64>,
+        compute_gap: Ns,
+    ) -> Self {
+        assert!(subarrays > 0, "subarrays must be positive");
         let shifts: u64 = per_dbc_shifts.iter().sum();
         let latency = LatencyReport::from_counts(params, reads, writes, shifts);
         let compute = compute_gap * (reads + writes) as f64;
-        let energy =
+        let mut energy =
             EnergyBreakdown::from_counts(params, reads, writes, shifts, latency.total() + compute);
+        energy.leakage = energy.leakage * subarrays as f64;
         Self {
             reads,
             writes,
@@ -49,6 +72,18 @@ impl SimStats {
             compute,
             energy,
         }
+    }
+
+    /// Shifts per subarray: the per-DBC counts grouped by
+    /// `dbcs_per_subarray` (global DBC `d` belongs to subarray
+    /// `d / dbcs_per_subarray` — the same grouping rule as the cost
+    /// model's per-subarray reports, [`rtm_placement::sum_per_subarray`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dbcs_per_subarray == 0`.
+    pub fn per_subarray_shifts(&self, dbcs_per_subarray: usize) -> Vec<u64> {
+        rtm_placement::sum_per_subarray(&self.per_dbc_shifts, dbcs_per_subarray)
     }
 
     /// Total accesses (reads + writes).
@@ -110,6 +145,33 @@ mod tests {
         let s = SimStats::from_counters(&p, 0, 0, vec![0, 0], Ns(1.0));
         assert_eq!(s.shifts_per_access(), 0.0);
         assert_eq!(s.runtime().value(), 0.0);
+    }
+
+    #[test]
+    fn array_form_scales_leakage_only() {
+        let p = table1::preset(4).unwrap();
+        let flat = SimStats::from_counters(&p, 10, 2, vec![3, 0, 7, 1], Ns(1.0));
+        let arr = SimStats::from_counters_array(&p, 3, 10, 2, vec![3, 0, 7, 1], Ns(1.0));
+        assert_eq!(arr.shifts, flat.shifts);
+        assert_eq!(arr.latency, flat.latency);
+        assert_eq!(arr.energy.read_write, flat.energy.read_write);
+        assert_eq!(arr.energy.shift, flat.energy.shift);
+        let ratio = arr.energy.leakage.value() / flat.energy.leakage.value();
+        assert!((ratio - 3.0).abs() < 1e-12);
+        // One subarray is bit-identical.
+        assert_eq!(
+            SimStats::from_counters_array(&p, 1, 10, 2, vec![3, 0, 7, 1], Ns(1.0)),
+            flat
+        );
+    }
+
+    #[test]
+    fn per_subarray_shifts_group_global_dbcs() {
+        let p = table1::preset(2).unwrap();
+        let s = SimStats::from_counters(&p, 4, 0, vec![3, 0, 7, 1, 2, 2], Ns(0.0));
+        assert_eq!(s.per_subarray_shifts(2), vec![3, 8, 4]);
+        assert_eq!(s.per_subarray_shifts(3), vec![10, 5]);
+        assert_eq!(s.per_subarray_shifts(6), vec![15]);
     }
 
     #[test]

@@ -44,16 +44,66 @@ impl fmt::Display for VarId {
 ///
 /// The placement problem of the paper is defined over a variable set
 /// `V = {v_1, …, v_n}`; this table owns that set.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// The name→id index is maintained **eagerly**: [`Clone`] heals a stale
+/// index (e.g. a table reconstructed field-by-field from serialized
+/// names) and [`from_names`](Self::from_names) builds it up front, so
+/// [`id`](Self::id) is always a single `O(1)` hash lookup — there is no
+/// linear-scan fallback.
+///
+/// Equality is **semantic**: two tables are equal iff they intern the same
+/// names in the same order (ids are the positions, so the ordered name list
+/// determines every lookup). The index is derived state and never part of
+/// the comparison — in particular, a healed clone compares equal to the
+/// stale table it was cloned from.
+#[derive(Debug, Default, Eq)]
 pub struct VarTable {
     names: Vec<String>,
     index: HashMap<String, VarId>,
+}
+
+impl PartialEq for VarTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.names == other.names
+    }
+}
+
+impl Clone for VarTable {
+    fn clone(&self) -> Self {
+        let mut t = Self {
+            names: self.names.clone(),
+            index: self.index.clone(),
+        };
+        // Heal a stale index eagerly (a deserialized table carries names
+        // only); cloning must never propagate degraded lookups.
+        if t.index.len() != t.names.len() {
+            t.rebuild_index();
+        }
+        t
+    }
 }
 
 impl VarTable {
     /// Creates an empty table.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Builds a table from an ordered name list (the deserialization entry
+    /// point), interning each name eagerly so [`id`](Self::id) is `O(1)`
+    /// from the first lookup.
+    ///
+    /// Duplicate names keep their first id (idempotent interning).
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut t = Self::new();
+        for n in names {
+            t.intern(n.as_ref());
+        }
+        t
     }
 
     /// Returns the id for `name`, interning it if it was not seen before.
@@ -67,17 +117,9 @@ impl VarTable {
         id
     }
 
-    /// Looks up an existing variable by name.
+    /// Looks up an existing variable by name in `O(1)` (the index is kept
+    /// in sync eagerly — see the type docs).
     pub fn id(&self, name: &str) -> Option<VarId> {
-        if self.index.is_empty() && !self.names.is_empty() {
-            // Deserialized table: fall back to a linear scan. `rebuild_index`
-            // makes subsequent lookups O(1).
-            return self
-                .names
-                .iter()
-                .position(|n| n == name)
-                .map(VarId::from_index);
-        }
         self.index.get(name).copied()
     }
 
@@ -181,8 +223,44 @@ mod tests {
         t.intern("b");
         let mut t2 = t.clone();
         t2.index.clear(); // simulate deserialization
-        assert_eq!(t2.id("b").map(VarId::index), Some(1)); // linear fallback
         t2.rebuild_index();
         assert_eq!(t2.id("b").map(VarId::index), Some(1));
+    }
+
+    #[test]
+    fn clone_heals_a_stale_index_eagerly() {
+        // Regression: `id()` used to fall back to a linear scan on tables
+        // whose index was lost (deserialization); lookups after `clone`
+        // must be O(1) hash hits, i.e. the clone's index is fully rebuilt.
+        let mut t = VarTable::new();
+        for i in 0..64 {
+            t.intern(&format!("v{i}"));
+        }
+        t.index.clear(); // simulate a names-only deserialized table
+        assert_eq!(t.id("v7"), None); // no hidden linear fallback remains
+        let healed = t.clone();
+        assert_eq!(healed, t, "healing is invisible to semantic equality");
+        assert_eq!(healed.index.len(), healed.names.len());
+        for i in 0..64 {
+            assert_eq!(
+                healed.id(&format!("v{i}")).map(VarId::index),
+                Some(i),
+                "v{i} must resolve through the rebuilt hash index"
+            );
+        }
+        // A healthy table's clone keeps the index verbatim.
+        let fresh = VarTable::from_names(["x", "y", "x"]);
+        assert_eq!(fresh.len(), 2);
+        let c = fresh.clone();
+        assert_eq!(c.id("y"), fresh.id("y"));
+        assert_eq!(c, fresh);
+    }
+
+    #[test]
+    fn from_names_builds_the_index_eagerly() {
+        let t = VarTable::from_names(["a", "b", "c"]);
+        assert_eq!(t.index.len(), 3);
+        assert_eq!(t.id("c").map(VarId::index), Some(2));
+        assert_eq!(t.id("missing"), None);
     }
 }

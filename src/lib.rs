@@ -45,8 +45,8 @@ pub use rtm_placement as placement;
 pub use rtm_sim as sim;
 pub use rtm_trace as trace;
 
-pub use rtm_arch::{MemoryParams, RtmGeometry, ScalingModel};
-pub use rtm_offsetstone::{suite, Benchmark, GeneratorConfig};
+pub use rtm_arch::{ArrayGeometry, MemoryParams, RtmGeometry, ScalingModel, SubarrayGeometry};
+pub use rtm_offsetstone::{stress_suite, suite, Benchmark, GeneratorConfig};
 pub use rtm_placement::{
     CostModel, FitnessEngine, GaConfig, GeneticPlacer, Placement, PlacementProblem,
     RandomWalkConfig, Solution, Strategy,

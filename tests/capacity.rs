@@ -1,0 +1,152 @@
+//! Cross-crate invariants of the capacity-aware hierarchical placement
+//! path — the acceptance criteria of the multi-subarray refactor:
+//!
+//! 1. every Fig. 4 benchmark is placeable at 16 DBCs within paper-faithful
+//!    4 KiB subarrays (tracks are never grown);
+//! 2. simulator ≡ cost model shift-count bit-exactness holds for
+//!    multi-subarray geometries at 1, 2 and 4 ports per track;
+//! 3. single-subarray array problems reproduce the flat problem's outputs
+//!    bit-exactly;
+//! 4. the `stress` OffsetStone family (≥ 10k accesses, ≥ 2k variables)
+//!    exercises the multi-subarray path end to end.
+
+use rtm::{
+    suite, ArrayGeometry, Benchmark, PlacementProblem, RtmGeometry, Simulator, Strategy,
+    SubarrayGeometry,
+};
+
+/// The paper-faithful 4 KiB subarray at a DBC count — never grown.
+fn paper_subarray(dbcs: usize, ports: usize) -> SubarrayGeometry {
+    RtmGeometry::paper_4kib_with_ports(dbcs, ports).unwrap()
+}
+
+#[test]
+fn every_fig4_benchmark_is_placeable_at_16_dbcs_in_paper_subarrays() {
+    let sub = paper_subarray(16, 1);
+    assert_eq!(sub.locations_per_dbc(), 64);
+    for bench in suite() {
+        let seq = bench.trace();
+        let array = ArrayGeometry::sized_for(sub, seq.vars().len());
+        assert!(array.fits(seq.vars().len()), "{}", bench.name());
+        let problem = PlacementProblem::for_array(seq.clone(), &array);
+        for strategy in [Strategy::AfdOfu, Strategy::DmaSr] {
+            let sol = problem
+                .solve(&strategy)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", strategy.name(), bench.name()));
+            sol.placement
+                .validate_array(&seq, &array)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "{} escapes the array on {}: {e}",
+                        strategy.name(),
+                        bench.name()
+                    )
+                });
+        }
+    }
+    // The one spilling benchmark really does get a second subarray.
+    let mpeg2 = Benchmark::by_name("mpeg2").unwrap().trace();
+    assert_eq!(
+        ArrayGeometry::sized_for(sub, mpeg2.vars().len()).subarrays(),
+        2
+    );
+}
+
+#[test]
+fn multi_subarray_sim_matches_cost_model_at_1_2_4_ports() {
+    // The §3.1 bit-exactness contract on the hierarchical geometry, driven
+    // by the only Fig. 4 benchmark that actually spills (mpeg2 at 16 DBCs
+    // needs two 4 KiB subarrays) plus a small multi-subarray fixture.
+    let mpeg2 = Benchmark::by_name("mpeg2").unwrap().trace();
+    for ports in [1usize, 2, 4] {
+        let array = ArrayGeometry::sized_for(paper_subarray(16, ports), mpeg2.vars().len());
+        assert_eq!(array.subarrays(), 2);
+        let problem = PlacementProblem::for_array(mpeg2.clone(), &array);
+        let sol = problem.solve(&Strategy::DmaSr).unwrap();
+        let sim = Simulator::for_array(&array);
+        let stats = sim.run(&mpeg2, &sol.placement).unwrap();
+        assert_eq!(stats.shifts, sol.shifts, "mpeg2 @ {ports} ports");
+        assert_eq!(
+            stats.per_dbc_shifts, sol.per_dbc_shifts,
+            "mpeg2 @ {ports} ports"
+        );
+        assert_eq!(
+            stats.per_subarray_shifts(16),
+            sol.per_subarray_shifts(16),
+            "mpeg2 @ {ports} ports"
+        );
+    }
+    // Small fixture: 3 subarrays, every strategy.
+    let seq = Benchmark::by_name("adpcm").unwrap().trace();
+    for ports in [1usize, 2, 4] {
+        let array = ArrayGeometry::new(3, paper_subarray(4, ports)).unwrap();
+        let problem = PlacementProblem::for_array(seq.clone(), &array);
+        for strategy in [Strategy::AfdOfu, Strategy::DmaOfu, Strategy::DmaSr] {
+            let sol = problem.solve(&strategy).unwrap();
+            let stats = Simulator::for_array(&array)
+                .run(&seq, &sol.placement)
+                .unwrap();
+            assert_eq!(stats.shifts, sol.shifts, "{strategy} @ {ports} ports");
+        }
+    }
+}
+
+#[test]
+fn single_subarray_arrays_reproduce_flat_outputs_bit_exactly() {
+    for name in ["adpcm", "gzip", "fft"] {
+        let seq = Benchmark::by_name(name).unwrap().trace();
+        for (dbcs, ports) in [(4usize, 1usize), (8, 2)] {
+            let capacity = 4096 * 8 / (dbcs * 32);
+            if seq.vars().len() > dbcs * capacity {
+                continue; // needs >1 subarray; not a degeneration case
+            }
+            let array = ArrayGeometry::single(paper_subarray(dbcs, ports));
+            let hier = PlacementProblem::for_array(seq.clone(), &array);
+            let flat = PlacementProblem::new(seq.clone(), dbcs, capacity).with_ports(ports);
+            for strategy in [Strategy::AfdOfu, Strategy::DmaSr] {
+                let a = hier.solve(&strategy).unwrap();
+                let b = flat.solve(&strategy).unwrap();
+                assert_eq!(
+                    a.placement, b.placement,
+                    "{name} {strategy} @ {dbcs}x{ports}"
+                );
+                assert_eq!(a.per_dbc_shifts, b.per_dbc_shifts);
+                // The array simulator degenerates to the flat simulator.
+                let sa = Simulator::for_array(&array)
+                    .run(&seq, &a.placement)
+                    .unwrap();
+                let sb = Simulator::for_paper_config_with_ports(dbcs, ports)
+                    .unwrap()
+                    .run(&seq, &b.placement)
+                    .unwrap();
+                assert_eq!(sa, sb, "{name} {strategy} @ {dbcs}x{ports}");
+            }
+        }
+    }
+}
+
+#[test]
+fn stress_family_exercises_the_multi_subarray_path_end_to_end() {
+    // ≥ 10k accesses, ≥ 2k variables: impossible inside one 4 KiB subarray
+    // at any Table I DBC count, so this is the capacity path under real
+    // load — placement, validation, and sim ≡ cost-model equivalence.
+    let bench = Benchmark::by_name("stress-dsp").expect("stress family is registered");
+    let seq = bench.trace();
+    assert!(seq.len() >= 10_000);
+    assert!(seq.vars().len() >= 2_000);
+    let array = ArrayGeometry::sized_for(paper_subarray(16, 1), seq.vars().len());
+    assert!(array.subarrays() >= 2, "stress workloads must spill");
+    assert_eq!(array.locations_per_dbc(), 64, "tracks stay paper-faithful");
+    let problem = PlacementProblem::for_array(seq.clone(), &array);
+    let sol = problem.solve(&Strategy::DmaSr).unwrap();
+    sol.placement.validate_array(&seq, &array).unwrap();
+    let stats = Simulator::for_array(&array)
+        .run(&seq, &sol.placement)
+        .unwrap();
+    assert_eq!(stats.shifts, sol.shifts);
+    assert_eq!(stats.per_dbc_shifts, sol.per_dbc_shifts);
+    // Per-subarray accounting covers the whole array and sums to the total.
+    let per_sub = stats.per_subarray_shifts(16);
+    assert_eq!(per_sub.len(), array.subarrays());
+    assert_eq!(per_sub.iter().sum::<u64>(), stats.shifts);
+}
