@@ -1,0 +1,8 @@
+//! Sweeps the anytime search portfolio's solution quality vs budget across
+//! port and subarray counts, writing `BENCH_search.json`. See `DESIGN.md`
+//! §4 and §8.
+
+fn main() -> std::io::Result<()> {
+    let opts = rtm_bench::ExperimentOpts::from_args();
+    rtm_bench::experiments::portfolio::run(&opts).emit(&opts)
+}

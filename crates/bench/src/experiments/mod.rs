@@ -8,6 +8,7 @@ pub mod fig6;
 pub mod ga_convergence;
 pub mod latency;
 pub mod perf;
+pub mod portfolio;
 pub mod ports;
 pub mod table1;
 

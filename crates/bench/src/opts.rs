@@ -10,6 +10,8 @@ use std::path::PathBuf;
 /// * `--ports 1,2,4` — access-port counts to sweep (`ports` experiment);
 /// * `--subarrays 1,2,4` — subarray counts to sweep (`capacity`
 ///   experiment);
+/// * `--budgets 5000,20000,50000` — eval budgets to sweep (`portfolio`
+///   experiment);
 /// * `--legacy-spill` — revert Fig. 4/5/6 and latency to the historical
 ///   grown-track behavior instead of the capacity-aware multi-subarray
 ///   path (kept as an explicit comparison baseline);
@@ -25,6 +27,9 @@ pub struct ExperimentOpts {
     pub ports: Vec<usize>,
     /// Subarray counts to sweep (the `capacity` experiment).
     pub subarrays: Vec<usize>,
+    /// Eval budgets to sweep (the `portfolio` experiment); empty = the
+    /// experiment's defaults (reduced under `--quick`).
+    pub budgets: Vec<u64>,
     /// Use the historical grown-track spill instead of the capacity-aware
     /// multi-subarray path (Fig. 4/5/6 and latency).
     pub legacy_spill: bool,
@@ -49,6 +54,7 @@ impl Default for ExperimentOpts {
             dbcs: vec![2, 4, 8, 16],
             ports: vec![1, 2, 4],
             subarrays: vec![1, 2, 4],
+            budgets: Vec::new(),
             legacy_spill: false,
             seed: 1,
             quick: false,
@@ -94,6 +100,16 @@ impl ExperimentOpts {
                     assert!(
                         !opts.subarrays.is_empty() && opts.subarrays.iter().all(|&s| s >= 1),
                         "--subarrays takes positive integers"
+                    );
+                }
+                "--budgets" => {
+                    opts.budgets = value("--budgets")
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("--budgets takes integers"))
+                        .collect();
+                    assert!(
+                        !opts.budgets.is_empty() && opts.budgets.iter().all(|&b| b >= 1),
+                        "--budgets takes positive integers"
                     );
                 }
                 "--dbcs" => {
@@ -184,6 +200,18 @@ mod tests {
     #[test]
     fn parses_ports() {
         assert_eq!(parse(&["--ports", "1,2"]).ports, vec![1, 2]);
+    }
+
+    #[test]
+    fn parses_budgets() {
+        assert_eq!(parse(&["--budgets", "500, 2000"]).budgets, vec![500, 2000]);
+        assert!(parse(&[]).budgets.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "--budgets takes positive integers")]
+    fn rejects_zero_budgets() {
+        parse(&["--budgets", "0"]);
     }
 
     #[test]

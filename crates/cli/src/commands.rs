@@ -3,7 +3,7 @@
 use crate::args::CliArgs;
 use crate::{build_problem, build_simulator, parse_strategy, read_trace, ProblemSpec};
 use rtm_offsetstone::{suite as bench_suite, Benchmark};
-use rtm_placement::{GaConfig, RandomWalkConfig, Solution, Strategy};
+use rtm_placement::{Solution, Strategy, StrategyKind};
 use rtm_sim::SimStats;
 use rtm_trace::AccessSequence;
 use std::fmt::Write as _;
@@ -28,7 +28,7 @@ pub fn simulate(args: &CliArgs) -> CmdResult {
 pub(crate) fn place_report(args: &CliArgs) -> Result<String, Box<dyn std::error::Error>> {
     let seq = read_trace(args)?;
     let spec = build_problem(args, &seq)?;
-    let strategy = parse_strategy(args.get("strategy").unwrap_or("dma-sr"))?;
+    let strategy = parse_strategy(args.get("strategy").unwrap_or("dma-sr"), args)?;
     let sol = spec.problem.solve(&strategy)?;
     if args.flag("json") {
         return Ok(json_report("place", &strategy, &spec, &seq, &sol, None));
@@ -47,6 +47,16 @@ pub(crate) fn place_report(args: &CliArgs) -> Result<String, Box<dyn std::error:
         spec.ports(),
         sol.shifts
     );
+    // Search strategies carry budget telemetry; heuristics (0 evals) keep
+    // the historical output verbatim.
+    if sol.evals_consumed > 0 {
+        write!(
+            out,
+            "\nsearch: {} evals, best found after {:.1} ms",
+            sol.evals_consumed,
+            sol.time_to_best.as_secs_f64() * 1e3
+        )?;
+    }
     for (d, list) in sol.placement.dbc_lists().iter().enumerate() {
         let names: Vec<&str> = list.iter().map(|&v| seq.vars().name(v)).collect();
         let label = if spec.subarrays() > 1 {
@@ -68,7 +78,7 @@ pub(crate) fn place_report(args: &CliArgs) -> Result<String, Box<dyn std::error:
 pub(crate) fn simulate_report(args: &CliArgs) -> Result<String, Box<dyn std::error::Error>> {
     let seq = read_trace(args)?;
     let spec = build_problem(args, &seq)?;
-    let strategy = parse_strategy(args.get("strategy").unwrap_or("dma-sr"))?;
+    let strategy = parse_strategy(args.get("strategy").unwrap_or("dma-sr"), args)?;
     let sol = spec.problem.solve(&strategy)?;
     let sim = build_simulator(&spec);
     let stats = sim.run(&seq, &sol.placement)?;
@@ -163,6 +173,12 @@ fn json_report(
         );
     }
     out.push(']');
+    let _ = write!(
+        out,
+        ",\"search\":{{\"evals_consumed\":{},\"time_to_best_ms\":{:.3}}}",
+        sol.evals_consumed,
+        sol.time_to_best.as_secs_f64() * 1e3
+    );
     if let Some(s) = stats {
         let _ = write!(
             out,
@@ -234,36 +250,13 @@ pub fn suite(args: &CliArgs) -> CmdResult {
     Ok(())
 }
 
-/// `rtm strategies` — list strategy names with one-line descriptions.
+/// `rtm strategies` — list strategy names with one-line descriptions,
+/// straight from the library's exhaustive [`StrategyKind`] registry (a new
+/// strategy appears here without touching the CLI).
 pub fn strategies() -> CmdResult {
-    let entries: [(&str, &str); 9] = [
-        (
-            "afd",
-            "AFD inter-DBC distribution, deal order (Chen'16 baseline)",
-        ),
-        ("afd-ofu", "AFD + order-of-first-use intra placement"),
-        ("dma", "DMA (Algorithm 1) with its native orders"),
-        ("dma-ofu", "DMA + OFU on non-disjoint DBCs"),
-        ("dma-chen", "DMA + Chen's frequency-seeded grouping"),
-        ("dma-sr", "DMA + ShiftsReduce (best heuristic, the default)"),
-        (
-            "dma-multi-sr",
-            "multi-chain DMA (paper's future work) + ShiftsReduce",
-        ),
-        (
-            "ga",
-            "genetic algorithm, paper budget (mu=lambda=100, 200 gens)",
-        ),
-        ("rw", "random walk, 60000 samples"),
-    ];
-    for (name, desc) in entries {
-        println!("{name:14} {desc}");
+    for kind in StrategyKind::ALL {
+        println!("{:14} {}", kind.cli_name(), kind.description());
     }
-    // Keep the listing in sync with the library.
-    let _ = (
-        Strategy::evaluation_set(GaConfig::quick(), RandomWalkConfig::quick()),
-        Strategy::DmaMultiSr,
-    );
     Ok(())
 }
 
@@ -566,6 +559,74 @@ mod tests {
             let a = args(&[("trace", f.to_str().unwrap()), ("ports", bad)]);
             assert!(place(&a).is_err(), "--ports {bad} should be rejected");
         }
+        let _ = std::fs::remove_file(f);
+    }
+
+    #[test]
+    fn place_runs_the_anytime_strategies() {
+        let f = trace_file("a b a b c c a b a c a b");
+        for strat in ["sa", "tabu", "portfolio"] {
+            let a = args(&[
+                ("trace", f.to_str().unwrap()),
+                ("dbcs", "2"),
+                ("strategy", strat),
+                ("budget-evals", "200"),
+            ]);
+            let out = place_report(&a).unwrap();
+            assert!(out.contains("search: "), "{strat} lacks telemetry: {out}");
+            assert!(out.contains(" evals, best found after "), "{strat}: {out}");
+        }
+        // Lane selection and the stall/deadline budget axes parse and run.
+        let a = args(&[
+            ("trace", f.to_str().unwrap()),
+            ("dbcs", "2"),
+            ("strategy", "portfolio"),
+            ("lanes", "sa,rw"),
+            ("budget-evals", "100"),
+            ("budget-stall", "50"),
+            ("seed", "7"),
+        ]);
+        place(&a).unwrap();
+        let a = args(&[
+            ("trace", f.to_str().unwrap()),
+            ("dbcs", "2"),
+            ("strategy", "sa"),
+            ("budget-ms", "20"),
+        ]);
+        place(&a).unwrap();
+        let bad = args(&[
+            ("trace", f.to_str().unwrap()),
+            ("strategy", "portfolio"),
+            ("lanes", "bogus"),
+        ]);
+        assert!(place(&bad).is_err());
+        let empty = args(&[
+            ("trace", f.to_str().unwrap()),
+            ("strategy", "portfolio"),
+            ("lanes", ","),
+        ]);
+        assert!(place(&empty).is_err());
+        let _ = std::fs::remove_file(f);
+    }
+
+    #[test]
+    fn place_json_carries_search_telemetry() {
+        let f = trace_file("a b a b c c a b a c");
+        let a = args(&[
+            ("trace", f.to_str().unwrap()),
+            ("dbcs", "2"),
+            ("strategy", "tabu"),
+            ("budget-evals", "150"),
+            ("json", ""),
+        ]);
+        let out = place_report(&a).unwrap();
+        json::parse(&out).unwrap_or_else(|e| panic!("invalid JSON: {e}\n{out}"));
+        assert!(out.contains("\"search\":{\"evals_consumed\":"), "{out}");
+        assert!(out.contains("\"time_to_best_ms\":"), "{out}");
+        // Heuristic solves report the zero-telemetry form.
+        let a = args(&[("trace", f.to_str().unwrap()), ("dbcs", "2"), ("json", "")]);
+        let out = place_report(&a).unwrap();
+        assert!(out.contains("\"search\":{\"evals_consumed\":0,"), "{out}");
         let _ = std::fs::remove_file(f);
     }
 

@@ -1,7 +1,9 @@
 //! `rtm` — command-line front end for racetrack-memory data placement.
 //!
 //! ```text
-//! rtm place    --trace FILE [--dbcs N] [--capacity N] [--ports N] [--subarrays N] [--strategy NAME] [--threads N] [--json]
+//! rtm place    --trace FILE [--dbcs N] [--capacity N] [--ports N] [--subarrays N] [--strategy NAME]
+//!              [--budget-evals N] [--budget-ms N] [--budget-stall N] [--lanes L,..] [--seed N]
+//!              [--threads N] [--json]
 //! rtm simulate --trace FILE [--dbcs N] [--ports N] [--subarrays N] [--strategy NAME] [--threads N] [--json]
 //! rtm stats    --trace FILE
 //! rtm suite    [--benchmark NAME]
@@ -11,7 +13,10 @@
 //! Traces are whitespace-separated variable names with optional `:r`/`:w`
 //! suffixes; `--trace -` reads stdin.
 
-use rtm_placement::{GaConfig, PlacementProblem, RandomWalkConfig, Strategy};
+use rtm_placement::{
+    Budget, GaConfig, LaneSpec, PlacementProblem, PortfolioConfig, RandomWalkConfig, SaConfig,
+    Strategy, TabuConfig,
+};
 use rtm_sim::Simulator;
 use rtm_trace::AccessSequence;
 use std::io::Read;
@@ -75,9 +80,16 @@ OPTIONS:
     --subarrays N     place across N paper-faithful 4 KiB subarrays
                       (default 1); tracks are never grown in array mode
     --strategy NAME   afd-ofu | dma-ofu | dma-chen | dma-sr | dma-multi-sr |
-                      ga | rw  (default dma-sr)
-    --threads N       fitness-engine workers for ga/rw (default: all cores;
-                      results are identical for any value)
+                      ga | rw | sa | tabu | portfolio  (default dma-sr)
+    --budget-evals N  eval budget for sa/tabu/portfolio (default 50000;
+                      per lane for portfolio)
+    --budget-ms N     wall-clock budget in milliseconds for sa/tabu/portfolio
+                      (combinable with --budget-evals; whichever fires first)
+    --budget-stall N  stop after N evals without improvement (sa/tabu/portfolio)
+    --lanes L,L,...   portfolio lanes from sa,tabu,ga,rw (default all four)
+    --seed N          RNG seed for sa/tabu/portfolio (fixed defaults otherwise)
+    --threads N       fitness-engine workers for the search strategies
+                      (default: all cores; results are identical for any value)
     --json            machine-readable output for place/simulate
     --benchmark NAME  one benchmark of the OffsetStone-style suite";
 
@@ -94,8 +106,10 @@ fn read_trace(args: &CliArgs) -> Result<AccessSequence, Box<dyn std::error::Erro
     Ok(AccessSequence::parse(&text)?)
 }
 
-/// Resolves a strategy name.
-fn parse_strategy(name: &str) -> Result<Strategy, String> {
+/// Resolves a strategy name, reading the search options (`--budget-evals`,
+/// `--budget-ms`, `--budget-stall`, `--lanes`, `--seed`) for the anytime
+/// strategies.
+fn parse_strategy(name: &str, args: &CliArgs) -> Result<Strategy, String> {
     Ok(match name {
         "afd" => Strategy::AfdNative,
         "afd-ofu" => Strategy::AfdOfu,
@@ -106,8 +120,66 @@ fn parse_strategy(name: &str) -> Result<Strategy, String> {
         "dma-multi-sr" => Strategy::DmaMultiSr,
         "ga" => Strategy::Ga(GaConfig::paper()),
         "rw" => Strategy::RandomWalk(RandomWalkConfig::paper()),
+        "sa" => {
+            let mut cfg = SaConfig::new(parse_budget(args)?);
+            if let Some(seed) = args.get_parsed("seed")? {
+                cfg = cfg.with_seed(seed);
+            }
+            Strategy::Sa(cfg)
+        }
+        "tabu" => {
+            let mut cfg = TabuConfig::new(parse_budget(args)?);
+            if let Some(seed) = args.get_parsed("seed")? {
+                cfg = cfg.with_seed(seed);
+            }
+            Strategy::Tabu(cfg)
+        }
+        "portfolio" => {
+            let mut cfg = PortfolioConfig::new(parse_budget(args)?);
+            if let Some(seed) = args.get_parsed("seed")? {
+                cfg = cfg.with_seed(seed);
+            }
+            if let Some(lanes) = args.get("lanes") {
+                cfg.lanes = parse_lanes(lanes)?;
+            }
+            Strategy::Portfolio(cfg)
+        }
         other => return Err(format!("unknown strategy `{other}` (see `rtm strategies`)")),
     })
+}
+
+/// Builds the [`Budget`] implied by `--budget-evals` / `--budget-ms` /
+/// `--budget-stall` (default: 50 000 evaluations).
+fn parse_budget(args: &CliArgs) -> Result<Budget, String> {
+    let evals: Option<u64> = args.get_parsed("budget-evals")?;
+    let ms: Option<u64> = args.get_parsed("budget-ms")?;
+    let stall: Option<u64> = args.get_parsed("budget-stall")?;
+    let mut budget = match (evals, ms) {
+        (Some(n), _) => Budget::evals(n),
+        (None, Some(m)) => Budget::wall_clock_ms(m),
+        (None, None) => Budget::evals(50_000),
+    };
+    if let (Some(_), Some(m)) = (evals, ms) {
+        budget = budget.and_wall_clock_ms(m);
+    }
+    if let Some(s) = stall {
+        budget = budget.and_stall(s);
+    }
+    Ok(budget)
+}
+
+/// Parses the `--lanes` list (`sa,tabu,ga,rw`).
+fn parse_lanes(list: &str) -> Result<Vec<LaneSpec>, String> {
+    let lanes: Vec<LaneSpec> = list
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| LaneSpec::parse(s).ok_or_else(|| format!("unknown lane `{s}` (sa|tabu|ga|rw)")))
+        .collect::<Result<_, _>>()?;
+    if lanes.is_empty() {
+        return Err("--lanes needs at least one of sa,tabu,ga,rw".into());
+    }
+    Ok(lanes)
 }
 
 /// The resolved problem of a `place`/`simulate` invocation: the placement

@@ -29,6 +29,8 @@ pub enum PlacementError {
     },
     /// The problem was constructed with zero DBCs or zero capacity.
     EmptyGeometry,
+    /// A search portfolio was configured with no lanes.
+    EmptyPortfolio,
 }
 
 impl fmt::Display for PlacementError {
@@ -61,6 +63,9 @@ impl fmt::Display for PlacementError {
                     f,
                     "placement problem needs at least one DBC and one location"
                 )
+            }
+            PlacementError::EmptyPortfolio => {
+                write!(f, "search portfolio needs at least one lane")
             }
         }
     }

@@ -21,6 +21,7 @@ use crate::error::PlacementError;
 use crate::eval::{DirtyMask, EvalJob, FitnessEngine};
 use crate::inter::{check_fit, Dma, InterHeuristic};
 use crate::placement::Placement;
+use crate::search::{Budget, BudgetMeter, RaceControl};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -119,6 +120,10 @@ pub struct GaOutcome {
     pub history: Vec<u64>,
     /// Total fitness evaluations performed.
     pub evaluations: usize,
+    /// Evaluations performed when the best placement was first reached.
+    pub evals_at_best: usize,
+    /// Wall time from run start to the first sighting of the best.
+    pub time_to_best: std::time::Duration,
 }
 
 /// One individual: per-DBC ordered variable lists plus cached per-DBC and
@@ -260,10 +265,165 @@ impl GeneticPlacer {
         };
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
         let mut evaluations = 0usize;
+        let start = std::time::Instant::now();
 
         // ---- Initial population -------------------------------------------
         // Candidates are generated first (RNG order unchanged from the
         // sequential implementation), then costed as one batch.
+        let mut initial = self.initial_jobs(seq, dbcs, capacity, &vars, seeds, &mut rng);
+        evaluations += initial.len();
+        engine.evaluate_batch(&mut initial);
+        let mut population: Vec<Individual> =
+            initial.into_iter().map(Individual::from_job).collect();
+
+        let mut best = population
+            .iter()
+            .min_by_key(|i| i.cost)
+            .expect("population nonempty")
+            .clone();
+        let mut evals_at_best = evaluations;
+        let mut time_to_best = start.elapsed();
+        let mut history = Vec::with_capacity(self.config.generations + 1);
+        history.push(best.cost);
+
+        // ---- Generations ---------------------------------------------------
+        for _ in 0..self.config.generations {
+            // Generate the whole λ-batch first (all RNG draws, in the exact
+            // order of the sequential implementation), then evaluate it —
+            // possibly in parallel — and only recompute the DBCs the
+            // operators actually touched.
+            let mut jobs = self.offspring_batch(
+                &population,
+                &vars,
+                capacity,
+                q,
+                self.config.lambda,
+                &mut rng,
+            );
+            evaluations += jobs.len();
+            engine.evaluate_batch(&mut jobs);
+
+            // µ+λ survivor selection: best of the union (elitist truncation;
+            // the paper's tournament selection is used for parents).
+            population.extend(jobs.into_iter().map(Individual::from_job));
+            population.sort_by_key(|i| i.cost);
+            population.truncate(self.config.mu);
+
+            if population[0].cost < best.cost {
+                best = population[0].clone();
+                evals_at_best = evaluations;
+                time_to_best = start.elapsed();
+            }
+            history.push(best.cost);
+        }
+
+        Ok(GaOutcome {
+            best: Placement::from_dbc_lists(best.dbcs),
+            best_cost: best.cost,
+            history,
+            evaluations,
+            evals_at_best,
+            time_to_best,
+        })
+    }
+
+    /// Budget-driven *anytime* run: evolves until the [`Budget`] is
+    /// exhausted (or the race asks this lane to stop), instead of a fixed
+    /// generation count. The configured `generations` field is ignored;
+    /// the initial population and every λ-batch are clamped to the budget's
+    /// remaining evaluations, so a `Budget::evals(n)` run never performs
+    /// more than `max(n, 1)` fitness evaluations.
+    ///
+    /// When racing, improvements are published to the shared incumbent
+    /// after every generation; the trajectory never *reads* the incumbent
+    /// (see the determinism contract in [`crate::search`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError`] if the variables cannot fit the geometry.
+    pub fn run_budgeted(
+        &self,
+        engine: &FitnessEngine<'_>,
+        dbcs: usize,
+        capacity: usize,
+        seeds: &[Placement],
+        budget: Budget,
+        race: Option<(&RaceControl, usize)>,
+    ) -> Result<GaOutcome, PlacementError> {
+        let seq = engine.seq();
+        let live = seq.liveness();
+        let vars = live.by_first_occurrence();
+        check_fit(vars.len(), dbcs, capacity)?;
+        let q = if self.subarrays > 1 && dbcs.is_multiple_of(self.subarrays) {
+            dbcs / self.subarrays
+        } else {
+            dbcs
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let mut meter = BudgetMeter::new(budget);
+
+        // Initial population exactly as in the fixed-generation run, then
+        // clamped to the eval budget (the RNG draws of discarded random
+        // individuals still happen, keeping the stream deterministic).
+        let mut initial = self.initial_jobs(seq, dbcs, capacity, &vars, seeds, &mut rng);
+        let cap = meter.remaining_evals().min(initial.len() as u64).max(1) as usize;
+        initial.truncate(cap);
+        engine.evaluate_batch(&mut initial);
+        meter.charge(initial.len() as u64);
+        let mut population: Vec<Individual> =
+            initial.into_iter().map(Individual::from_job).collect();
+
+        let mut best = population
+            .iter()
+            .min_by_key(|i| i.cost)
+            .expect("population nonempty")
+            .clone();
+        meter.note_cost(best.cost);
+        crate::search::race_publish(race, best.cost, &best.dbcs, meter.evals());
+        let mut history = vec![best.cost];
+
+        while best.cost > 0 && !meter.exhausted() && !crate::search::race_stopped(race) {
+            let lambda = (self.config.lambda as u64)
+                .min(meter.remaining_evals())
+                .max(1) as usize;
+            let mut jobs = self.offspring_batch(&population, &vars, capacity, q, lambda, &mut rng);
+            engine.evaluate_batch(&mut jobs);
+            meter.charge(jobs.len() as u64);
+
+            population.extend(jobs.into_iter().map(Individual::from_job));
+            population.sort_by_key(|i| i.cost);
+            population.truncate(self.config.mu);
+
+            if population[0].cost < best.cost {
+                best = population[0].clone();
+                meter.note_cost(best.cost);
+                crate::search::race_publish(race, best.cost, &best.dbcs, meter.evals());
+            }
+            history.push(best.cost);
+        }
+
+        Ok(GaOutcome {
+            best: Placement::from_dbc_lists(best.dbcs),
+            best_cost: best.cost,
+            history,
+            evaluations: meter.evals() as usize,
+            evals_at_best: meter.evals_at_best() as usize,
+            time_to_best: meter.time_to_best(),
+        })
+    }
+
+    /// The initial µ-population shared by both run loops: valid external
+    /// seeds, then the DMA/AFD heuristic distributions, then random
+    /// assignments up to µ — all RNG draws in the historical order.
+    fn initial_jobs(
+        &self,
+        seq: &AccessSequence,
+        dbcs: usize,
+        capacity: usize,
+        vars: &[VarId],
+        seeds: &[Placement],
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<EvalJob> {
         let mut initial: Vec<EvalJob> = Vec::with_capacity(self.config.mu);
         for seed_placement in seeds {
             let lists = seed_placement.dbc_lists().to_vec();
@@ -286,76 +446,48 @@ impl GeneticPlacer {
             }
         }
         while initial.len() < self.config.mu {
-            initial.push(EvalJob::fresh(random_assignment(
-                &vars, dbcs, capacity, &mut rng,
-            )));
+            initial.push(EvalJob::fresh(random_assignment(vars, dbcs, capacity, rng)));
         }
-        evaluations += initial.len();
-        engine.evaluate_batch(&mut initial);
-        let mut population: Vec<Individual> =
-            initial.into_iter().map(Individual::from_job).collect();
+        initial
+    }
 
-        let mut best = population
-            .iter()
-            .min_by_key(|i| i.cost)
-            .expect("population nonempty")
-            .clone();
-        let mut history = Vec::with_capacity(self.config.generations + 1);
-        history.push(best.cost);
-
-        // ---- Generations ---------------------------------------------------
-        for _ in 0..self.config.generations {
-            // Generate the whole λ-batch first (all RNG draws, in the exact
-            // order of the sequential implementation), then evaluate it —
-            // possibly in parallel — and only recompute the DBCs the
-            // operators actually touched.
-            let mut jobs: Vec<EvalJob> = Vec::with_capacity(self.config.lambda);
-            while jobs.len() < self.config.lambda {
-                let a = tournament(&population, self.config.tournament, &mut rng);
-                if rng.gen_bool(self.config.crossover_rate) {
-                    let b = tournament(&population, self.config.tournament, &mut rng);
-                    let (mut j1, mut j2) =
-                        crossover(&population[a], &population[b], &vars, capacity, &mut rng);
-                    if rng.gen_bool(self.config.mutation_rate) {
-                        mutate(&mut j1.lists, capacity, q, &mut rng, &mut j1.dirty);
-                    }
-                    if rng.gen_bool(self.config.mutation_rate) {
-                        mutate(&mut j2.lists, capacity, q, &mut rng, &mut j2.dirty);
-                    }
-                    jobs.push(j1);
-                    if jobs.len() < self.config.lambda {
-                        jobs.push(j2);
-                    }
-                } else {
-                    let mut j = EvalJob::derived(
-                        population[a].dbcs.clone(),
-                        population[a].dbc_costs.clone(),
-                    );
-                    mutate(&mut j.lists, capacity, q, &mut rng, &mut j.dirty);
-                    jobs.push(j);
+    /// One λ-batch of offspring shared by both run loops: tournament
+    /// parents, crossover + optional mutation or mutated clone — all RNG
+    /// draws in the historical order.
+    fn offspring_batch(
+        &self,
+        population: &[Individual],
+        vars: &[VarId],
+        capacity: usize,
+        q: usize,
+        lambda: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<EvalJob> {
+        let mut jobs: Vec<EvalJob> = Vec::with_capacity(lambda);
+        while jobs.len() < lambda {
+            let a = tournament(population, self.config.tournament, rng);
+            if rng.gen_bool(self.config.crossover_rate) {
+                let b = tournament(population, self.config.tournament, rng);
+                let (mut j1, mut j2) =
+                    crossover(&population[a], &population[b], vars, capacity, rng);
+                if rng.gen_bool(self.config.mutation_rate) {
+                    mutate(&mut j1.lists, capacity, q, rng, &mut j1.dirty);
                 }
+                if rng.gen_bool(self.config.mutation_rate) {
+                    mutate(&mut j2.lists, capacity, q, rng, &mut j2.dirty);
+                }
+                jobs.push(j1);
+                if jobs.len() < lambda {
+                    jobs.push(j2);
+                }
+            } else {
+                let mut j =
+                    EvalJob::derived(population[a].dbcs.clone(), population[a].dbc_costs.clone());
+                mutate(&mut j.lists, capacity, q, rng, &mut j.dirty);
+                jobs.push(j);
             }
-            evaluations += jobs.len();
-            engine.evaluate_batch(&mut jobs);
-
-            // µ+λ survivor selection: best of the union (elitist truncation;
-            // the paper's tournament selection is used for parents).
-            population.extend(jobs.into_iter().map(Individual::from_job));
-            population.sort_by_key(|i| i.cost);
-            population.truncate(self.config.mu);
-
-            if population[0].cost < best.cost {
-                best = population[0].clone();
-            }
-            history.push(best.cost);
         }
-
-        Ok(GaOutcome {
-            best: Placement::from_dbc_lists(best.dbcs),
-            best_cost: best.cost,
-            history,
-            evaluations,
-        })
+        jobs
     }
 }
 

@@ -20,9 +20,14 @@
 //!   crossover and three mutations.
 //! * [`random_walk`] — the random-walk search used to put GA results in
 //!   perspective.
+//! * [`search`] — the anytime layer: [`Budget`]-driven simulated annealing
+//!   and tabu search, and the [`Portfolio`] racing SA / tabu / GA / RW
+//!   lanes against a deadline with a shared incumbent.
 //! * [`Strategy`] / [`PlacementProblem`] — the six named configurations of
 //!   the evaluation (§IV-A): `AFD-OFU`, `DMA-OFU`, `DMA-Chen`, `DMA-SR`,
-//!   `GA`, `RW`.
+//!   `GA`, `RW` — plus the anytime `SA`, `Tabu` and `Portfolio`
+//!   strategies, all derived from one exhaustive [`StrategyKind`]
+//!   registry.
 //!
 //! Placement is **capacity-aware and hierarchical**: a workload larger than
 //! one paper-faithful 4 KiB subarray is placed across an
@@ -63,6 +68,7 @@ pub mod inter;
 pub mod intra;
 mod placement;
 pub mod random_walk;
+pub mod search;
 mod strategy;
 
 pub use cost::{sum_per_subarray, CostModel, InitialAlignment};
@@ -71,4 +77,8 @@ pub use eval::{EngineStats, FitnessEngine};
 pub use ga::{GaConfig, GaOutcome, GeneticPlacer};
 pub use placement::{Location, Placement};
 pub use random_walk::RandomWalkConfig;
-pub use strategy::{PlacementProblem, Solution, Strategy};
+pub use search::{
+    Budget, LaneSpec, Portfolio, PortfolioConfig, PortfolioOutcome, SaConfig, SearchOutcome,
+    SimulatedAnnealing, TabuConfig, TabuSearch,
+};
+pub use strategy::{PlacementProblem, Solution, Strategy, StrategyKind};

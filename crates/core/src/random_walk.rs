@@ -20,6 +20,7 @@ use crate::eval::FitnessEngine;
 use crate::ga::random_assignment;
 use crate::inter::check_fit;
 use crate::placement::Placement;
+use crate::search::{Budget, BudgetMeter, RaceControl, SearchOutcome};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rtm_trace::{AccessSequence, VarId};
@@ -116,28 +117,77 @@ pub fn search_with_engine(
     capacity: usize,
     config: RandomWalkConfig,
 ) -> Result<(Placement, u64), PlacementError> {
+    let out = run_budgeted(
+        engine,
+        dbcs,
+        capacity,
+        config.seed,
+        Budget::evals(config.iterations as u64),
+        None,
+    )?;
+    Ok((out.placement, out.cost))
+}
+
+/// Budget-driven *anytime* random walk: samples until the [`Budget`] is
+/// exhausted (or the race asks this lane to stop), returning the best
+/// placement with its telemetry. With `Budget::evals(n)` this is
+/// bit-identical to [`search_with_engine`] at `n` iterations.
+///
+/// When racing, improvements are published to the shared incumbent as they
+/// are found; the trajectory never *reads* the incumbent (see the
+/// determinism contract in [`crate::search`]).
+///
+/// # Errors
+///
+/// Returns [`PlacementError`] if the variables cannot fit the geometry.
+pub fn run_budgeted(
+    engine: &FitnessEngine<'_>,
+    dbcs: usize,
+    capacity: usize,
+    seed: u64,
+    budget: Budget,
+    race: Option<(&RaceControl, usize)>,
+) -> Result<SearchOutcome, PlacementError> {
     let seq = engine.seq();
     let vars = seq.liveness().by_first_occurrence();
     check_fit(vars.len(), dbcs, capacity)?;
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut meter = BudgetMeter::new(budget);
     let mut best: Option<(Vec<Vec<VarId>>, u64)> = None;
-    let mut remaining = config.iterations.max(1);
-    let mut batch: Vec<Vec<Vec<VarId>>> = Vec::with_capacity(BATCH.min(remaining));
-    while remaining > 0 {
+    let mut batch: Vec<Vec<Vec<VarId>>> = Vec::new();
+    // At least one batch always runs (the result must be reportable even
+    // under an already-expired deadline), hence the loop-with-break shape.
+    loop {
+        let n = (BATCH as u64).min(meter.remaining_evals()).max(1) as usize;
         batch.clear();
-        for _ in 0..BATCH.min(remaining) {
+        for _ in 0..n {
             batch.push(random_assignment(&vars, dbcs, capacity, &mut rng));
         }
-        remaining -= batch.len();
         let costs = engine.batch_costs(&batch);
         for (lists, c) in batch.drain(..).zip(costs) {
+            meter.charge(1);
             if best.as_ref().is_none_or(|(_, bc)| c < *bc) {
+                meter.note_cost(c);
                 best = Some((lists, c));
+                let (lists, c) = best.as_ref().expect("just set");
+                crate::search::race_publish(race, *c, lists, meter.evals());
             }
         }
+        if best.as_ref().is_some_and(|(_, c)| *c == 0) {
+            break; // a zero-cost placement cannot be improved
+        }
+        if meter.exhausted() || crate::search::race_stopped(race) {
+            break;
+        }
     }
-    let (lists, c) = best.expect("at least one iteration");
-    Ok((Placement::from_dbc_lists(lists), c))
+    let (lists, cost) = best.expect("at least one batch");
+    Ok(SearchOutcome {
+        placement: Placement::from_dbc_lists(lists),
+        cost,
+        evals: meter.evals(),
+        evals_at_best: meter.evals_at_best(),
+        time_to_best: meter.time_to_best(),
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,424 @@
+//! The anytime portfolio: N solver lanes racing one budget on scoped
+//! threads with a shared incumbent.
+//!
+//! Each lane (SA / tabu / GA / random walk) runs on its own
+//! [`std::thread::scope`] thread against the **same per-lane budget**,
+//! with a deterministic per-lane seed derived from the portfolio seed
+//! ([`PortfolioConfig::lane_seed`]). Lanes publish improvements to the
+//! shared [`RaceControl`](super::RaceControl) incumbent — never reading it
+//! back — and the winner is selected from the finished lane outcomes by
+//! `(cost, lane index)`. Under a deterministic budget the whole race is
+//! therefore **bit-identical** for any thread count; under a wall-clock
+//! budget the incumbent makes the race *anytime* (see the determinism
+//! contract in the [module docs](super)).
+//!
+//! The budget is **per lane**: a `Budget::evals(n)` portfolio gives every
+//! lane up to `n` evaluations (racing buys wall-clock parallelism, not an
+//! eval split), so the portfolio's best can never lose to any of its lanes
+//! run standalone with the same budget and lane seed — a one-lane
+//! portfolio degenerates to exactly the underlying solver.
+
+use super::{Budget, RaceControl, RaceEvent, SaConfig, SearchOutcome, TabuConfig};
+use super::{SimulatedAnnealing, TabuSearch};
+use crate::error::PlacementError;
+use crate::eval::FitnessEngine;
+use crate::ga::{GaConfig, GeneticPlacer};
+use crate::inter::check_fit;
+use crate::placement::Placement;
+use crate::random_walk;
+
+/// One lane kind of a portfolio race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneSpec {
+    /// Simulated annealing ([`SimulatedAnnealing`]).
+    Sa,
+    /// Tabu search ([`TabuSearch`]).
+    Tabu,
+    /// Budget-driven genetic algorithm ([`GeneticPlacer::run_budgeted`]).
+    Ga,
+    /// Budget-driven random walk ([`random_walk::run_budgeted`]).
+    RandomWalk,
+}
+
+impl LaneSpec {
+    /// Stable lane name used in tables, traces and the CLI `--lanes`
+    /// option.
+    pub fn name(self) -> &'static str {
+        match self {
+            LaneSpec::Sa => "sa",
+            LaneSpec::Tabu => "tabu",
+            LaneSpec::Ga => "ga",
+            LaneSpec::RandomWalk => "rw",
+        }
+    }
+
+    /// Parses a lane name (`sa` | `tabu` | `ga` | `rw`).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "sa" => Some(LaneSpec::Sa),
+            "tabu" => Some(LaneSpec::Tabu),
+            "ga" => Some(LaneSpec::Ga),
+            "rw" => Some(LaneSpec::RandomWalk),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for LaneSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration of a portfolio race.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortfolioConfig {
+    /// The lanes to race, in index order (duplicates allowed — they get
+    /// distinct seeds).
+    pub lanes: Vec<LaneSpec>,
+    /// The per-lane budget.
+    pub budget: Budget,
+    /// Base RNG seed; each lane derives its own stream via
+    /// [`lane_seed`](Self::lane_seed).
+    pub seed: u64,
+}
+
+impl PortfolioConfig {
+    /// The default four-lane race (SA, tabu, GA, random walk) under the
+    /// given per-lane budget, seed `0xF0_2020`.
+    pub fn new(budget: Budget) -> Self {
+        Self {
+            lanes: vec![
+                LaneSpec::Sa,
+                LaneSpec::Tabu,
+                LaneSpec::Ga,
+                LaneSpec::RandomWalk,
+            ],
+            budget,
+            seed: 0xF0_2020,
+        }
+    }
+
+    /// A small evaluation budget for tests and `--quick` runs.
+    pub fn quick() -> Self {
+        Self::new(Budget::evals(2_000))
+    }
+
+    /// Returns the config with a different base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the config with the given lanes.
+    pub fn with_lanes(mut self, lanes: Vec<LaneSpec>) -> Self {
+        self.lanes = lanes;
+        self
+    }
+
+    /// The deterministic seed of lane `lane`: a splitmix64 finalizer over
+    /// `seed ⊕ (lane + 1)`, so lanes draw from independent `ChaCha`
+    /// streams. Running a solver standalone with this seed reproduces the
+    /// lane bit-for-bit (the degenerate-portfolio contract).
+    pub fn lane_seed(&self, lane: usize) -> u64 {
+        let mut z = (self.seed ^ (lane as u64 + 1)).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// The finished state of one lane.
+#[derive(Debug, Clone)]
+pub struct LaneOutcome {
+    /// Which solver ran in this lane.
+    pub spec: LaneSpec,
+    /// The lane's best result and telemetry.
+    pub outcome: SearchOutcome,
+}
+
+/// Result of a portfolio race.
+#[derive(Debug, Clone)]
+pub struct PortfolioOutcome {
+    /// Index (into `lanes`) of the winning lane — lowest cost, earliest
+    /// lane on ties.
+    pub winner: usize,
+    /// Every lane's outcome, in lane order.
+    pub lanes: Vec<LaneOutcome>,
+    /// The incumbent's improvement log (the time-to-best trace).
+    pub trace: Vec<RaceEvent>,
+    /// Evaluations summed over all lanes.
+    pub total_evals: u64,
+}
+
+impl PortfolioOutcome {
+    /// The winning lane's outcome.
+    pub fn best(&self) -> &SearchOutcome {
+        &self.lanes[self.winner].outcome
+    }
+}
+
+/// The portfolio driver.
+#[derive(Debug, Clone)]
+pub struct Portfolio {
+    config: PortfolioConfig,
+    subarrays: usize,
+}
+
+impl Portfolio {
+    /// Creates a driver with the given configuration.
+    pub fn new(config: PortfolioConfig) -> Self {
+        Self {
+            config,
+            subarrays: 1,
+        }
+    }
+
+    /// Declares the hierarchical geometry, forwarded to every lane.
+    pub fn with_subarrays(mut self, subarrays: usize) -> Self {
+        self.subarrays = subarrays.max(1);
+        self
+    }
+
+    /// Races the configured lanes on scoped threads; blocks until every
+    /// lane has exhausted the budget (or the deadline fired).
+    ///
+    /// `seeds` are candidate start placements handed to every lane (the
+    /// heuristic solutions, when called through
+    /// [`Strategy`](crate::Strategy)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError`] if the variables cannot fit the geometry
+    /// or the configuration has no lanes.
+    pub fn run_with_engine(
+        &self,
+        engine: &FitnessEngine<'_>,
+        dbcs: usize,
+        capacity: usize,
+        seeds: &[Placement],
+    ) -> Result<PortfolioOutcome, PlacementError> {
+        if self.config.lanes.is_empty() {
+            return Err(PlacementError::EmptyPortfolio);
+        }
+        let seq = engine.seq();
+        check_fit(seq.liveness().by_first_occurrence().len(), dbcs, capacity)?;
+        let control = RaceControl::new(self.config.budget.deadline());
+        let results: Vec<Result<SearchOutcome, PlacementError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .config
+                .lanes
+                .iter()
+                .enumerate()
+                .map(|(lane, &spec)| {
+                    let control = &control;
+                    scope.spawn(move || {
+                        self.run_lane(spec, (control, lane), engine, dbcs, capacity, seeds)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("portfolio lane panicked"))
+                .collect()
+        });
+        let mut lanes = Vec::with_capacity(results.len());
+        for (spec, result) in self.config.lanes.iter().zip(results) {
+            lanes.push(LaneOutcome {
+                spec: *spec,
+                outcome: result?,
+            });
+        }
+        let winner = lanes
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, l)| (l.outcome.cost, *i))
+            .map(|(i, _)| i)
+            .expect("at least one lane");
+        let total_evals = lanes.iter().map(|l| l.outcome.evals).sum();
+        Ok(PortfolioOutcome {
+            winner,
+            lanes,
+            trace: control.trace(),
+            total_evals,
+        })
+    }
+
+    /// Runs one lane with its derived seed against the shared control
+    /// (`race` is the `(control, lane index)` pair).
+    fn run_lane(
+        &self,
+        spec: LaneSpec,
+        race: (&RaceControl, usize),
+        engine: &FitnessEngine<'_>,
+        dbcs: usize,
+        capacity: usize,
+        seeds: &[Placement],
+    ) -> Result<SearchOutcome, PlacementError> {
+        let seed = self.config.lane_seed(race.1);
+        let budget = self.config.budget;
+        let race = Some(race);
+        match spec {
+            LaneSpec::Sa => SimulatedAnnealing::new(SaConfig::new(budget).with_seed(seed))
+                .with_subarrays(self.subarrays)
+                .run_in_race(engine, dbcs, capacity, seeds, race),
+            LaneSpec::Tabu => TabuSearch::new(TabuConfig::new(budget).with_seed(seed))
+                .with_subarrays(self.subarrays)
+                .run_in_race(engine, dbcs, capacity, seeds, race),
+            LaneSpec::Ga => {
+                let cfg = GaConfig::paper().with_seed(seed);
+                let out = GeneticPlacer::new(cfg)
+                    .with_subarrays(self.subarrays)
+                    .run_budgeted(engine, dbcs, capacity, seeds, budget, race)?;
+                Ok(SearchOutcome {
+                    placement: out.best,
+                    cost: out.best_cost,
+                    evals: out.evaluations as u64,
+                    evals_at_best: out.evals_at_best as u64,
+                    time_to_best: out.time_to_best,
+                })
+            }
+            LaneSpec::RandomWalk => {
+                random_walk::run_budgeted(engine, dbcs, capacity, seed, budget, race)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::{PlacementProblem, Strategy};
+    use rtm_trace::AccessSequence;
+
+    const PAPER_SEQ: &str = "a b a b c a c a d d a i e f e f g e g h g i h i";
+
+    fn engine_and_seeds(
+        seq: &AccessSequence,
+        dbcs: usize,
+        capacity: usize,
+    ) -> (FitnessEngine<'_>, Vec<Placement>) {
+        let p = PlacementProblem::new(seq.clone(), dbcs, capacity);
+        let seeds = vec![p.solve(&Strategy::DmaSr).unwrap().placement];
+        (FitnessEngine::new(seq, CostModel::single_port()), seeds)
+    }
+
+    #[test]
+    fn lane_seeds_are_distinct_and_stable() {
+        let cfg = PortfolioConfig::quick().with_seed(42);
+        let seeds: Vec<u64> = (0..4).map(|i| cfg.lane_seed(i)).collect();
+        for (i, a) in seeds.iter().enumerate() {
+            for b in &seeds[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert_eq!(
+            cfg.lane_seed(0),
+            PortfolioConfig::quick().with_seed(42).lane_seed(0)
+        );
+    }
+
+    #[test]
+    fn lane_spec_names_round_trip() {
+        for spec in [
+            LaneSpec::Sa,
+            LaneSpec::Tabu,
+            LaneSpec::Ga,
+            LaneSpec::RandomWalk,
+        ] {
+            assert_eq!(LaneSpec::parse(spec.name()), Some(spec));
+            assert_eq!(spec.to_string(), spec.name());
+        }
+        assert_eq!(LaneSpec::parse("bogus"), None);
+    }
+
+    #[test]
+    fn winner_is_the_min_cost_earliest_lane() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let (engine, seeds) = engine_and_seeds(&seq, 2, 512);
+        let cfg = PortfolioConfig::new(Budget::evals(400)).with_seed(3);
+        let out = Portfolio::new(cfg.clone())
+            .run_with_engine(&engine, 2, 512, &seeds)
+            .unwrap();
+        assert_eq!(out.lanes.len(), 4);
+        let min = out.lanes.iter().map(|l| l.outcome.cost).min().unwrap();
+        assert_eq!(out.best().cost, min);
+        let first_min = out
+            .lanes
+            .iter()
+            .position(|l| l.outcome.cost == min)
+            .unwrap();
+        assert_eq!(out.winner, first_min);
+        assert_eq!(
+            out.total_evals,
+            out.lanes.iter().map(|l| l.outcome.evals).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn race_is_deterministic_across_runs() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let (engine, seeds) = engine_and_seeds(&seq, 2, 8);
+        let cfg = PortfolioConfig::new(Budget::evals(600)).with_seed(5);
+        let a = Portfolio::new(cfg.clone())
+            .run_with_engine(&engine, 2, 8, &seeds)
+            .unwrap();
+        let b = Portfolio::new(cfg)
+            .run_with_engine(&engine, 2, 8, &seeds)
+            .unwrap();
+        assert_eq!(a.winner, b.winner);
+        assert_eq!(a.total_evals, b.total_evals);
+        for (x, y) in a.lanes.iter().zip(&b.lanes) {
+            assert_eq!(x.outcome.cost, y.outcome.cost, "{} lane", x.spec);
+            assert_eq!(x.outcome.placement, y.outcome.placement);
+            assert_eq!(x.outcome.evals, y.outcome.evals);
+        }
+    }
+
+    #[test]
+    fn one_lane_portfolio_equals_the_standalone_solver() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let (engine, seeds) = engine_and_seeds(&seq, 2, 8);
+        let budget = Budget::evals(500);
+        let cfg = PortfolioConfig::new(budget)
+            .with_seed(9)
+            .with_lanes(vec![LaneSpec::Tabu]);
+        let race = Portfolio::new(cfg.clone())
+            .run_with_engine(&engine, 2, 8, &seeds)
+            .unwrap();
+        let solo = TabuSearch::new(TabuConfig::new(budget).with_seed(cfg.lane_seed(0)))
+            .run_with_engine(&engine, 2, 8, &seeds)
+            .unwrap();
+        assert_eq!(race.best().cost, solo.cost);
+        assert_eq!(race.best().placement, solo.placement);
+        assert_eq!(race.best().evals, solo.evals);
+    }
+
+    #[test]
+    fn empty_lanes_are_an_error() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let engine = FitnessEngine::new(&seq, CostModel::single_port());
+        let cfg = PortfolioConfig::quick().with_lanes(vec![]);
+        assert!(matches!(
+            Portfolio::new(cfg).run_with_engine(&engine, 2, 512, &[]),
+            Err(PlacementError::EmptyPortfolio)
+        ));
+    }
+
+    #[test]
+    fn deadline_race_returns_a_valid_best() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let (engine, seeds) = engine_and_seeds(&seq, 2, 512);
+        let cfg = PortfolioConfig::new(Budget::wall_clock_ms(30));
+        let out = Portfolio::new(cfg)
+            .run_with_engine(&engine, 2, 512, &seeds)
+            .unwrap();
+        out.best().placement.validate(&seq, 512).unwrap();
+        assert_eq!(engine.shift_cost(&out.best().placement), out.best().cost);
+        // The incumbent trace is consistent: costs strictly decrease.
+        for w in out.trace.windows(2) {
+            assert!(w[1].cost < w[0].cost);
+        }
+    }
+}

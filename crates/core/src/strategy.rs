@@ -6,12 +6,113 @@ use crate::inter::{Afd, Dma, InterHeuristic};
 use crate::intra::{Chen, IntraHeuristic, Ofu, ShiftsReduce};
 use crate::placement::Placement;
 use crate::random_walk::{self, RandomWalkConfig};
+use crate::search::{Portfolio, PortfolioConfig, SaConfig, SimulatedAnnealing};
+use crate::search::{TabuConfig, TabuSearch};
 use rtm_arch::ArrayGeometry;
 use rtm_trace::{AccessSequence, VarId};
 use std::fmt;
+use std::time::Duration;
 
-/// The placement strategies evaluated in §IV of the paper, plus the two
-/// "native" orders used in the Fig. 3 walkthrough.
+/// The single exhaustive strategy registry: every [`StrategyKind`], its
+/// paper-table name, its CLI spelling, a one-line description, and whether
+/// it belongs to the §IV evaluation set.
+///
+/// This macro is the *only* place a strategy is declared, so a new
+/// strategy cannot be half-registered: [`Strategy::kind`] is an exhaustive
+/// `match` (adding a [`Strategy`] variant without a kind is a compile
+/// error), and [`Strategy::evaluation_set`] / the CLI listing derive from
+/// [`StrategyKind::ALL`] (a kind cannot be silently missing from an
+/// experiment row).
+macro_rules! strategy_registry {
+    ($( $kind:ident { name: $name:literal, cli: $cli:literal,
+         evaluated: $evaluated:literal, desc: $desc:literal } ),+ $(,)?) => {
+        /// Fieldless tag of a [`Strategy`] variant — the registry key.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub enum StrategyKind {
+            $( #[doc = $desc] $kind, )+
+        }
+
+        impl StrategyKind {
+            /// Every registered strategy kind, in registry order.
+            pub const ALL: &'static [StrategyKind] = &[ $( StrategyKind::$kind, )+ ];
+
+            /// Short, stable name used in experiment tables.
+            pub fn name(self) -> &'static str {
+                match self { $( StrategyKind::$kind => $name, )+ }
+            }
+
+            /// The `rtm place --strategy` spelling.
+            pub fn cli_name(self) -> &'static str {
+                match self { $( StrategyKind::$kind => $cli, )+ }
+            }
+
+            /// One-line description for `rtm strategies`.
+            pub fn description(self) -> &'static str {
+                match self { $( StrategyKind::$kind => $desc, )+ }
+            }
+
+            /// Whether the kind belongs to the paper's §IV evaluation set.
+            pub fn in_evaluation_set(self) -> bool {
+                match self { $( StrategyKind::$kind => $evaluated, )+ }
+            }
+        }
+    };
+}
+
+strategy_registry! {
+    AfdNative {
+        name: "AFD", cli: "afd", evaluated: false,
+        desc: "AFD inter-DBC distribution, deal order (Chen'16 baseline)"
+    },
+    AfdOfu {
+        name: "AFD-OFU", cli: "afd-ofu", evaluated: true,
+        desc: "AFD + order-of-first-use intra placement"
+    },
+    DmaNative {
+        name: "DMA", cli: "dma", evaluated: false,
+        desc: "DMA (Algorithm 1) with its native orders"
+    },
+    DmaOfu {
+        name: "DMA-OFU", cli: "dma-ofu", evaluated: true,
+        desc: "DMA + OFU on non-disjoint DBCs"
+    },
+    DmaChen {
+        name: "DMA-Chen", cli: "dma-chen", evaluated: true,
+        desc: "DMA + Chen's frequency-seeded grouping"
+    },
+    DmaSr {
+        name: "DMA-SR", cli: "dma-sr", evaluated: true,
+        desc: "DMA + ShiftsReduce (best heuristic, the default)"
+    },
+    DmaMultiSr {
+        name: "DMA-Multi-SR", cli: "dma-multi-sr", evaluated: false,
+        desc: "multi-chain DMA (paper's future work) + ShiftsReduce"
+    },
+    Ga {
+        name: "GA", cli: "ga", evaluated: true,
+        desc: "genetic algorithm, paper budget (mu=lambda=100, 200 gens)"
+    },
+    RandomWalk {
+        name: "RW", cli: "rw", evaluated: true,
+        desc: "random walk, 60000 samples"
+    },
+    Sa {
+        name: "SA", cli: "sa", evaluated: false,
+        desc: "anytime simulated annealing under --budget-evals/--budget-ms"
+    },
+    Tabu {
+        name: "Tabu", cli: "tabu", evaluated: false,
+        desc: "anytime tabu search under --budget-evals/--budget-ms"
+    },
+    Portfolio {
+        name: "Portfolio", cli: "portfolio", evaluated: false,
+        desc: "races --lanes (sa,tabu,ga,rw) against one budget, shared incumbent"
+    },
+}
+
+/// The placement strategies evaluated in §IV of the paper, the two
+/// "native" orders used in the Fig. 3 walkthrough, and the anytime search
+/// stack (§8 of `DESIGN.md`).
 ///
 /// | Variant | Inter-DBC | Intra-DBC |
 /// |---|---|---|
@@ -23,6 +124,9 @@ use std::fmt;
 /// | `DmaSr` | DMA | ShiftsReduce on non-disjoint DBCs |
 /// | `Ga` | joint (genetic algorithm) | joint |
 /// | `RandomWalk` | random sampling | random sampling |
+/// | `Sa` | joint (anytime annealing) | joint |
+/// | `Tabu` | joint (anytime tabu search) | joint |
+/// | `Portfolio` | joint (racing lanes) | joint |
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum Strategy {
@@ -46,35 +150,76 @@ pub enum Strategy {
     Ga(GaConfig),
     /// Random-walk search (`RW`).
     RandomWalk(RandomWalkConfig),
+    /// Anytime simulated annealing (`SA`).
+    Sa(SaConfig),
+    /// Anytime tabu search (`Tabu`).
+    Tabu(TabuConfig),
+    /// Anytime portfolio race (`Portfolio`).
+    Portfolio(PortfolioConfig),
 }
 
 impl Strategy {
+    /// The registry kind of this strategy.
+    ///
+    /// This `match` is deliberately exhaustive (no wildcard): adding a
+    /// [`Strategy`] variant without registering a [`StrategyKind`] for it
+    /// fails to compile here.
+    pub fn kind(&self) -> StrategyKind {
+        match self {
+            Strategy::AfdNative => StrategyKind::AfdNative,
+            Strategy::AfdOfu => StrategyKind::AfdOfu,
+            Strategy::DmaNative => StrategyKind::DmaNative,
+            Strategy::DmaOfu => StrategyKind::DmaOfu,
+            Strategy::DmaChen => StrategyKind::DmaChen,
+            Strategy::DmaSr => StrategyKind::DmaSr,
+            Strategy::DmaMultiSr => StrategyKind::DmaMultiSr,
+            Strategy::Ga(_) => StrategyKind::Ga,
+            Strategy::RandomWalk(_) => StrategyKind::RandomWalk,
+            Strategy::Sa(_) => StrategyKind::Sa,
+            Strategy::Tabu(_) => StrategyKind::Tabu,
+            Strategy::Portfolio(_) => StrategyKind::Portfolio,
+        }
+    }
+
     /// The six configurations of the paper's evaluation, with the given
-    /// search budgets.
+    /// search budgets — derived from the registry
+    /// ([`StrategyKind::in_evaluation_set`]), so a registered kind can
+    /// never silently miss its experiment row.
     pub fn evaluation_set(ga: GaConfig, rw: RandomWalkConfig) -> Vec<Strategy> {
-        vec![
-            Strategy::AfdOfu,
-            Strategy::DmaOfu,
-            Strategy::DmaChen,
-            Strategy::DmaSr,
-            Strategy::Ga(ga),
-            Strategy::RandomWalk(rw),
-        ]
+        StrategyKind::ALL
+            .iter()
+            .filter(|k| k.in_evaluation_set())
+            .map(|k| Strategy::for_evaluation(*k, ga, rw))
+            .collect()
+    }
+
+    /// Instantiates an evaluation-set kind with the harness budgets.
+    ///
+    /// Exhaustive over the registry: flipping a kind's `evaluated` flag
+    /// without deciding its construction here is caught by the
+    /// `unreachable!` (and by the registry round-trip test below).
+    fn for_evaluation(kind: StrategyKind, ga: GaConfig, rw: RandomWalkConfig) -> Strategy {
+        match kind {
+            StrategyKind::AfdOfu => Strategy::AfdOfu,
+            StrategyKind::DmaOfu => Strategy::DmaOfu,
+            StrategyKind::DmaChen => Strategy::DmaChen,
+            StrategyKind::DmaSr => Strategy::DmaSr,
+            StrategyKind::Ga => Strategy::Ga(ga),
+            StrategyKind::RandomWalk => Strategy::RandomWalk(rw),
+            StrategyKind::AfdNative
+            | StrategyKind::DmaNative
+            | StrategyKind::DmaMultiSr
+            | StrategyKind::Sa
+            | StrategyKind::Tabu
+            | StrategyKind::Portfolio => {
+                unreachable!("{} is not in the evaluation set", kind.name())
+            }
+        }
     }
 
     /// Short, stable name used in experiment tables.
     pub fn name(&self) -> &'static str {
-        match self {
-            Strategy::AfdNative => "AFD",
-            Strategy::AfdOfu => "AFD-OFU",
-            Strategy::DmaNative => "DMA",
-            Strategy::DmaOfu => "DMA-OFU",
-            Strategy::DmaChen => "DMA-Chen",
-            Strategy::DmaSr => "DMA-SR",
-            Strategy::DmaMultiSr => "DMA-Multi-SR",
-            Strategy::Ga(_) => "GA",
-            Strategy::RandomWalk(_) => "RW",
-        }
+        self.kind().name()
     }
 }
 
@@ -85,7 +230,14 @@ impl fmt::Display for Strategy {
 }
 
 /// A solved placement: the layout plus its shift cost under the problem's
-/// cost model.
+/// cost model, and the search telemetry of how it was found.
+///
+/// The telemetry fields are zero for the deterministic heuristics (they
+/// perform no fitness evaluations); for the search strategies (`GA`, `RW`,
+/// `SA`, `Tabu`, `Portfolio`) they report the consumed budget.
+/// `time_to_best` is wall-clock and therefore machine-dependent even when
+/// the placement itself is bit-reproducible — compare placements, shift
+/// counts and `evals_consumed` across runs, not whole `Solution`s.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Solution {
     /// The placement.
@@ -94,6 +246,12 @@ pub struct Solution {
     pub shifts: u64,
     /// Shifts per DBC (global DBC index for hierarchical problems).
     pub per_dbc_shifts: Vec<u64>,
+    /// Fitness evaluations the solving strategy consumed (0 for the
+    /// deterministic heuristics; summed over lanes for `Portfolio`).
+    pub evals_consumed: u64,
+    /// Wall time from search start to the first sighting of the returned
+    /// placement (zero for the deterministic heuristics).
+    pub time_to_best: Duration,
 }
 
 impl Solution {
@@ -257,6 +415,8 @@ impl PlacementProblem {
     /// Returns [`PlacementError`] when the variables cannot fit the
     /// geometry (`vars > q × N`).
     pub fn solve(&self, strategy: &Strategy) -> Result<Solution, PlacementError> {
+        let mut evals_consumed = 0u64;
+        let mut time_to_best = Duration::ZERO;
         let placement = match strategy {
             Strategy::AfdNative => {
                 Placement::from_dbc_lists(Afd.distribute(&self.seq, self.dbcs, self.capacity)?)
@@ -270,28 +430,60 @@ impl PlacementProblem {
             Strategy::DmaSr => self.dma_with_intra(&ShiftsReduce::new())?,
             Strategy::DmaMultiSr => self.dma_multi_with_intra(&ShiftsReduce::new())?,
             Strategy::Ga(cfg) => {
-                // Seed with every composite heuristic (the paper seeds with
-                // its heuristic result), so the GA is a true upper baseline.
-                let seeds: Vec<Placement> = [
-                    Strategy::AfdOfu,
-                    Strategy::DmaOfu,
-                    Strategy::DmaChen,
-                    Strategy::DmaSr,
-                ]
-                .iter()
-                .filter_map(|s| self.solve(s).ok().map(|sol| sol.placement))
-                .collect();
+                let seeds = self.heuristic_seeds();
                 let engine = self.engine();
-                GeneticPlacer::new(*cfg)
+                let out = GeneticPlacer::new(*cfg)
                     .with_subarrays(self.subarrays)
-                    .run_with_engine(&engine, self.dbcs, self.capacity, &seeds)?
-                    .best
+                    .run_with_engine(&engine, self.dbcs, self.capacity, &seeds)?;
+                evals_consumed = out.evaluations as u64;
+                time_to_best = out.time_to_best;
+                out.best
             }
             Strategy::RandomWalk(cfg) => {
                 // The random walk's batch path never consults the caches;
                 // disabling them just skips building unused maps.
                 let engine = self.engine().with_memo(false);
-                random_walk::search_with_engine(&engine, self.dbcs, self.capacity, *cfg)?.0
+                let out = random_walk::run_budgeted(
+                    &engine,
+                    self.dbcs,
+                    self.capacity,
+                    cfg.seed,
+                    crate::search::Budget::evals(cfg.iterations as u64),
+                    None,
+                )?;
+                evals_consumed = out.evals;
+                time_to_best = out.time_to_best;
+                out.placement
+            }
+            Strategy::Sa(cfg) => {
+                let seeds = self.heuristic_seeds();
+                let engine = self.engine();
+                let out = SimulatedAnnealing::new(*cfg)
+                    .with_subarrays(self.subarrays)
+                    .run_with_engine(&engine, self.dbcs, self.capacity, &seeds)?;
+                evals_consumed = out.evals;
+                time_to_best = out.time_to_best;
+                out.placement
+            }
+            Strategy::Tabu(cfg) => {
+                let seeds = self.heuristic_seeds();
+                let engine = self.engine();
+                let out = TabuSearch::new(*cfg)
+                    .with_subarrays(self.subarrays)
+                    .run_with_engine(&engine, self.dbcs, self.capacity, &seeds)?;
+                evals_consumed = out.evals;
+                time_to_best = out.time_to_best;
+                out.placement
+            }
+            Strategy::Portfolio(cfg) => {
+                let seeds = self.heuristic_seeds();
+                let engine = self.engine();
+                let out = Portfolio::new(cfg.clone())
+                    .with_subarrays(self.subarrays)
+                    .run_with_engine(&engine, self.dbcs, self.capacity, &seeds)?;
+                evals_consumed = out.total_evals;
+                time_to_best = out.best().time_to_best;
+                out.best().placement.clone()
             }
         };
         // One-shot final costing: the direct cost-model pass costs the same
@@ -302,7 +494,32 @@ impl PlacementProblem {
             placement,
             shifts,
             per_dbc_shifts,
+            evals_consumed,
+            time_to_best,
         })
+    }
+
+    /// The four composite-heuristic solutions, used to seed every search
+    /// strategy (the paper seeds its GA with "our heuristic result"; SA,
+    /// tabu and the portfolio lanes start from the best of these, so no
+    /// search strategy can lose to the heuristics it subsumes).
+    ///
+    /// Ordered best-first (stably, by shift cost): a budgeted solver that
+    /// can only afford to cost a single seed still starts from the best
+    /// heuristic, which is what makes the never-loses guarantee hold at
+    /// any budget ≥ 1 evaluation.
+    pub fn heuristic_seeds(&self) -> Vec<Placement> {
+        let mut scored: Vec<(u64, Placement)> = [
+            Strategy::AfdOfu,
+            Strategy::DmaOfu,
+            Strategy::DmaChen,
+            Strategy::DmaSr,
+        ]
+        .iter()
+        .filter_map(|s| self.solve(s).ok().map(|sol| (sol.shifts, sol.placement)))
+        .collect();
+        scored.sort_by_key(|(shifts, _)| *shifts);
+        scored.into_iter().map(|(_, p)| p).collect()
     }
 
     /// AFD distribution, then an intra heuristic on every DBC.
@@ -466,6 +683,89 @@ mod tests {
     #[test]
     fn display_matches_name() {
         assert_eq!(Strategy::DmaSr.to_string(), "DMA-SR");
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_round_trip() {
+        let mut names: Vec<&str> = StrategyKind::ALL.iter().map(|k| k.name()).collect();
+        let mut clis: Vec<&str> = StrategyKind::ALL.iter().map(|k| k.cli_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        clis.sort_unstable();
+        clis.dedup();
+        assert_eq!(names.len(), StrategyKind::ALL.len(), "duplicate name");
+        assert_eq!(clis.len(), StrategyKind::ALL.len(), "duplicate cli name");
+        assert!(StrategyKind::ALL.len() >= 12);
+    }
+
+    #[test]
+    fn every_evaluated_kind_reaches_the_evaluation_set() {
+        // The registry is the single source of truth: a kind flagged
+        // `evaluated` must produce exactly one row, in registry order.
+        let set = Strategy::evaluation_set(GaConfig::quick(), RandomWalkConfig::quick());
+        let expected: Vec<&str> = StrategyKind::ALL
+            .iter()
+            .filter(|k| k.in_evaluation_set())
+            .map(|k| k.name())
+            .collect();
+        let got: Vec<&str> = set.iter().map(Strategy::name).collect();
+        assert_eq!(got, expected);
+        for s in &set {
+            assert!(s.kind().in_evaluation_set());
+        }
+    }
+
+    #[test]
+    fn search_strategy_kinds_map_back() {
+        use crate::search::{Budget, PortfolioConfig, SaConfig, TabuConfig};
+        let b = Budget::evals(10);
+        assert_eq!(Strategy::Sa(SaConfig::new(b)).name(), "SA");
+        assert_eq!(Strategy::Tabu(TabuConfig::new(b)).name(), "Tabu");
+        assert_eq!(
+            Strategy::Portfolio(PortfolioConfig::new(b)).name(),
+            "Portfolio"
+        );
+        assert_eq!(StrategyKind::Sa.cli_name(), "sa");
+        assert!(!StrategyKind::Portfolio.in_evaluation_set());
+    }
+
+    #[test]
+    fn heuristics_report_zero_telemetry() {
+        let p = problem(2);
+        for s in [Strategy::AfdOfu, Strategy::DmaSr, Strategy::DmaMultiSr] {
+            let sol = p.solve(&s).unwrap();
+            assert_eq!(sol.evals_consumed, 0, "{s}");
+            assert_eq!(sol.time_to_best, std::time::Duration::ZERO, "{s}");
+        }
+        let ga = p.solve(&Strategy::Ga(GaConfig::quick())).unwrap();
+        assert!(ga.evals_consumed > 0);
+    }
+
+    #[test]
+    fn search_strategies_solve_and_seed_from_heuristics() {
+        use crate::search::{Budget, PortfolioConfig, SaConfig, TabuConfig};
+        let p = problem(2);
+        let best_heuristic = p.heuristic_seeds()[..]
+            .iter()
+            .map(|pl| p.evaluate(pl))
+            .min()
+            .unwrap();
+        let b = Budget::evals(300);
+        for s in [
+            Strategy::Sa(SaConfig::new(b)),
+            Strategy::Tabu(TabuConfig::new(b)),
+            Strategy::Portfolio(PortfolioConfig::new(b)),
+        ] {
+            let sol = p.solve(&s).unwrap();
+            sol.placement.validate(p.seq(), p.capacity()).unwrap();
+            assert_eq!(sol.shifts, p.evaluate(&sol.placement), "{s}");
+            assert!(
+                sol.shifts <= best_heuristic,
+                "{s}: {} > heuristic {best_heuristic}",
+                sol.shifts
+            );
+            assert!(sol.evals_consumed > 0, "{s}");
+        }
     }
 
     #[test]

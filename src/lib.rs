@@ -48,8 +48,9 @@ pub use rtm_trace as trace;
 pub use rtm_arch::{ArrayGeometry, MemoryParams, RtmGeometry, ScalingModel, SubarrayGeometry};
 pub use rtm_offsetstone::{stress_suite, suite, Benchmark, GeneratorConfig};
 pub use rtm_placement::{
-    CostModel, FitnessEngine, GaConfig, GeneticPlacer, Placement, PlacementProblem,
-    RandomWalkConfig, Solution, Strategy,
+    Budget, CostModel, FitnessEngine, GaConfig, GeneticPlacer, LaneSpec, Placement,
+    PlacementProblem, Portfolio, PortfolioConfig, PortfolioOutcome, RandomWalkConfig, SaConfig,
+    SearchOutcome, SimulatedAnnealing, Solution, Strategy, StrategyKind, TabuConfig, TabuSearch,
 };
 pub use rtm_sim::{SimStats, Simulator};
 pub use rtm_trace::{AccessSequence, SequenceBuilder, VarId, VarTable};

@@ -194,3 +194,44 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// SA and tabu always emit placements that pass
+    /// `Placement::validate_array`, and `Budget::evals(n)` is a hard cap:
+    /// the telemetry counter never exceeds `max(n, 1)` — across subarray
+    /// and port counts.
+    #[test]
+    fn sa_tabu_respect_budgets_and_emit_valid_placements(
+        seq in arb_trace(14, 70),
+        dbcs in 1usize..4,
+        subarrays in 1usize..3,
+        ports in 1usize..3,
+        n in 1u64..250,
+    ) {
+        use rtm::placement::search::{Budget, SaConfig, TabuConfig};
+        let vars = seq.vars().len();
+        let capacity = vars.div_ceil(dbcs * subarrays).max(2).max(ports);
+        let sub = RtmGeometry::new(dbcs, 32, capacity, ports).unwrap();
+        let array = rtm::ArrayGeometry::new(subarrays, sub).unwrap();
+        prop_assert!(array.fits(vars), "capacity sized to fit by construction");
+        let problem = PlacementProblem::for_array(seq.clone(), &array);
+        let budget = Budget::evals(n);
+        for strategy in [
+            Strat::Sa(SaConfig::new(budget)),
+            Strat::Tabu(TabuConfig::new(budget)),
+        ] {
+            let sol = problem.solve(&strategy).unwrap();
+            prop_assert!(
+                sol.placement.validate_array(&seq, &array).is_ok(),
+                "{} emitted an invalid placement", strategy.name()
+            );
+            prop_assert!(
+                sol.evals_consumed <= n.max(1),
+                "{}: {} evals > budget {}", strategy.name(), sol.evals_consumed, n
+            );
+            prop_assert_eq!(sol.shifts, problem.evaluate(&sol.placement));
+        }
+    }
+}
