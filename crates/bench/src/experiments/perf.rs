@@ -49,7 +49,7 @@ fn eval_budget(opts: &ExperimentOpts) -> usize {
 }
 
 /// Times of one workload under both evaluators.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct Pair {
     /// Evaluations timed (identical for both sides).
     pub evals: u64,
@@ -57,6 +57,21 @@ pub struct Pair {
     pub naive_s: f64,
     /// Seconds under the incremental engine.
     pub engine_s: f64,
+    /// Whether both evaluators produced bit-identical results on every
+    /// fold. Recorded (not asserted) so a divergence still reaches the
+    /// JSON, where CI's `"identical": false` gate fails the build.
+    pub identical: bool,
+}
+
+impl Default for Pair {
+    fn default() -> Self {
+        Self {
+            evals: 0,
+            naive_s: 0.0,
+            engine_s: 0.0,
+            identical: true,
+        }
+    }
 }
 
 impl Pair {
@@ -79,10 +94,11 @@ impl Pair {
         }
     }
 
-    fn fold(&mut self, evals: u64, naive_s: f64, engine_s: f64) {
+    fn fold(&mut self, evals: u64, naive_s: f64, engine_s: f64, identical: bool) {
         self.evals += evals;
         self.naive_s += naive_s;
         self.engine_s += engine_s;
+        self.identical &= identical;
     }
 }
 
@@ -97,6 +113,10 @@ pub struct PerfMetrics {
     pub ga_eval: Pair,
     /// Real GA, end-to-end wall time (includes selection/crossover).
     pub ga_wall: Pair,
+    /// Random walk, evaluation time only (from the engine's counters) —
+    /// wall time is dominated by the pinned candidate-sampling RNG stream
+    /// both evaluators pay identically, so this isolates the evaluator.
+    pub rw_eval: Pair,
     /// Random walk end-to-end wall time.
     pub rw: Pair,
     /// DMA-SR solves timed.
@@ -207,7 +227,10 @@ fn mixed_jobs(
         .collect()
 }
 
-/// Times one job stream under both evaluators, asserting identical totals.
+/// Times one job stream under both evaluators, recording whether the
+/// totals were bit-identical (a mismatch is reported, written to the JSON
+/// as `"identical": false`, and caught by the CI gate — the run itself
+/// completes so the record stays auditable).
 fn time_stream(
     naive: &FitnessEngine<'_>,
     engine: &FitnessEngine<'_>,
@@ -226,11 +249,11 @@ fn time_stream(
 
     let naive_totals: Vec<u64> = naive_jobs.iter().map(EvalJob::total).collect();
     let engine_totals: Vec<u64> = engine_jobs.iter().map(EvalJob::total).collect();
-    assert_eq!(
-        naive_totals, engine_totals,
-        "evaluator disagreement on a fitness workload"
-    );
-    out.fold(engine_totals.len() as u64, naive_s, engine_s);
+    let identical = naive_totals == engine_totals;
+    if !identical {
+        eprintln!("ERROR: evaluator disagreement on a fitness workload");
+    }
+    out.fold(engine_totals.len() as u64, naive_s, engine_s, identical);
 }
 
 /// Times both evaluators over one benchmark and folds into `m`.
@@ -283,15 +306,19 @@ fn measure_benchmark(
         .run_with_engine(&ga_inc_engine, dbcs, capacity, &[])
         .expect("experiment capacities always fit");
     let engine_wall = t.elapsed().as_secs_f64();
-    assert_eq!(ga_naive.history, ga_engine.history, "GA history diverged");
-    assert_eq!(ga_naive.best_cost, ga_engine.best_cost);
+    let ga_identical =
+        ga_naive.history == ga_engine.history && ga_naive.best_cost == ga_engine.best_cost;
+    if !ga_identical {
+        eprintln!("ERROR: GA outcome diverged between evaluators");
+    }
     let evals = ga_engine.evaluations as u64;
     m.ga_eval.fold(
         evals,
         ga_naive_engine.stats().eval_seconds(),
         ga_inc_engine.stats().eval_seconds(),
+        ga_identical,
     );
-    m.ga_wall.fold(evals, naive_wall, engine_wall);
+    m.ga_wall.fold(evals, naive_wall, engine_wall, ga_identical);
 
     // ---- Random walk under both evaluators ----------------------------
     let rw_cfg = RandomWalkConfig {
@@ -308,8 +335,17 @@ fn measure_benchmark(
     let rw_engine = random_walk::search_with_engine(&rw_inc_engine, dbcs, capacity, rw_cfg)
         .expect("experiment capacities always fit");
     let engine_s = t.elapsed().as_secs_f64();
-    assert_eq!(rw_naive.1, rw_engine.1, "random-walk best diverged");
-    m.rw.fold(rw_cfg.iterations as u64, naive_s, engine_s);
+    let rw_identical = rw_naive.1 == rw_engine.1;
+    if !rw_identical {
+        eprintln!("ERROR: random-walk best diverged between evaluators");
+    }
+    m.rw_eval.fold(
+        rw_cfg.iterations as u64,
+        rw_naive_engine.stats().eval_seconds(),
+        rw_inc_engine.stats().eval_seconds(),
+        rw_identical,
+    );
+    m.rw.fold(rw_cfg.iterations as u64, naive_s, engine_s, rw_identical);
 
     // ---- Heuristic + simulator context --------------------------------
     let problem = PlacementProblem::new(seq.clone(), dbcs, capacity);
@@ -355,13 +391,14 @@ pub fn collect(opts: &ExperimentOpts) -> (Vec<(usize, PerfMetrics)>, Vec<&'stati
 
 fn pair_json(name: &str, p: &Pair) -> String {
     format!(
-        "      \"{name}\": {{\"evaluations\": {}, \"naive_s\": {:.4}, \"engine_s\": {:.4}, \"naive_evals_per_sec\": {:.1}, \"engine_evals_per_sec\": {:.1}, \"speedup\": {:.2}, \"identical\": true}}",
+        "      \"{name}\": {{\"evaluations\": {}, \"naive_s\": {:.4}, \"engine_s\": {:.4}, \"naive_evals_per_sec\": {:.1}, \"engine_evals_per_sec\": {:.1}, \"speedup\": {:.2}, \"identical\": {}}}",
         p.evals,
         p.naive_s,
         p.engine_s,
         p.naive_eps(),
         p.engine_eps(),
         p.speedup(),
+        p.identical,
     )
 }
 
@@ -394,6 +431,8 @@ pub fn to_json(
         out.push_str(&pair_json("ga_eval", &m.ga_eval));
         out.push_str(",\n");
         out.push_str(&pair_json("ga_wall", &m.ga_wall));
+        out.push_str(",\n");
+        out.push_str(&pair_json("rw_eval", &m.rw_eval));
         out.push_str(",\n");
         out.push_str(&pair_json("rw_wall", &m.rw));
         out.push_str(",\n");
@@ -433,6 +472,8 @@ pub fn run(opts: &ExperimentOpts) -> ExperimentResult {
         "reorder_x".into(),
         "mixed_x".into(),
         "ga_eval_x".into(),
+        "ga_wall_x".into(),
+        "rw_eval_x".into(),
         "heur_solves/s".into(),
         "sim_acc/s".into(),
     ]);
@@ -444,6 +485,8 @@ pub fn run(opts: &ExperimentOpts) -> ExperimentResult {
             format!("{:.2}", m.reorder.speedup()),
             format!("{:.2}", m.mixed.speedup()),
             format!("{:.2}", m.ga_eval.speedup()),
+            format!("{:.2}", m.ga_wall.speedup()),
+            format!("{:.2}", m.rw_eval.speedup()),
             format!("{:.1}", rate(m.heuristic_solves, m.heuristic_s)),
             format!("{:.0}", rate(m.sim_accesses, m.sim_s)),
         ]);

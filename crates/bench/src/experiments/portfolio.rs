@@ -215,6 +215,45 @@ pub fn collect(opts: &ExperimentOpts) -> (Vec<Row>, Vec<String>) {
     (rows, skipped)
 }
 
+/// Benchmarks that have a row at *every* geometry point of the sweep.
+///
+/// Skipped points (a benchmark too large for one subarray, say) leave the
+/// per-point benchmark sets unequal, so any cross-point aggregate over all
+/// rows silently compares different workload mixes. Summaries therefore
+/// restrict themselves to this intersection; per-point coverage is emitted
+/// in the JSON so the restriction is auditable.
+pub fn benchmark_intersection(rows: &[Row]) -> Vec<&'static str> {
+    let mut points: Vec<(usize, usize)> = rows.iter().map(|r| (r.ports, r.subarrays)).collect();
+    points.sort_unstable();
+    points.dedup();
+    // Rows are grouped by benchmark (collect's outer loop), so consecutive
+    // dedup yields each name once, in sweep order.
+    let mut names: Vec<&'static str> = rows.iter().map(|r| r.benchmark).collect();
+    names.dedup();
+    names
+        .into_iter()
+        .filter(|b| {
+            points.iter().all(|&(p, s)| {
+                rows.iter()
+                    .any(|r| r.benchmark == *b && r.ports == p && r.subarrays == s)
+            })
+        })
+        .collect()
+}
+
+/// Row count per geometry point, in sweep order: `((ports, subarrays), n)`.
+pub fn point_counts(rows: &[Row]) -> Vec<((usize, usize), usize)> {
+    let mut counts: Vec<((usize, usize), usize)> = Vec::new();
+    for r in rows {
+        let key = (r.ports, r.subarrays);
+        match counts.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((key, 1)),
+        }
+    }
+    counts
+}
+
 /// Renders the JSON record (`BENCH_search.json`).
 pub fn to_json(rows: &[Row], skipped: &[String], opts: &ExperimentOpts) -> String {
     let dbcs = opts.dbcs.first().copied().unwrap_or(4);
@@ -233,6 +272,19 @@ pub fn to_json(rows: &[Row], skipped: &[String], opts: &ExperimentOpts) -> Strin
     ));
     let quoted: Vec<String> = skipped.iter().map(|s| format!("\"{s}\"")).collect();
     out.push_str(&format!("  \"skipped\": [{}],\n", quoted.join(", ")));
+    let points: Vec<String> = point_counts(rows)
+        .iter()
+        .map(|((p, s), n)| format!("{{\"ports\": {p}, \"subarrays\": {s}, \"rows\": {n}}}"))
+        .collect();
+    out.push_str(&format!("  \"points\": [{}],\n", points.join(", ")));
+    let inter: Vec<String> = benchmark_intersection(rows)
+        .iter()
+        .map(|b| format!("\"{b}\""))
+        .collect();
+    out.push_str(&format!(
+        "  \"summary_benchmarks\": [{}],\n",
+        inter.join(", ")
+    ));
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str("    {");
@@ -318,16 +370,38 @@ pub fn run(opts: &ExperimentOpts) -> ExperimentResult {
     }
 
     // Summary: per budget, the geomean of portfolio cost over the best
-    // heuristic (zero-shift runs counted explicitly, never clamped).
+    // heuristic (zero-shift runs counted explicitly, never clamped). Only
+    // benchmarks present at every geometry point contribute — skipped
+    // points would otherwise make the per-budget mixes incomparable.
+    let inter = benchmark_intersection(&rows);
+    let excluded: Vec<&str> = rows
+        .iter()
+        .map(|r| r.benchmark)
+        .filter(|b| !inter.contains(b))
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    if !excluded.is_empty() {
+        println!(
+            "summary restricted to {} of {} benchmarks (partial geometry coverage: {})",
+            inter.len(),
+            inter.len() + excluded.len(),
+            excluded.join(", ")
+        );
+    }
     let mut summary = Table::new(vec![
         "budget".into(),
+        "benchmarks".into(),
         "races".into(),
         "geomean_vs_best_heuristic".into(),
         "zero_rows".into(),
         "portfolio_wins".into(),
     ]);
     for budget in budgets(opts) {
-        let sel: Vec<&Row> = rows.iter().filter(|r| r.budget == budget).collect();
+        let sel: Vec<&Row> = rows
+            .iter()
+            .filter(|r| r.budget == budget && inter.contains(&r.benchmark))
+            .collect();
         if sel.is_empty() {
             continue;
         }
@@ -342,6 +416,7 @@ pub fn run(opts: &ExperimentOpts) -> ExperimentResult {
             .count();
         summary.row(vec![
             budget.to_string(),
+            inter.len().to_string(),
             sel.len().to_string(),
             format!("{gm:.4}"),
             zeros.to_string(),
@@ -397,6 +472,55 @@ mod tests {
         assert!(json.contains("\"portfolio\""));
         assert!(json.contains("\"best_heuristic\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    fn stub_row(benchmark: &'static str, ports: usize, subarrays: usize, budget: u64) -> Row {
+        Row {
+            benchmark,
+            ports,
+            subarrays,
+            budget,
+            lanes: Vec::new(),
+            portfolio_cost: 1,
+            winner: "sa",
+            portfolio_time_to_best_ms: 0.0,
+            best_heuristic: ("dma_ofu", 2),
+        }
+    }
+
+    #[test]
+    fn summary_intersection_excludes_partially_covered_benchmarks() {
+        // "big" is missing at the (1, 1) point — like mpeg2 skipped when it
+        // cannot fit a single subarray.
+        let rows = vec![
+            stub_row("small", 1, 1, 100),
+            stub_row("small", 2, 1, 100),
+            stub_row("big", 2, 1, 100),
+        ];
+        assert_eq!(benchmark_intersection(&rows), vec!["small"]);
+        assert_eq!(point_counts(&rows), vec![((1, 1), 1), ((2, 1), 2)]);
+    }
+
+    #[test]
+    fn full_coverage_keeps_every_benchmark_in_the_summary() {
+        let rows = vec![
+            stub_row("a", 1, 1, 100),
+            stub_row("a", 1, 2, 100),
+            stub_row("b", 1, 1, 100),
+            stub_row("b", 1, 2, 100),
+        ];
+        assert_eq!(benchmark_intersection(&rows), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn json_reports_per_point_coverage() {
+        let opts = tiny_opts();
+        let (rows, skipped) = collect(&opts);
+        let json = to_json(&rows, &skipped, &opts);
+        assert!(json.contains("\"points\": ["));
+        assert!(json.contains("\"summary_benchmarks\": [\"dct\"]"));
+        // dct fits all 3 geometry points at 2 budgets each.
+        assert!(json.contains("{\"ports\": 1, \"subarrays\": 1, \"rows\": 2}"));
     }
 
     #[test]

@@ -54,8 +54,9 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use crate::cost::{AccessCoster, CostModel};
+use crate::cost::{AccessCoster, CostModel, InitialAlignment};
 use crate::placement::Placement;
+use crate::pool::WorkerPool;
 use rtm_trace::{AccessSequence, PositionIndex, VarId};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
@@ -97,7 +98,32 @@ impl Hasher for ListHasher {
     }
 }
 
-type Memo = HashMap<Box<[VarId]>, u64, BuildHasherDefault<ListHasher>>;
+/// The content-keyed per-DBC cost memo, with the same second-touch
+/// promotion discipline as the subsequence cache: a list is memoized only
+/// when its content hash recurs, so one-off lists (crossover churn, random
+/// candidates) cost a filter write instead of a `Box` allocation and a map
+/// insert.
+struct Memo {
+    map: HashMap<Box<[VarId]>, u64, BuildHasherDefault<ListHasher>>,
+    filter: Box<[u64]>,
+}
+
+impl Default for Memo {
+    fn default() -> Self {
+        Self {
+            map: HashMap::default(),
+            filter: vec![0; FILTER_SLOTS].into_boxed_slice(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Memo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Memo")
+            .field("len", &self.map.len())
+            .finish()
+    }
+}
 
 /// A cached per-DBC subsequence summary, keyed by *membership* (the sorted
 /// accessed members). Membership changes far less often than order — every
@@ -251,6 +277,10 @@ pub struct EvalScratch {
     dbc_of: Vec<u32>,
     /// Per-DBC displacement state for full-placement replays.
     disp: Vec<Option<i64>>,
+    /// Per-DBC displacement for the specialized single-port replay
+    /// (`i64::MIN` = port not yet aligned) — a flat array instead of
+    /// `Option<i64>` keeps that inner loop branch-light.
+    disp1: Vec<i64>,
 }
 
 /// Marks which DBCs of an [`EvalJob`] changed relative to the inherited
@@ -364,9 +394,18 @@ pub struct FitnessEngine<'a> {
     /// min-over-ports displacement runs in the merge/walk inner loops
     /// without a division per port per access.
     coster: AccessCoster,
+    /// The trace with consecutive same-variable accesses collapsed. A
+    /// self-transition is free under *every* port count and placement (the
+    /// port is already at the variable's offset, so the displacement is
+    /// unchanged), so dropping globally-adjacent repeats changes no per-DBC
+    /// cost — it only shrinks every merge, walk, and replay by the trace's
+    /// repeat factor. All engine costing runs against this stream; only the
+    /// naive reference path replays [`seq`](Self::seq) verbatim.
+    dedup: Vec<VarId>,
+    /// Position index of [`dedup`](Self::dedup) (not of the raw trace).
     index: PositionIndex,
     mode: EvalMode,
-    threads: usize,
+    pool: WorkerPool,
     memo: Option<Mutex<Memo>>,
     subseq: Option<Mutex<SubseqCache>>,
     evaluations: AtomicU64,
@@ -394,13 +433,21 @@ impl<'a> FitnessEngine<'a> {
 
     fn with_mode(seq: &'a AccessSequence, cost: CostModel, mode: EvalMode) -> Self {
         let caching = mode == EvalMode::Incremental;
+        let mut dedup: Vec<VarId> = Vec::with_capacity(seq.len());
+        for &v in seq.accesses() {
+            if dedup.last() != Some(&v) {
+                dedup.push(v);
+            }
+        }
+        let index = PositionIndex::of_accesses(&dedup, seq.vars().len());
         Self {
             seq,
             cost,
             coster: cost.coster(),
-            index: PositionIndex::of(seq),
+            dedup,
+            index,
             mode,
-            threads: 0,
+            pool: WorkerPool::new(0),
             memo: caching.then(|| Mutex::new(Memo::default())),
             subseq: caching.then(|| Mutex::new(SubseqCache::default())),
             evaluations: AtomicU64::new(0),
@@ -412,13 +459,22 @@ impl<'a> FitnessEngine<'a> {
         }
     }
 
-    /// Sets the worker count for batch evaluation (`0` = auto-detect).
+    /// Sets the worker limit of the engine's [`WorkerPool`] (`0` =
+    /// auto-detect).
     ///
-    /// Thread count never affects results — only wall time (see the
-    /// determinism argument in the module docs).
+    /// Worker count never affects results — only wall time (see the
+    /// determinism argument in the module docs and in [`crate::pool`]).
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads;
+        self.pool = WorkerPool::new(threads);
         self
+    }
+
+    /// The engine's worker pool — the shared execution substrate for batch
+    /// evaluation and for anything racing *on top of* the engine (the
+    /// portfolio runs its lanes on this pool, so lane threads and batch
+    /// workers draw from one token budget).
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
     }
 
     /// Disables (or re-enables) both the per-DBC cost memo and the
@@ -443,11 +499,7 @@ impl<'a> FitnessEngine<'a> {
 
     /// Resolved worker count for batch evaluation.
     pub fn threads(&self) -> usize {
-        if self.threads > 0 {
-            self.threads
-        } else {
-            std::thread::available_parallelism().map_or(1, usize::from)
-        }
+        self.pool.workers()
     }
 
     /// A fresh scratch buffer.
@@ -483,16 +535,24 @@ impl<'a> FitnessEngine<'a> {
     /// (allocation-free once the buffer has grown to the working set).
     pub fn dbc_cost_with(&self, list: &[VarId], scratch: &mut EvalScratch) -> u64 {
         if let Some(memo) = &self.memo {
-            if let Some(&c) = memo.lock().expect("memo poisoned").get(list) {
+            if let Some(&c) = memo.lock().expect("memo poisoned").map.get(list) {
                 self.dbc_cache_hits.fetch_add(1, Ordering::Relaxed);
                 return c;
             }
             let c = self.dbc_cost_uncached(list, scratch);
-            let mut map = memo.lock().expect("memo poisoned");
-            if map.len() >= MEMO_CAPACITY {
-                map.clear();
+            let mut hasher = ListHasher::default();
+            std::hash::Hash::hash(list, &mut hasher);
+            let key = hasher.finish();
+            let slot = (key as usize) & (FILTER_SLOTS - 1);
+            let mut m = memo.lock().expect("memo poisoned");
+            if m.filter[slot] == key {
+                if m.map.len() >= MEMO_CAPACITY {
+                    m.map.clear();
+                }
+                m.map.insert(list.into(), c);
+            } else {
+                m.filter[slot] = key;
             }
-            map.insert(list.into(), c);
             c
         } else {
             self.dbc_cost_uncached(list, scratch)
@@ -607,15 +667,31 @@ impl<'a> FitnessEngine<'a> {
         if scratch.bitmap.len() < words {
             scratch.bitmap.resize(words, 0);
         }
+        // Track the populated position range while scattering: the bitmap
+        // scan and clear below then visit only the words this DBC actually
+        // touches, so a small DBC in a long trace costs O(A), not O(|S|/64)
+        // (positions are ascending per member, so each span's first/last
+        // elements bound its range).
+        let mut lo = u32::MAX;
+        let mut hi = 0u32;
         for &v in list {
             let (start, end) = self.index.span(v);
+            if start == end {
+                continue;
+            }
+            lo = lo.min(raw[start as usize]);
+            hi = hi.max(raw[end as usize - 1]);
             for &p in &raw[start as usize..end as usize] {
                 scratch.slots[p as usize] = v.index() as u32;
                 scratch.bitmap[(p >> 6) as usize] |= 1u64 << (p & 63);
             }
         }
         scratch.seq_buf.clear();
-        for w in 0..words {
+        if lo == u32::MAX {
+            return; // no member is ever accessed
+        }
+        let (w0, w1) = ((lo >> 6) as usize, (hi >> 6) as usize);
+        for w in w0..=w1 {
             let mut bits = scratch.bitmap[w];
             while bits != 0 {
                 let b = bits.trailing_zeros() as usize;
@@ -623,7 +699,7 @@ impl<'a> FitnessEngine<'a> {
                 scratch.seq_buf.push(scratch.slots[(w << 6) + b]);
             }
         }
-        scratch.bitmap[..words].fill(0);
+        scratch.bitmap[w0..=w1].fill(0);
     }
 
     /// Costs the freshly merged subsequence (`scratch.seq_buf`) against the
@@ -702,9 +778,10 @@ impl<'a> FitnessEngine<'a> {
     }
 
     /// Allocation-free full replay of a complete placement: one pass over
-    /// the trace with scratch lookup tables — naive semantics without the
-    /// naive path's clone and `Placement` build. Used for fresh candidates
-    /// (random walk) where no per-DBC structure can be reused.
+    /// the deduplicated access stream with scratch lookup tables — naive
+    /// semantics without the naive path's clone and `Placement` build. Used
+    /// for fresh candidates (random walk) where no per-DBC structure can be
+    /// reused.
     fn replay_lists(&self, lists: &[Vec<VarId>], scratch: &mut EvalScratch) -> u64 {
         self.dbc_recomputations
             .fetch_add(lists.len() as u64, Ordering::Relaxed);
@@ -724,20 +801,46 @@ impl<'a> FitnessEngine<'a> {
                 }
             }
         }
-        scratch.disp.clear();
-        scratch.disp.resize(lists.len(), None);
         let mut total = 0u64;
-        for &v in self.seq.accesses() {
-            let i = v.index();
-            let d = scratch.dbc_of[i];
-            if d == u32::MAX {
-                continue; // unplaced variable
+        if self.coster.homes() == [0] {
+            // Single-port specialization: the only port is homed at 0, so
+            // the target *is* the offset — the walk reduces to
+            // `Σ |disp − off|` over the deduplicated stream, with a flat
+            // i64 displacement array (`i64::MIN` = not yet aligned; offsets
+            // are non-negative, so the sentinel can never be a real value).
+            let track_head = self.cost.initial() == InitialAlignment::TrackHead;
+            scratch.disp1.clear();
+            scratch.disp1.resize(lists.len(), i64::MIN);
+            for &v in &self.dedup {
+                let i = v.index();
+                let d = scratch.dbc_of[i];
+                if d == u32::MAX {
+                    continue; // unplaced variable
+                }
+                let off = scratch.offsets[i] as i64;
+                let last = scratch.disp1[d as usize];
+                if last != i64::MIN {
+                    total += (last - off).unsigned_abs();
+                } else if track_head {
+                    total += off.unsigned_abs();
+                }
+                scratch.disp1[d as usize] = off;
             }
-            let (c, nd) = self
-                .coster
-                .access_cost(scratch.disp[d as usize], scratch.offsets[i] as usize);
-            total += c;
-            scratch.disp[d as usize] = Some(nd);
+        } else {
+            scratch.disp.clear();
+            scratch.disp.resize(lists.len(), None);
+            for &v in &self.dedup {
+                let i = v.index();
+                let d = scratch.dbc_of[i];
+                if d == u32::MAX {
+                    continue; // unplaced variable
+                }
+                let (c, nd) = self
+                    .coster
+                    .access_cost(scratch.disp[d as usize], scratch.offsets[i] as usize);
+                total += c;
+                scratch.disp[d as usize] = Some(nd);
+            }
         }
         for list in lists {
             for &v in list {
@@ -792,32 +895,20 @@ impl<'a> FitnessEngine<'a> {
 
     /// Evaluates a batch of jobs, refreshing every dirty per-DBC cost.
     ///
-    /// Jobs are split into contiguous index chunks, one per worker; worker
-    /// `i` writes only its own chunk, so the result is independent of
-    /// scheduling and identical to a sequential pass.
+    /// Jobs fan out over the engine's [`WorkerPool`]: each job is claimed
+    /// exactly once and writes only its own slot, and each per-DBC cost is
+    /// a pure function of the list's content, so the result is independent
+    /// of worker count and steal schedule — identical to a sequential
+    /// pass.
     pub fn evaluate_batch(&self, jobs: &mut [EvalJob]) {
         self.evaluations
             .fetch_add(jobs.len() as u64, Ordering::Relaxed);
         let start = Instant::now();
-        let workers = self.threads().min(jobs.len()).max(1);
-        if workers == 1 {
-            let mut scratch = self.scratch();
-            for job in jobs {
-                self.finish_job(job, &mut scratch);
-            }
-        } else {
-            let chunk = jobs.len().div_ceil(workers);
-            std::thread::scope(|scope| {
-                for slice in jobs.chunks_mut(chunk) {
-                    scope.spawn(move || {
-                        let mut scratch = self.scratch();
-                        for job in slice {
-                            self.finish_job(job, &mut scratch);
-                        }
-                    });
-                }
-            });
-        }
+        self.pool.run(
+            jobs,
+            || self.scratch(),
+            |scratch, _, job| self.finish_job(job, scratch),
+        );
         self.add_eval_time(start);
     }
 
@@ -844,26 +935,12 @@ impl<'a> FitnessEngine<'a> {
         self.evaluations
             .fetch_add(candidates.len() as u64, Ordering::Relaxed);
         let start = Instant::now();
-        let workers = self.threads().min(candidates.len()).max(1);
         let mut out = vec![0u64; candidates.len()];
-        if workers == 1 {
-            let mut scratch = self.scratch();
-            for (slot, lists) in out.iter_mut().zip(candidates) {
-                *slot = self.total_cost_uncached(lists, &mut scratch);
-            }
-        } else {
-            let chunk = candidates.len().div_ceil(workers);
-            std::thread::scope(|scope| {
-                for (out_chunk, in_chunk) in out.chunks_mut(chunk).zip(candidates.chunks(chunk)) {
-                    scope.spawn(move || {
-                        let mut scratch = self.scratch();
-                        for (slot, lists) in out_chunk.iter_mut().zip(in_chunk) {
-                            *slot = self.total_cost_uncached(lists, &mut scratch);
-                        }
-                    });
-                }
-            });
-        }
+        self.pool.run(
+            &mut out,
+            || self.scratch(),
+            |scratch, i, slot| *slot = self.total_cost_uncached(&candidates[i], scratch),
+        );
         self.add_eval_time(start);
         out
     }
@@ -928,10 +1005,13 @@ mod tests {
         let engine = FitnessEngine::new(&seq, CostModel::single_port());
         engine.per_dbc_costs(&lists);
         engine.per_dbc_costs(&lists);
+        engine.per_dbc_costs(&lists);
         let stats = engine.stats();
-        assert_eq!(stats.evaluations, 2);
-        assert_eq!(stats.dbc_recomputations, 2); // first pass only
-        assert_eq!(stats.dbc_cache_hits, 2); // second pass fully cached
+        assert_eq!(stats.evaluations, 3);
+        // Second-touch promotion: pass 1 arms the filter, pass 2 recomputes
+        // and memoizes, pass 3 is fully cached.
+        assert_eq!(stats.dbc_recomputations, 4);
+        assert_eq!(stats.dbc_cache_hits, 2);
     }
 
     #[test]

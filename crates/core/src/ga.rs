@@ -285,6 +285,8 @@ impl GeneticPlacer {
         let mut time_to_best = start.elapsed();
         let mut history = Vec::with_capacity(self.config.generations + 1);
         history.push(best.cost);
+        let mut spares: Vec<(Vec<Vec<VarId>>, Vec<u64>)> = Vec::new();
+        let mut tables = (Vec::new(), Vec::new());
 
         // ---- Generations ---------------------------------------------------
         for _ in 0..self.config.generations {
@@ -299,15 +301,20 @@ impl GeneticPlacer {
                 q,
                 self.config.lambda,
                 &mut rng,
+                &mut spares,
+                &mut tables,
             );
             evaluations += jobs.len();
             engine.evaluate_batch(&mut jobs);
 
             // µ+λ survivor selection: best of the union (elitist truncation;
-            // the paper's tournament selection is used for parents).
+            // the paper's tournament selection is used for parents). The
+            // truncated tail's buffers feed the next λ-batch via `spares`.
             population.extend(jobs.into_iter().map(Individual::from_job));
             population.sort_by_key(|i| i.cost);
-            population.truncate(self.config.mu);
+            for retired in population.drain(self.config.mu.min(population.len())..) {
+                spares.push((retired.dbcs, retired.dbc_costs));
+            }
 
             if population[0].cost < best.cost {
                 best = population[0].clone();
@@ -382,17 +389,30 @@ impl GeneticPlacer {
         crate::search::race_publish(race, best.cost, &best.dbcs, meter.evals());
         let mut history = vec![best.cost];
 
+        let mut spares: Vec<(Vec<Vec<VarId>>, Vec<u64>)> = Vec::new();
+        let mut tables = (Vec::new(), Vec::new());
         while best.cost > 0 && !meter.exhausted() && !crate::search::race_stopped(race) {
             let lambda = (self.config.lambda as u64)
                 .min(meter.remaining_evals())
                 .max(1) as usize;
-            let mut jobs = self.offspring_batch(&population, &vars, capacity, q, lambda, &mut rng);
+            let mut jobs = self.offspring_batch(
+                &population,
+                &vars,
+                capacity,
+                q,
+                lambda,
+                &mut rng,
+                &mut spares,
+                &mut tables,
+            );
             engine.evaluate_batch(&mut jobs);
             meter.charge(jobs.len() as u64);
 
             population.extend(jobs.into_iter().map(Individual::from_job));
             population.sort_by_key(|i| i.cost);
-            population.truncate(self.config.mu);
+            for retired in population.drain(self.config.mu.min(population.len())..) {
+                spares.push((retired.dbcs, retired.dbc_costs));
+            }
 
             if population[0].cost < best.cost {
                 best = population[0].clone();
@@ -454,6 +474,13 @@ impl GeneticPlacer {
     /// One λ-batch of offspring shared by both run loops: tournament
     /// parents, crossover + optional mutation or mutated clone — all RNG
     /// draws in the historical order.
+    ///
+    /// `spares` recycles the list/cost buffers of individuals retired by
+    /// the previous generation's µ+λ truncation (exactly λ per steady-state
+    /// generation, matching the λ jobs built here), so offspring
+    /// construction stops allocating after warm-up. `tables` is the
+    /// crossover's var→DBC lookup scratch.
+    #[allow(clippy::too_many_arguments)]
     fn offspring_batch(
         &self,
         population: &[Individual],
@@ -462,14 +489,23 @@ impl GeneticPlacer {
         q: usize,
         lambda: usize,
         rng: &mut ChaCha8Rng,
+        spares: &mut Vec<(Vec<Vec<VarId>>, Vec<u64>)>,
+        tables: &mut (Vec<u32>, Vec<u32>),
     ) -> Vec<EvalJob> {
         let mut jobs: Vec<EvalJob> = Vec::with_capacity(lambda);
         while jobs.len() < lambda {
             let a = tournament(population, self.config.tournament, rng);
             if rng.gen_bool(self.config.crossover_rate) {
                 let b = tournament(population, self.config.tournament, rng);
-                let (mut j1, mut j2) =
-                    crossover(&population[a], &population[b], vars, capacity, rng);
+                let (mut j1, mut j2) = crossover(
+                    &population[a],
+                    &population[b],
+                    vars,
+                    capacity,
+                    rng,
+                    spares,
+                    tables,
+                );
                 if rng.gen_bool(self.config.mutation_rate) {
                     mutate(&mut j1.lists, capacity, q, rng, &mut j1.dirty);
                 }
@@ -479,15 +515,48 @@ impl GeneticPlacer {
                 jobs.push(j1);
                 if jobs.len() < lambda {
                     jobs.push(j2);
+                } else {
+                    spares.push((j2.lists, j2.dbc_costs));
                 }
             } else {
-                let mut j =
-                    EvalJob::derived(population[a].dbcs.clone(), population[a].dbc_costs.clone());
+                let mut j = derive_job(&population[a], spares);
                 mutate(&mut j.lists, capacity, q, rng, &mut j.dirty);
                 jobs.push(j);
             }
         }
         jobs
+    }
+}
+
+/// Clones `parent` into a derived [`EvalJob`], reusing a retired
+/// individual's buffers when one is available (`Vec::clone_from` keeps the
+/// outer and inner allocations).
+fn derive_job(parent: &Individual, spares: &mut Vec<(Vec<Vec<VarId>>, Vec<u64>)>) -> EvalJob {
+    match spares.pop() {
+        Some((mut lists, mut costs)) => {
+            lists.clone_from(&parent.dbcs);
+            costs.clone_from(&parent.dbc_costs);
+            EvalJob::derived(lists, costs)
+        }
+        None => EvalJob::derived(parent.dbcs.clone(), parent.dbc_costs.clone()),
+    }
+}
+
+/// Fills `table` with the var-index → DBC map of `lists` (entries for
+/// variables not present stay `u32::MAX`).
+fn dbc_table(lists: &[Vec<VarId>], table: &mut Vec<u32>) {
+    let len = lists
+        .iter()
+        .flatten()
+        .map(|v| v.index() + 1)
+        .max()
+        .unwrap_or(0);
+    table.clear();
+    table.resize(len, u32::MAX);
+    for (d, l) in lists.iter().enumerate() {
+        for &v in l {
+            table[v.index()] = d as u32;
+        }
     }
 }
 
@@ -511,21 +580,44 @@ pub(crate) fn random_assignment(
     capacity: usize,
     rng: &mut impl Rng,
 ) -> Vec<Vec<VarId>> {
-    let mut shuffled = vars.to_vec();
+    let mut out = Vec::new();
+    let mut shuffled = Vec::new();
+    random_assignment_into(vars, dbcs, capacity, rng, &mut out, &mut shuffled);
+    out
+}
+
+/// Allocation-reusing form of [`random_assignment`]: fills `out` (per-DBC
+/// lists) and uses `shuffled` as deal-order scratch, reusing both buffers'
+/// capacity across calls. The RNG draw sequence is identical to
+/// [`random_assignment`] — callers sampling in a loop (the random walk)
+/// stay bit-compatible with the allocating form.
+pub(crate) fn random_assignment_into(
+    vars: &[VarId],
+    dbcs: usize,
+    capacity: usize,
+    rng: &mut impl Rng,
+    out: &mut Vec<Vec<VarId>>,
+    shuffled: &mut Vec<VarId>,
+) {
+    shuffled.clear();
+    shuffled.extend_from_slice(vars);
     shuffled.shuffle(rng);
-    let mut out: Vec<Vec<VarId>> = vec![Vec::new(); dbcs];
+    out.truncate(dbcs);
+    for l in out.iter_mut() {
+        l.clear();
+    }
+    out.resize_with(dbcs, Vec::new);
     let mut d = 0usize;
-    for v in shuffled {
+    for &v in shuffled.iter() {
         while out[d].len() >= capacity {
             d = (d + 1) % dbcs;
         }
         out[d].push(v);
         d = (d + 1) % dbcs;
     }
-    for l in &mut out {
+    for l in out.iter_mut() {
         l.shuffle(rng);
     }
-    out
 }
 
 /// The paper's 2-fold crossover: pick `v_f, v_l` (`f < l`) in
@@ -536,34 +628,36 @@ pub(crate) fn random_assignment(
 ///
 /// The children start as clones of the parents (inheriting their per-DBC
 /// costs) and every DBC an actual move touches is marked dirty.
+///
+/// Each child's var→DBC location map is built once up front (O(|V|)) and
+/// maintained as moves land, instead of rescanning every list per crossed
+/// variable (O(range · |V|) — the former orchestration hotspot).
 fn crossover(
     a: &Individual,
     b: &Individual,
     vars: &[VarId],
     capacity: usize,
     rng: &mut impl Rng,
+    spares: &mut Vec<(Vec<Vec<VarId>>, Vec<u64>)>,
+    tables: &mut (Vec<u32>, Vec<u32>),
 ) -> (EvalJob, EvalJob) {
     let n = vars.len();
-    let mut j1 = EvalJob::derived(a.dbcs.clone(), a.dbc_costs.clone());
-    let mut j2 = EvalJob::derived(b.dbcs.clone(), b.dbc_costs.clone());
+    let mut j1 = derive_job(a, spares);
+    let mut j2 = derive_job(b, spares);
     if n < 2 {
         return (j1, j2);
     }
     let f = rng.gen_range(0..n - 1);
     let l = rng.gen_range(f + 1..n);
 
-    // Location lookup per child (var index -> dbc).
-    let dbc_of = |lists: &[Vec<VarId>], v: VarId| -> usize {
-        lists
-            .iter()
-            .position(|l| l.contains(&v))
-            .expect("valid placement contains every variable")
-    };
+    let (t1, t2) = tables;
+    dbc_table(&j1.lists, t1);
+    dbc_table(&j2.lists, t2);
 
     for &v in &vars[f..=l] {
         let (c1, c2) = (&mut j1.lists, &mut j2.lists);
-        let da = dbc_of(c1, v);
-        let db = dbc_of(c2, v);
+        let da = t1[v.index()] as usize;
+        let db = t2[v.index()] as usize;
         if da == db {
             continue;
         }
@@ -572,12 +666,14 @@ fn crossover(
         if c1[db].len() < capacity {
             c1[da].retain(|&x| x != v);
             c1[db].push(v);
+            t1[v.index()] = db as u32;
             j1.dirty.mark(da);
             j1.dirty.mark(db);
         }
         if c2[da].len() < capacity {
             c2[db].retain(|&x| x != v);
             c2[da].push(v);
+            t2[v.index()] = da as u32;
             j2.dirty.mark(da);
             j2.dirty.mark(db);
         }
@@ -788,8 +884,10 @@ mod tests {
         let a = indiv(&engine, Dma.distribute(&seq, 3, 4).unwrap());
         let b = indiv(&engine, crate::inter::Afd.distribute(&seq, 3, 4).unwrap());
         let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut spares = Vec::new();
+        let mut tables = (Vec::new(), Vec::new());
         for _ in 0..50 {
-            let (j1, j2) = crossover(&a, &b, &vars, 4, &mut rng);
+            let (j1, j2) = crossover(&a, &b, &vars, 4, &mut rng, &mut spares, &mut tables);
             assert_valid(&j1.lists, &seq, 4);
             assert_valid(&j2.lists, &seq, 4);
         }
@@ -805,8 +903,10 @@ mod tests {
         let a = indiv(&engine, Dma.distribute(&seq, 3, 4).unwrap());
         let b = indiv(&engine, crate::inter::Afd.distribute(&seq, 3, 4).unwrap());
         let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let mut spares = Vec::new();
+        let mut tables = (Vec::new(), Vec::new());
         for _ in 0..100 {
-            let (mut j1, mut j2) = crossover(&a, &b, &vars, 4, &mut rng);
+            let (mut j1, mut j2) = crossover(&a, &b, &vars, 4, &mut rng, &mut spares, &mut tables);
             mutate(&mut j1.lists, 4, 3, &mut rng, &mut j1.dirty);
             mutate(&mut j2.lists, 4, 3, &mut rng, &mut j2.dirty);
             for mut job in [j1, j2] {

@@ -67,6 +67,7 @@ pub mod ga;
 pub mod inter;
 pub mod intra;
 mod placement;
+pub mod pool;
 pub mod random_walk;
 pub mod search;
 mod strategy;
@@ -76,6 +77,7 @@ pub use error::PlacementError;
 pub use eval::{EngineStats, FitnessEngine};
 pub use ga::{GaConfig, GaOutcome, GeneticPlacer};
 pub use placement::{Location, Placement};
+pub use pool::WorkerPool;
 pub use random_walk::RandomWalkConfig;
 pub use search::{
     Budget, LaneSpec, Portfolio, PortfolioConfig, PortfolioOutcome, SaConfig, SearchOutcome,

@@ -1,0 +1,358 @@
+//! The in-tree work-stealing worker pool — the single execution substrate
+//! for every parallel fan-out in the crate.
+//!
+//! [`FitnessEngine`](crate::FitnessEngine) batch evaluation, GA generation
+//! evaluation and [`Portfolio`](crate::Portfolio) lane racing all run their
+//! work items through one [`WorkerPool`], instead of each spawning their
+//! own ad-hoc [`std::thread::scope`] threads. The pool solves two problems
+//! those ad-hoc spawns had:
+//!
+//! * **Oversubscription.** A portfolio race used to spawn one thread per
+//!   lane *and* each lane's GA spawned per-batch evaluation threads on
+//!   top. The pool holds one shared token budget ([`WorkerPool::new`]'s
+//!   worker limit): a nested fan-out only gets extra OS threads while
+//!   tokens remain, and degrades to inline execution on the caller's
+//!   thread otherwise — so the whole stack never runs more than `limit`
+//!   worker threads at once.
+//! * **Skew.** Static contiguous chunking stalls on uneven items (one
+//!   expensive DBC list, one slow lane). The pool deals items into
+//!   per-worker deques and lets idle workers **steal from the back of the
+//!   longest deque**, so tail latency tracks the single heaviest item.
+//!
+//! # Determinism
+//!
+//! Work stealing changes *which thread* computes an item, never *what* is
+//! computed: every item is claimed exactly once (deques hand out disjoint
+//! `&mut` slots), each item's result is written only to its own slot, and
+//! the work closure is required to be a pure function of the item (shared
+//! caches may change *when* a value is computed, never what — see
+//! `DESIGN.md` §7). Results are therefore bit-identical for any worker
+//! count and any steal schedule, which is what lets the engine equivalence
+//! and portfolio thread-invariance suites pin exact outputs at 1/2/8
+//! workers.
+//!
+//! # Shutdown and panics
+//!
+//! [`WorkerPool::run`] is fully synchronous: it returns only after every
+//! spawned worker has been joined (deterministic shutdown — no detached
+//! threads, no work outliving the call). If any worker panics, the
+//! remaining items are still drained by the surviving workers, the pool's
+//! tokens are released, and the panic is then propagated to the caller.
+
+use std::collections::VecDeque;
+use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A work-stealing pool bounded by a shared worker-token budget.
+///
+/// The pool owns no threads while idle: [`run`](Self::run) spawns scoped
+/// workers for the duration of one batch and joins them before returning,
+/// with the token budget shared across *nested* `run` calls (an inner
+/// fan-out inside a running item sees only the tokens the outer one left).
+#[derive(Debug)]
+pub struct WorkerPool {
+    limit: usize,
+    /// Extra worker tokens currently lent out across (possibly nested)
+    /// `run` calls. The caller's own thread is never counted.
+    active: AtomicUsize,
+    steals: AtomicU64,
+}
+
+impl WorkerPool {
+    /// Creates a pool with the given worker limit (`0` = auto-detect from
+    /// [`std::thread::available_parallelism`]).
+    pub fn new(limit: usize) -> Self {
+        let limit = if limit > 0 {
+            limit
+        } else {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        };
+        Self {
+            limit,
+            active: AtomicUsize::new(0),
+            steals: AtomicU64::new(0),
+        }
+    }
+
+    /// The pool's worker limit (total concurrent threads, caller included).
+    pub fn workers(&self) -> usize {
+        self.limit
+    }
+
+    /// Extra worker tokens currently lent out (0 when the pool is idle).
+    pub fn active(&self) -> usize {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Cumulative number of items obtained by stealing from another
+    /// worker's deque (telemetry for tests and tuning).
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Runs `work(ctx, index, item)` once for every item, fanning out over
+    /// at most [`workers`](Self::workers) threads (caller included) with
+    /// per-worker deques and back-of-deque stealing.
+    ///
+    /// `init` builds one per-worker context (scratch buffers); each worker
+    /// calls it exactly once. Items are dealt as contiguous index chunks,
+    /// so with no steals the assignment matches a static split; steals
+    /// rebalance skew without changing any result (see the module docs'
+    /// determinism argument). When no tokens are free — nested call, or a
+    /// 1-worker pool — the batch runs inline on the caller's thread.
+    pub fn run<T, C, I, F>(&self, items: &mut [T], init: I, work: F)
+    where
+        T: Send,
+        I: Fn() -> C + Sync,
+        F: Fn(&mut C, usize, &mut T) + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return;
+        }
+        let tokens = self.reserve(n - 1);
+        if tokens.count == 0 {
+            let mut ctx = init();
+            for (i, item) in items.iter_mut().enumerate() {
+                work(&mut ctx, i, item);
+            }
+            return;
+        }
+        let workers = tokens.count + 1;
+        // Deal contiguous index chunks into per-worker deques.
+        let chunk = n.div_ceil(workers);
+        let mut deques: Vec<Deque<'_, T>> = Vec::with_capacity(workers);
+        let mut base = 0;
+        let mut rest = items;
+        for _ in 0..workers {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            deques.push(Mutex::new(
+                head.iter_mut()
+                    .enumerate()
+                    .map(|(i, item)| (base + i, item))
+                    .collect(),
+            ));
+            base += take;
+            rest = tail;
+        }
+        let deques = &deques;
+        let init = &init;
+        let work = &work;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (1..workers)
+                .map(|w| scope.spawn(move || self.worker(w, deques, init, work)))
+                .collect();
+            // The caller participates as worker 0; if it panics, the scope
+            // still joins the spawned workers before unwinding further.
+            self.worker(0, deques, init, work);
+            for h in handles {
+                if let Err(panic) = h.join() {
+                    resume_unwind(panic);
+                }
+            }
+        });
+    }
+
+    /// One worker: drain the own deque front-to-back, then steal from the
+    /// back of the longest other deque; exit when every deque is empty.
+    fn worker<T, C, I, F>(&self, me: usize, deques: &[Deque<'_, T>], init: &I, work: &F)
+    where
+        T: Send,
+        I: Fn() -> C + Sync,
+        F: Fn(&mut C, usize, &mut T) + Sync,
+    {
+        let mut ctx = init();
+        loop {
+            let own = deques[me].lock().expect("pool deque poisoned").pop_front();
+            if let Some((i, item)) = own {
+                work(&mut ctx, i, item);
+                continue;
+            }
+            // Steal: scan for the longest deque. An empty scan means every
+            // item is claimed (finished or in flight) — nothing left to do.
+            let victim = deques
+                .iter()
+                .enumerate()
+                .filter(|&(v, _)| v != me)
+                .map(|(v, d)| (d.lock().expect("pool deque poisoned").len(), v))
+                .max()
+                .filter(|&(len, _)| len > 0);
+            let Some((_, v)) = victim else {
+                return;
+            };
+            let stolen = deques[v].lock().expect("pool deque poisoned").pop_back();
+            if let Some((i, item)) = stolen {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                work(&mut ctx, i, item);
+            }
+            // A lost race (victim drained between scan and steal) just
+            // rescans; the next scan observes strictly less remaining work.
+        }
+    }
+
+    /// Best-effort reservation of up to `want` extra worker tokens.
+    fn reserve(&self, want: usize) -> Tokens<'_> {
+        let want = want.min(self.limit.saturating_sub(1));
+        let mut got = 0;
+        if want > 0 {
+            let _ = self
+                .active
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |active| {
+                    got = (self.limit - 1).saturating_sub(active).min(want);
+                    (got > 0).then_some(active + got)
+                });
+        }
+        Tokens {
+            pool: self,
+            count: got,
+        }
+    }
+}
+
+/// A deque of pending `(index, item)` slots for one worker.
+type Deque<'a, T> = Mutex<VecDeque<(usize, &'a mut T)>>;
+
+/// Reserved worker tokens; released on drop (also on the panic path, so a
+/// panicking batch never leaks pool capacity).
+struct Tokens<'a> {
+    pool: &'a WorkerPool,
+    count: usize,
+}
+
+impl Drop for Tokens<'_> {
+    fn drop(&mut self) {
+        if self.count > 0 {
+            self.pool.active.fetch_sub(self.count, Ordering::AcqRel);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::time::Duration;
+
+    #[test]
+    fn every_item_runs_exactly_once_in_order_slots() {
+        let pool = WorkerPool::new(4);
+        for n in [0usize, 1, 3, 64, 257] {
+            let mut items: Vec<u64> = vec![0; n];
+            pool.run(&mut items, || (), |_, i, slot| *slot = (i as u64) * 3 + 1);
+            assert!(items
+                .iter()
+                .enumerate()
+                .all(|(i, &v)| v == (i as u64) * 3 + 1));
+        }
+    }
+
+    #[test]
+    fn one_worker_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        let caller = std::thread::current().id();
+        let mut items = vec![None; 16];
+        pool.run(
+            &mut items,
+            || (),
+            |_, _, slot| *slot = Some(std::thread::current().id()),
+        );
+        assert!(items.iter().all(|t| *t == Some(caller)));
+        assert_eq!(pool.active(), 0);
+    }
+
+    #[test]
+    fn per_worker_context_is_built_once_per_worker() {
+        let pool = WorkerPool::new(3);
+        let builds = AtomicUsize::new(0);
+        let mut items = vec![0u8; 100];
+        pool.run(
+            &mut items,
+            || builds.fetch_add(1, Ordering::Relaxed),
+            |_, _, slot| *slot = 1,
+        );
+        let built = builds.load(Ordering::Relaxed);
+        assert!((1..=3).contains(&built), "contexts built: {built}");
+    }
+
+    #[test]
+    fn idle_workers_steal_under_skew() {
+        let pool = WorkerPool::new(2);
+        // Chunked dealing gives worker 0 the first half (trivial) and
+        // worker 1 the second half (slow): worker 0 must steal.
+        let mut items: Vec<bool> = (0..8).map(|i| i >= 4).collect();
+        let before = pool.steals();
+        pool.run(
+            &mut items,
+            || (),
+            |_, _, slow| {
+                if *slow {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            },
+        );
+        assert!(pool.steals() > before, "no steals under forced skew");
+        assert_eq!(pool.active(), 0, "tokens returned after the batch");
+    }
+
+    #[test]
+    fn nested_runs_share_the_token_budget() {
+        let pool = WorkerPool::new(2);
+        let peak = AtomicUsize::new(0);
+        let mut outer = vec![0u8; 4];
+        pool.run(
+            &mut outer,
+            || (),
+            |_, _, _| {
+                // The outer batch holds the only extra token; the nested
+                // batch must run inline rather than oversubscribe.
+                let mut inner = vec![0u8; 8];
+                pool.run(
+                    &mut inner,
+                    || (),
+                    |_, _, _| {
+                        let a = pool.active();
+                        peak.fetch_max(a, Ordering::Relaxed);
+                    },
+                );
+            },
+        );
+        assert!(
+            peak.load(Ordering::Relaxed) <= 1,
+            "nested fan-out exceeded the pool limit"
+        );
+        assert_eq!(pool.active(), 0);
+    }
+
+    #[test]
+    fn panics_propagate_and_release_tokens() {
+        let pool = WorkerPool::new(4);
+        for panic_at in [0usize, 7] {
+            // 0 lands in the caller's chunk, 7 in a spawned worker's.
+            let mut items: Vec<usize> = (0..8).collect();
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                pool.run(
+                    &mut items,
+                    || (),
+                    |_, i, _| {
+                        if i == panic_at {
+                            panic!("boom {i}");
+                        }
+                    },
+                );
+            }));
+            assert!(result.is_err(), "panic at {panic_at} was swallowed");
+            assert_eq!(pool.active(), 0, "panic at {panic_at} leaked tokens");
+        }
+        // The pool is fully usable after a panicking batch.
+        let mut items = vec![0u64; 32];
+        pool.run(&mut items, || (), |_, i, slot| *slot = i as u64);
+        assert!(items.iter().enumerate().all(|(i, &v)| v == i as u64));
+    }
+
+    #[test]
+    fn auto_detect_resolves_to_at_least_one_worker() {
+        assert!(WorkerPool::new(0).workers() >= 1);
+    }
+}

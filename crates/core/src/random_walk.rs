@@ -17,7 +17,7 @@
 use crate::cost::CostModel;
 use crate::error::PlacementError;
 use crate::eval::FitnessEngine;
-use crate::ga::random_assignment;
+use crate::ga::random_assignment_into;
 use crate::inter::check_fit;
 use crate::placement::Placement;
 use crate::search::{Budget, BudgetMeter, RaceControl, SearchOutcome};
@@ -154,23 +154,35 @@ pub fn run_budgeted(
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut meter = BudgetMeter::new(budget);
     let mut best: Option<(Vec<Vec<VarId>>, u64)> = None;
+    // Candidate buffers persist across batches: each slot's per-DBC lists
+    // (and the shared shuffle scratch) are refilled in place, and only an
+    // *improvement* is cloned out — the steady-state loop allocates
+    // nothing per candidate.
     let mut batch: Vec<Vec<Vec<VarId>>> = Vec::new();
+    let mut shuffle_buf: Vec<VarId> = Vec::new();
     // At least one batch always runs (the result must be reportable even
     // under an already-expired deadline), hence the loop-with-break shape.
     loop {
         let n = (BATCH as u64).min(meter.remaining_evals()).max(1) as usize;
-        batch.clear();
-        for _ in 0..n {
-            batch.push(random_assignment(&vars, dbcs, capacity, &mut rng));
+        if batch.len() < n {
+            batch.resize_with(n, Vec::new);
         }
-        let costs = engine.batch_costs(&batch);
-        for (lists, c) in batch.drain(..).zip(costs) {
+        for slot in batch[..n].iter_mut() {
+            random_assignment_into(&vars, dbcs, capacity, &mut rng, slot, &mut shuffle_buf);
+        }
+        let costs = engine.batch_costs(&batch[..n]);
+        for (lists, c) in batch[..n].iter().zip(costs) {
             meter.charge(1);
             if best.as_ref().is_none_or(|(_, bc)| c < *bc) {
                 meter.note_cost(c);
-                best = Some((lists, c));
-                let (lists, c) = best.as_ref().expect("just set");
-                crate::search::race_publish(race, *c, lists, meter.evals());
+                match &mut best {
+                    Some((b, bc)) => {
+                        b.clone_from(lists);
+                        *bc = c;
+                    }
+                    None => best = Some((lists.clone(), c)),
+                }
+                crate::search::race_publish(race, c, lists, meter.evals());
             }
         }
         if best.as_ref().is_some_and(|(_, c)| *c == 0) {

@@ -14,7 +14,8 @@
 //! * [`TabuSearch`] — best-of-sampled-neighborhood local search with a
 //!   recency tabu list and aspiration;
 //! * [`Portfolio`] — races N configurable lanes (SA / tabu / GA /
-//!   random walk) on [`std::thread::scope`] threads with a shared
+//!   random walk) as work items on the engine's shared
+//!   [`WorkerPool`](crate::pool::WorkerPool), with a shared
 //!   [`RaceControl`] incumbent and per-lane deterministic seed streams.
 //!
 //! # Incumbent protocol and determinism contract

@@ -1,9 +1,10 @@
-//! The anytime portfolio: N solver lanes racing one budget on scoped
-//! threads with a shared incumbent.
+//! The anytime portfolio: N solver lanes racing one budget on the
+//! engine's shared [`WorkerPool`](crate::pool::WorkerPool) with a shared
+//! incumbent.
 //!
-//! Each lane (SA / tabu / GA / random walk) runs on its own
-//! [`std::thread::scope`] thread against the **same per-lane budget**,
-//! with a deterministic per-lane seed derived from the portfolio seed
+//! Each lane (SA / tabu / GA / random walk) is one coarse work item on
+//! the pool, racing against the **same per-lane budget** with a
+//! deterministic per-lane seed derived from the portfolio seed
 //! ([`PortfolioConfig::lane_seed`]). Lanes publish improvements to the
 //! shared [`RaceControl`](super::RaceControl) incumbent — never reading it
 //! back — and the winner is selected from the finished lane outcomes by
@@ -180,8 +181,8 @@ impl Portfolio {
         self
     }
 
-    /// Races the configured lanes on scoped threads; blocks until every
-    /// lane has exhausted the budget (or the deadline fired).
+    /// Races the configured lanes on the engine's worker pool; blocks
+    /// until every lane has exhausted the budget (or the deadline fired).
     ///
     /// `seeds` are candidate start placements handed to every lane (the
     /// heuristic solutions, when called through
@@ -204,29 +205,28 @@ impl Portfolio {
         let seq = engine.seq();
         check_fit(seq.liveness().by_first_occurrence().len(), dbcs, capacity)?;
         let control = RaceControl::new(self.config.budget.deadline());
-        let results: Vec<Result<SearchOutcome, PlacementError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .config
-                .lanes
-                .iter()
-                .enumerate()
-                .map(|(lane, &spec)| {
-                    let control = &control;
-                    scope.spawn(move || {
-                        self.run_lane(spec, (control, lane), engine, dbcs, capacity, seeds)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("portfolio lane panicked"))
-                .collect()
-        });
-        let mut lanes = Vec::with_capacity(results.len());
-        for (spec, result) in self.config.lanes.iter().zip(results) {
+        // Lanes are coarse work items on the engine's shared pool: lane
+        // threads and any batch-evaluation fan-out *inside* a lane (the GA
+        // generations, the random walk's candidate batches) draw from one
+        // worker-token budget instead of oversubscribing the machine. Each
+        // lane writes only its own slot and is a pure function of its
+        // `(seed, budget)` pair, so results are independent of worker
+        // count and steal schedule (`DESIGN.md` §8).
+        let mut slots: Vec<Option<Result<SearchOutcome, PlacementError>>> =
+            self.config.lanes.iter().map(|_| None).collect();
+        engine.pool().run(
+            &mut slots,
+            || (),
+            |(), lane, slot| {
+                let spec = self.config.lanes[lane];
+                *slot = Some(self.run_lane(spec, (&control, lane), engine, dbcs, capacity, seeds));
+            },
+        );
+        let mut lanes = Vec::with_capacity(slots.len());
+        for (spec, slot) in self.config.lanes.iter().zip(slots) {
             lanes.push(LaneOutcome {
                 spec: *spec,
-                outcome: result?,
+                outcome: slot.expect("every lane slot filled")?,
             });
         }
         let winner = lanes

@@ -8,11 +8,27 @@
 //! trajectory of single mutations — so an evaluation is `O(A)` in the
 //! touched DBCs' access counts, not the trace length.
 //!
+//! # The cooling schedule
+//!
+//! Temperature is a function of **evaluation counts only** — never of the
+//! total budget, and never of wall clock (`DESIGN.md` §8). Each *sweep*
+//! cools linearly from the current peak to [`SaConfig::final_temp`] over
+//! [`SaConfig::cool_horizon`] evaluations; going
+//! [`SaConfig::quench_after`] evaluations without a new global best
+//! *quenches* the sweep (jump to its cold, hill-climbing end), and twice
+//! that stall *reheats* — the sweep restarts from a halved peak. Because
+//! the trajectory never looks at the budget's size, a run at budget `B`
+//! is an exact prefix of the same-seed run at any budget `> B`, so the
+//! best cost is monotone non-increasing in the budget. (The earlier
+//! schedule cooled over *total budget progress*: mid-size budgets spent
+//! nearly every evaluation at the hot end and returned the untouched
+//! seed; `rtm-bench search` exposed it on 8051 at 5k/20k evals.)
+//!
 //! Two deliberate substitutions keep the trajectory a pure function of
 //! `(seed, budget)` on every platform (`DESIGN.md` §8):
 //!
-//! * the cooling schedule is **linear** in budget progress
-//!   (`T = T0·(1−p) + Tf·p`) — no `powf`/`ln`, whose libm implementations
+//! * cooling, quench and reheat use only IEEE-exact add/mul (linear
+//!   interpolation, halving) — no `powf`/`ln`, whose libm implementations
 //!   vary across platforms;
 //! * the Metropolis acceptance probability `exp(−Δ/T)` is computed by a
 //!   local polynomial approximation built only from IEEE-exact arithmetic
@@ -41,17 +57,28 @@ pub struct SaConfig {
     pub initial_temp_frac: f64,
     /// Final temperature, in absolute shifts.
     pub final_temp: f64,
+    /// Evaluations per cooling sweep: temperature cools linearly from the
+    /// current peak to [`final_temp`](Self::final_temp) over this many
+    /// evaluations, independent of the total budget.
+    pub cool_horizon: u64,
+    /// Evaluations without a new global best that quench the current
+    /// sweep (jump to its cold end); twice this stall reheats (a fresh
+    /// sweep from a halved peak).
+    pub quench_after: u64,
 }
 
 impl SaConfig {
     /// The default configuration for a budget: seed `0x5A11_2020`, initial
-    /// temperature 2% of the start cost, final temperature 0.25 shifts.
+    /// temperature 2% of the start cost, final temperature 0.25 shifts,
+    /// 2 000-eval cooling sweeps, quench after 400 stalled evaluations.
     pub fn new(budget: Budget) -> Self {
         Self {
             budget,
             seed: 0x5A11_2020,
             initial_temp_frac: 0.02,
             final_temp: 0.25,
+            cool_horizon: 2_000,
+            quench_after: 400,
         }
     }
 
@@ -132,17 +159,43 @@ impl SimulatedAnnealing {
 
         let t0 = (state.total as f64 * self.config.initial_temp_frac).max(1.0);
         let tf = self.config.final_temp.max(0.01);
+        let horizon = self.config.cool_horizon.max(1);
+        let quench = self.config.quench_after.max(1);
         let hood = Neighborhood::new(dbcs, capacity, self.subarrays);
         let mut scratch = engine.scratch();
 
+        // Sweep state, all driven by eval counts (module docs): `cooled`
+        // evals into the current sweep, `since_best` evals since the last
+        // global improvement, and the sweep's starting `peak` temperature.
+        let mut peak = t0;
+        let mut cooled = 0u64;
+        let mut since_best = 0u64;
+
+        let mut best_costs = state.dbc_costs.clone();
         while best.1 > 0 && !meter.exhausted() && !race_stopped(race) {
-            let p = meter.progress();
-            let temp = t0 * (1.0 - p) + tf * p;
+            if since_best >= 2 * quench {
+                // Reheat: a fresh sweep from a halved peak, restarted from
+                // the global best (elitist — a hot sweep that wandered off
+                // never strands the walk in a bad basin).
+                peak = (peak * 0.5).max(tf);
+                cooled = 0;
+                since_best = 0;
+                state.lists.clone_from(&best.0);
+                state.dbc_costs.clone_from(&best_costs);
+                state.total = best.1;
+            } else if since_best >= quench {
+                // Quench: jump to the sweep's cold, hill-climbing end.
+                cooled = cooled.max(horizon);
+            }
+            let pp = cooled.min(horizon) as f64 / horizon as f64;
+            let temp = peak * (1.0 - pp) + tf * pp;
             let m = hood.propose(&state.lists, &mut rng);
             if m == Move::Noop {
                 // Infeasible sample: still consumes budget (termination on
                 // degenerate shapes), costs nothing.
                 meter.charge(1);
+                cooled += 1;
+                since_best += 1;
                 continue;
             }
             let before = state.total;
@@ -150,13 +203,20 @@ impl SimulatedAnnealing {
             m.apply(&mut state.lists);
             let after = state.recost(engine, &mut scratch, m.touched());
             meter.charge(1);
+            cooled += 1;
+            since_best += 1;
             let accept = after <= before || {
                 let delta = (after - before) as f64;
                 rng.gen_bool(exp_neg(delta / temp))
             };
             if accept {
                 if after < best.1 {
-                    best = (state.lists.clone(), after);
+                    // Reuse the incumbent's buffers: no per-improvement
+                    // allocation, clones only here (the publish point).
+                    best.0.clone_from(&state.lists);
+                    best_costs.clone_from(&state.dbc_costs);
+                    best.1 = after;
+                    since_best = 0;
                     meter.note_cost(after);
                     race_publish(race, after, &best.0, meter.evals());
                 }
@@ -279,6 +339,33 @@ mod tests {
             (a.cost, a.evals, a.evals_at_best),
             (b.cost, b.evals, b.evals_at_best)
         );
+    }
+
+    #[test]
+    fn nested_budgets_are_monotone() {
+        // The schedule is driven by eval counts, never by the budget's
+        // size, so a 5k-eval run is an exact prefix of the 20k-eval run:
+        // the larger budget can never end worse (the bug this schedule
+        // replaced: budget-progress cooling left mid-size budgets at the
+        // hot end for almost the whole run).
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let (engine, seeds) = engine_and_seeds(&seq, 2, 8);
+        let run = |evals: u64| {
+            SimulatedAnnealing::new(SaConfig::new(Budget::evals(evals)).with_seed(11))
+                .run_with_engine(&engine, 2, 8, &seeds)
+                .unwrap()
+        };
+        let small = run(5_000);
+        let large = run(20_000);
+        assert!(
+            large.cost <= small.cost,
+            "budget 20k ended worse than 5k: {} > {}",
+            large.cost,
+            small.cost
+        );
+        if large.cost == small.cost {
+            assert_eq!(large.evals_at_best, small.evals_at_best, "prefix drifted");
+        }
     }
 
     #[test]

@@ -41,11 +41,23 @@ impl PositionIndex {
     /// Panics if the trace has more than `u32::MAX` accesses (positions are
     /// stored as `u32` to halve the memory traffic of the hot path).
     pub fn of(seq: &AccessSequence) -> Self {
-        let len = u32::try_from(seq.len()).expect("trace longer than u32::MAX accesses");
-        let vars = seq.vars().len();
+        Self::of_accesses(seq.accesses(), seq.vars().len())
+    }
+
+    /// Builds the index of an explicit access stream over `vars` variables —
+    /// the general form of [`of`](Self::of), used by the fitness engine to
+    /// index a derived view of a trace (its self-transition-free
+    /// deduplication) without materializing an [`AccessSequence`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream has more than `u32::MAX` accesses, or contains
+    /// a variable with index `>= vars`.
+    pub fn of_accesses(accesses: &[VarId], vars: usize) -> Self {
+        let len = u32::try_from(accesses.len()).expect("trace longer than u32::MAX accesses");
         // Counting sort by variable: prefix sums give each variable's slice.
         let mut starts = vec![0u32; vars + 1];
-        for &v in seq.accesses() {
+        for &v in accesses {
             starts[v.index() + 1] += 1;
         }
         for i in 1..=vars {
@@ -53,7 +65,7 @@ impl PositionIndex {
         }
         let mut fill = starts.clone();
         let mut positions = vec![0u32; len as usize];
-        for (pos, &v) in seq.accesses().iter().enumerate() {
+        for (pos, &v) in accesses.iter().enumerate() {
             positions[fill[v.index()] as usize] = pos as u32;
             fill[v.index()] += 1;
         }

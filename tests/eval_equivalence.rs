@@ -364,3 +364,42 @@ fn random_walk_is_thread_invariant() {
     let b = random_walk::search_with_engine(&four, 3, 8, cfg).unwrap();
     assert_eq!(a, b);
 }
+
+/// GA outcomes are bit-identical at 1, 2 and 8 pool workers, on a 2-port
+/// flat problem and a 2-port/2-subarray hierarchical problem (the pool's
+/// determinism contract: stealing moves work between threads, never
+/// between result slots).
+#[test]
+fn ga_is_worker_count_invariant_on_multi_port_arrays() {
+    let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+    let cfg = GaConfig {
+        mu: 10,
+        lambda: 10,
+        generations: 8,
+        ..GaConfig::paper()
+    }
+    .with_seed(77);
+    for (dbcs, ports, subarrays) in [(2usize, 2usize, 1usize), (4, 2, 2)] {
+        let track = 16;
+        let cost = CostModel::multi_port(ports, track);
+        let mut baseline = None;
+        for workers in [1usize, 2, 8] {
+            let engine = FitnessEngine::new(&seq, cost).with_threads(workers);
+            let out = GeneticPlacer::new(cfg)
+                .with_cost_model(cost)
+                .with_subarrays(subarrays)
+                .run_with_engine(&engine, dbcs, track, &[])
+                .unwrap();
+            let got = (out.best, out.best_cost, out.history, out.evaluations);
+            match &baseline {
+                None => baseline = Some(got),
+                Some(want) => {
+                    assert_eq!(
+                        want, &got,
+                        "GA diverged at {workers} workers ({ports}p/{subarrays}s)"
+                    );
+                }
+            }
+        }
+    }
+}

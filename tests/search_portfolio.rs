@@ -145,18 +145,30 @@ fn portfolio_lanes_match_standalone_solvers_bit_for_bit() {
     }
 }
 
-/// (c) Bit-identical results for a fixed seed across `--threads 1, 2, 8`,
-/// on a 2-port and a 2-subarray problem, through the full
-/// `Strategy::solve` path.
+/// (c) Bit-identical results for a fixed seed across `--threads 1, 2, 8`
+/// (pool worker counts), on 2-port, 2-subarray, and combined
+/// 2-port/2-subarray problems, through the full `Strategy::solve` path —
+/// every searcher that fans work out over the shared [`WorkerPool`]: GA,
+/// random walk, the SA/tabu lanes, and the full portfolio race.
 #[test]
 fn results_are_bit_identical_across_thread_counts() {
     let dct = Benchmark::by_name("dct").unwrap().trace();
     let paper = paper_seq();
     let budget = Budget::evals(500);
-    for (seq, ports, subarrays) in [(&dct, 2usize, 1usize), (&paper, 1, 2)] {
+    for (seq, ports, subarrays) in [(&dct, 2usize, 1usize), (&paper, 1, 2), (&paper, 2, 2)] {
         for strategy in [
             Strategy::Sa(SaConfig::new(budget)),
             Strategy::Tabu(TabuConfig::new(budget)),
+            Strategy::Ga(GaConfig {
+                mu: 8,
+                lambda: 8,
+                generations: 6,
+                ..GaConfig::paper()
+            }),
+            Strategy::RandomWalk(rtm::RandomWalkConfig {
+                iterations: 400,
+                seed: 17,
+            }),
             Strategy::Portfolio(PortfolioConfig::new(budget).with_seed(13)),
         ] {
             let mut baseline: Option<(Placement, u64, u64)> = None;
