@@ -141,11 +141,16 @@ fn measure(run: &GeometryRun<'_>, budget: u64, opts: &ExperimentOpts) -> Row {
     let lanes: Vec<LaneQuality> = out
         .lanes
         .iter()
-        .map(|l| LaneQuality {
-            name: l.spec.name(),
-            cost: l.outcome.cost,
-            evals: l.outcome.evals,
-            time_to_best_ms: l.outcome.time_to_best.as_secs_f64() * 1e3,
+        .map(|l| {
+            // Eval-budget races have no deadline and no faults, so every
+            // lane completes with an outcome.
+            let o = l.outcome.as_ref().expect("eval-budget lanes complete");
+            LaneQuality {
+                name: l.spec.name(),
+                cost: o.cost,
+                evals: o.evals,
+                time_to_best_ms: o.time_to_best.as_secs_f64() * 1e3,
+            }
         })
         .collect();
     let best = out.best();

@@ -56,6 +56,17 @@ pub(crate) fn place_report(args: &CliArgs) -> Result<String, Box<dyn std::error:
             sol.evals_consumed,
             sol.time_to_best.as_secs_f64() * 1e3
         )?;
+        // Per-lane telemetry exists only for the portfolio strategy.
+        for lane in &sol.lanes {
+            write!(
+                out,
+                "\nlane {}: {}, cost {}, {} evals",
+                lane.name,
+                lane.status,
+                lane.cost.map_or_else(|| "-".to_string(), |c| c.to_string()),
+                lane.evals
+            )?;
+        }
     }
     for (d, list) in sol.placement.dbc_lists().iter().enumerate() {
         let names: Vec<&str> = list.iter().map(|&v| seq.vars().name(v)).collect();
@@ -175,10 +186,31 @@ fn json_report(
     out.push(']');
     let _ = write!(
         out,
-        ",\"search\":{{\"evals_consumed\":{},\"time_to_best_ms\":{:.3}}}",
+        ",\"search\":{{\"evals_consumed\":{},\"time_to_best_ms\":{:.3},\
+         \"elapsed_ms\":{:.3},\"stop\":\"{}\"",
         sol.evals_consumed,
-        sol.time_to_best.as_secs_f64() * 1e3
+        sol.time_to_best.as_secs_f64() * 1e3,
+        sol.elapsed.as_secs_f64() * 1e3,
+        sol.stop.name()
     );
+    if !sol.lanes.is_empty() {
+        out.push_str(",\"lanes\":[");
+        for (i, lane) in sol.lanes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"status\":\"{}\",\"cost\":{},\"evals\":{}}}",
+                lane.name,
+                lane.status.name(),
+                lane.cost.map_or("null".to_string(), |c| c.to_string()),
+                lane.evals
+            );
+        }
+        out.push(']');
+    }
+    out.push('}');
     if let Some(s) = stats {
         let _ = write!(
             out,
@@ -623,10 +655,33 @@ mod tests {
         json::parse(&out).unwrap_or_else(|e| panic!("invalid JSON: {e}\n{out}"));
         assert!(out.contains("\"search\":{\"evals_consumed\":"), "{out}");
         assert!(out.contains("\"time_to_best_ms\":"), "{out}");
+        assert!(out.contains("\"elapsed_ms\":"), "{out}");
+        assert!(out.contains("\"stop\":\"evals\""), "{out}");
+        assert!(!out.contains("\"lanes\":"), "single-lane solve: {out}");
         // Heuristic solves report the zero-telemetry form.
         let a = args(&[("trace", f.to_str().unwrap()), ("dbcs", "2"), ("json", "")]);
         let out = place_report(&a).unwrap();
         assert!(out.contains("\"search\":{\"evals_consumed\":0,"), "{out}");
+        let _ = std::fs::remove_file(f);
+    }
+
+    #[test]
+    fn place_json_reports_portfolio_lane_outcomes() {
+        let f = trace_file("a b a b c c a b a c");
+        let a = args(&[
+            ("trace", f.to_str().unwrap()),
+            ("dbcs", "2"),
+            ("strategy", "portfolio"),
+            ("lanes", "sa,tabu"),
+            ("budget-evals", "120"),
+            ("json", ""),
+        ]);
+        let out = place_report(&a).unwrap();
+        json::parse(&out).unwrap_or_else(|e| panic!("invalid JSON: {e}\n{out}"));
+        assert!(out.contains("\"lanes\":[{\"name\":\"sa\""), "{out}");
+        assert!(out.contains("\"name\":\"tabu\""), "{out}");
+        assert!(out.contains("\"status\":\"completed\""), "{out}");
+        assert!(out.contains("\"cost\":"), "{out}");
         let _ = std::fs::remove_file(f);
     }
 

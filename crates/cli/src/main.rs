@@ -98,10 +98,12 @@ fn read_trace(args: &CliArgs) -> Result<AccessSequence, Box<dyn std::error::Erro
     let path = args.get("trace").ok_or("missing required option --trace")?;
     let text = if path == "-" {
         let mut s = String::new();
-        std::io::stdin().read_to_string(&mut s)?;
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| format!("cannot read trace from stdin: {e}"))?;
         s
     } else {
-        std::fs::read_to_string(path)?
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read trace `{path}`: {e}"))?
     };
     Ok(AccessSequence::parse(&text)?)
 }

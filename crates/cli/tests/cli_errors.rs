@@ -1,0 +1,120 @@
+//! Integration tests for the CLI's failure contract (DESIGN.md §9): bad
+//! input exits nonzero with a single structured `error: …` diagnostic on
+//! stderr — never a panic backtrace.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn rtm(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rtm"))
+        .args(args)
+        .env("RUST_BACKTRACE", "1") // a panic would be loudly visible
+        .output()
+        .expect("spawn rtm")
+}
+
+fn write_trace(name: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("rtm-cli-test-{name}-{}", std::process::id()));
+    std::fs::write(&path, contents).expect("write temp trace");
+    path
+}
+
+fn assert_structured_failure(out: &Output, expect: &str) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "expected failure, got: {stderr}");
+    assert!(
+        stderr.starts_with("error: "),
+        "diagnostic must be structured, got: {stderr}"
+    );
+    assert!(stderr.contains(expect), "missing {expect:?} in: {stderr}");
+    assert!(
+        !stderr.contains("panicked") && !stderr.contains("RUST_BACKTRACE"),
+        "panic leaked to the user: {stderr}"
+    );
+}
+
+#[test]
+fn malformed_trace_reports_line_and_column() {
+    let trace = write_trace("badtok", "a b\nc :w\n");
+    let out = rtm(&["place", "--trace", trace.to_str().unwrap()]);
+    std::fs::remove_file(&trace).ok();
+    assert_structured_failure(&out, "line 2, column 3");
+}
+
+#[test]
+fn empty_trace_is_a_structured_error() {
+    let trace = write_trace("empty", "# only a comment\n\n");
+    let out = rtm(&["place", "--trace", trace.to_str().unwrap()]);
+    std::fs::remove_file(&trace).ok();
+    assert_structured_failure(&out, "no accesses");
+}
+
+#[test]
+fn missing_trace_file_is_a_structured_error() {
+    let out = rtm(&["place", "--trace", "/nonexistent/rtm-no-such-trace"]);
+    assert_structured_failure(&out, "/nonexistent/rtm-no-such-trace");
+}
+
+#[test]
+fn impossible_geometry_is_a_structured_error() {
+    let trace = write_trace("geom", "a b c d e f g h\n");
+    let out = rtm(&[
+        "place",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--dbcs",
+        "1",
+        "--capacity",
+        "2",
+        "--subarrays",
+        "1",
+    ]);
+    std::fs::remove_file(&trace).ok();
+    assert_structured_failure(&out, "error: ");
+}
+
+#[test]
+fn bad_flag_values_are_structured_errors() {
+    let trace = write_trace("flags", "a b c\n");
+    let out = rtm(&[
+        "place",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--dbcs",
+        "zero",
+    ]);
+    assert_structured_failure(&out, "--dbcs");
+    let out = rtm(&[
+        "place",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--strategy",
+        "quantum",
+    ]);
+    std::fs::remove_file(&trace).ok();
+    assert_structured_failure(&out, "quantum");
+}
+
+#[test]
+fn happy_path_still_exits_zero() {
+    let trace = write_trace("ok", "a b a b c a c a d d a i e f e f g e g h g i h i\n");
+    let out = rtm(&[
+        "place",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--dbcs",
+        "2",
+        "--json",
+    ]);
+    std::fs::remove_file(&trace).ok();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("\"shifts\":"),
+        "missing shifts in: {stdout}"
+    );
+}

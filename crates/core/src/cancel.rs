@@ -1,0 +1,82 @@
+//! Cooperative cancellation: a cheap, cloneable [`CancelToken`] that a
+//! watchdog (the portfolio's deadline enforcer, or eventually a service
+//! front end) flips once to tell every in-flight solver and pool job to
+//! wind down at its next check point.
+//!
+//! Cancellation is *cooperative*: nothing is interrupted mid-evaluation.
+//! Solvers poll the token between evaluations (via
+//! [`BudgetMeter::exhausted`](crate::search::BudgetMeter::exhausted)), and
+//! [`WorkerPool::run_with_cancel`](crate::pool::WorkerPool::run_with_cancel)
+//! polls it before claiming each queued item — so the worst-case latency
+//! from `cancel()` to quiescence is one evaluation plus one in-flight item.
+//!
+//! Checking the token is a single relaxed-free atomic load and never draws
+//! from an RNG or consumes budget, so threading a token through a
+//! deterministic (eval-budget) run cannot perturb its trajectory: the
+//! bit-reproducibility contract of `DESIGN.md` §8 is preserved.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared one-way cancellation flag. Clones observe the same flag.
+///
+/// # Example
+///
+/// ```
+/// use rtm_placement::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let watcher = token.clone();
+/// assert!(!watcher.is_cancelled());
+/// token.cancel();
+/// assert!(watcher.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; never un-cancels.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+        // Idempotent.
+        a.cancel();
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn default_is_not_cancelled() {
+        assert!(!CancelToken::default().is_cancelled());
+    }
+
+    #[test]
+    fn token_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CancelToken>();
+    }
+}

@@ -199,7 +199,9 @@ impl CostModel {
                     ((from - target).unsigned_abs(), target)
                 })
                 .min()
-                .expect("at least one port")
+                // Unreachable fallback: geometry validation guarantees at
+                // least one port per track.
+                .unwrap_or((from.unsigned_abs(), 0))
         };
         match disp {
             Some(d) => best_target(d),

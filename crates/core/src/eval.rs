@@ -61,8 +61,23 @@ use rtm_trace::{AccessSequence, PositionIndex, VarId};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 use std::time::Instant;
+
+/// Locks a cache mutex, recovering from poison by **clearing and
+/// rebuilding**: the guard's contents are reset to the empty cache and the
+/// poison flag is cleared. Every cached value is a pure function of its key
+/// (`DESIGN.md` §7), so dropping the cache can never change a result — a
+/// panic that poisoned it (the panicking job's unwind path crossing a lock)
+/// degrades throughput, not correctness (`DESIGN.md` §9).
+fn lock_cache<T: Default>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| {
+        let mut guard = poisoned.into_inner();
+        *guard = T::default();
+        m.clear_poison();
+        guard
+    })
+}
 
 /// A fast multiply-xor hasher (FxHash-style) for the memo cache. DBC lists
 /// hash dozens of `u32`s per lookup; SipHash's per-word cost dominates the
@@ -507,6 +522,26 @@ impl<'a> FitnessEngine<'a> {
         EvalScratch::default()
     }
 
+    /// Deliberately poisons the engine's memo and subsequence cache
+    /// mutexes by panicking while each lock is held (fault injection —
+    /// `--features faults` only). The next evaluation recovers via
+    /// [`lock_cache`]'s clear-and-rebuild, so results are unchanged.
+    #[cfg(feature = "faults")]
+    pub fn poison_caches(&self) {
+        fn poison<T>(m: &Mutex<T>) {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _guard = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                panic!("injected cache poison");
+            }));
+        }
+        if let Some(m) = &self.memo {
+            poison(m);
+        }
+        if let Some(c) = &self.subseq {
+            poison(c);
+        }
+    }
+
     /// Snapshot of the engine's work counters.
     pub fn stats(&self) -> EngineStats {
         EngineStats {
@@ -535,7 +570,7 @@ impl<'a> FitnessEngine<'a> {
     /// (allocation-free once the buffer has grown to the working set).
     pub fn dbc_cost_with(&self, list: &[VarId], scratch: &mut EvalScratch) -> u64 {
         if let Some(memo) = &self.memo {
-            if let Some(&c) = memo.lock().expect("memo poisoned").map.get(list) {
+            if let Some(&c) = lock_cache(memo).map.get(list) {
                 self.dbc_cache_hits.fetch_add(1, Ordering::Relaxed);
                 return c;
             }
@@ -544,7 +579,7 @@ impl<'a> FitnessEngine<'a> {
             std::hash::Hash::hash(list, &mut hasher);
             let key = hasher.finish();
             let slot = (key as usize) & (FILTER_SLOTS - 1);
-            let mut m = memo.lock().expect("memo poisoned");
+            let mut m = lock_cache(memo);
             if m.filter[slot] == key {
                 if m.map.len() >= MEMO_CAPACITY {
                     m.map.clear();
@@ -592,7 +627,7 @@ impl<'a> FitnessEngine<'a> {
                     // offsets table (same size + every stored member present
                     // ⇒ identical sets), so a collision is just a miss.
                     let cached = {
-                        let c = cache.lock().expect("subseq cache poisoned");
+                        let c = lock_cache(cache);
                         c.map.get(&set_key).and_then(|e| {
                             let verified = e.members.len() == members
                                 && e.members
@@ -612,7 +647,7 @@ impl<'a> FitnessEngine<'a> {
                             // Promote only memberships seen twice — the
                             // first sighting costs nothing but a filter
                             // write, so crossover churn never allocates.
-                            let mut c = cache.lock().expect("subseq cache poisoned");
+                            let mut c = lock_cache(cache);
                             let slot = (set_key as usize) & (FILTER_SLOTS - 1);
                             if c.filter[slot] == set_key {
                                 let s = std::sync::Arc::new(self.summary_of_seq_buf(scratch));
@@ -996,6 +1031,37 @@ mod tests {
             let naive = FitnessEngine::naive(&seq, cost);
             assert_eq!(inc.per_dbc_costs(&lists), naive.per_dbc_costs(&lists));
         }
+    }
+
+    #[test]
+    fn poisoned_caches_recover_by_clear_and_rebuild() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let lists = paper_placement(&seq);
+        let engine = FitnessEngine::new(&seq, CostModel::single_port());
+        let want = engine.per_dbc_costs(&lists);
+        // Poison both cache mutexes by panicking while each lock is held.
+        for _ in 0..2 {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let memo = engine.memo.as_ref().unwrap();
+                let _guard = memo
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                panic!("poison memo");
+            }));
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let cache = engine.subseq.as_ref().unwrap();
+                let _guard = cache
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                panic!("poison subseq");
+            }));
+            // Costs are pure functions of the lists: recovery rebuilds the
+            // caches and every result is bit-identical.
+            assert_eq!(engine.per_dbc_costs(&lists), want);
+            assert_eq!(engine.per_dbc_costs(&lists), want);
+        }
+        assert!(!engine.memo.as_ref().unwrap().is_poisoned());
+        assert!(!engine.subseq.as_ref().unwrap().is_poisoned());
     }
 
     #[test]

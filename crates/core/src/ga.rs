@@ -21,7 +21,7 @@ use crate::error::PlacementError;
 use crate::eval::{DirtyMask, EvalJob, FitnessEngine};
 use crate::inter::{check_fit, Dma, InterHeuristic};
 use crate::placement::Placement;
-use crate::search::{Budget, BudgetMeter, RaceControl};
+use crate::search::{Budget, RaceControl, StopCause};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -124,6 +124,11 @@ pub struct GaOutcome {
     pub evals_at_best: usize,
     /// Wall time from run start to the first sighting of the best.
     pub time_to_best: std::time::Duration,
+    /// Total wall time of the run.
+    pub elapsed: std::time::Duration,
+    /// Why the run stopped (fixed-generation runs report
+    /// [`StopCause::Finished`]).
+    pub stop: StopCause,
 }
 
 /// One individual: per-DBC ordered variable lists plus cached per-DBC and
@@ -276,11 +281,10 @@ impl GeneticPlacer {
         let mut population: Vec<Individual> =
             initial.into_iter().map(Individual::from_job).collect();
 
-        let mut best = population
-            .iter()
-            .min_by_key(|i| i.cost)
-            .expect("population nonempty")
-            .clone();
+        let Some(seed_best) = population.iter().min_by_key(|i| i.cost) else {
+            return Err(PlacementError::SearchConfig("empty GA population".into()));
+        };
+        let mut best = seed_best.clone();
         let mut evals_at_best = evaluations;
         let mut time_to_best = start.elapsed();
         let mut history = Vec::with_capacity(self.config.generations + 1);
@@ -331,6 +335,8 @@ impl GeneticPlacer {
             evaluations,
             evals_at_best,
             time_to_best,
+            elapsed: start.elapsed(),
+            stop: StopCause::Finished,
         })
     }
 
@@ -367,7 +373,7 @@ impl GeneticPlacer {
             dbcs
         };
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
-        let mut meter = BudgetMeter::new(budget);
+        let mut meter = crate::search::meter_for(budget, race);
 
         // Initial population exactly as in the fixed-generation run, then
         // clamped to the eval budget (the RNG draws of discarded random
@@ -380,11 +386,10 @@ impl GeneticPlacer {
         let mut population: Vec<Individual> =
             initial.into_iter().map(Individual::from_job).collect();
 
-        let mut best = population
-            .iter()
-            .min_by_key(|i| i.cost)
-            .expect("population nonempty")
-            .clone();
+        let Some(seed_best) = population.iter().min_by_key(|i| i.cost) else {
+            return Err(PlacementError::SearchConfig("empty GA population".into()));
+        };
+        let mut best = seed_best.clone();
         meter.note_cost(best.cost);
         crate::search::race_publish(race, best.cost, &best.dbcs, meter.evals());
         let mut history = vec![best.cost];
@@ -429,6 +434,8 @@ impl GeneticPlacer {
             evaluations: meter.evals() as usize,
             evals_at_best: meter.evals_at_best() as usize,
             time_to_best: meter.time_to_best(),
+            elapsed: meter.elapsed(),
+            stop: meter.stop_cause(),
         })
     }
 

@@ -104,13 +104,15 @@ pub(crate) fn bidirectional_grouping(g: &LocalGraph, seed: Seed) -> Vec<usize> {
     if n == 0 {
         return Vec::new();
     }
-    let seed_vertex = match seed {
-        Seed::Frequency => (0..n)
-            .max_by_key(|&v| (g.freq[v], g.degree_weight(v), std::cmp::Reverse(g.vars[v])))
-            .expect("nonempty"),
-        Seed::DegreeWeight => (0..n)
-            .max_by_key(|&v| (g.degree_weight(v), g.freq[v], std::cmp::Reverse(g.vars[v])))
-            .expect("nonempty"),
+    let seed_vertex =
+        match seed {
+            Seed::Frequency => (0..n)
+                .max_by_key(|&v| (g.freq[v], g.degree_weight(v), std::cmp::Reverse(g.vars[v]))),
+            Seed::DegreeWeight => (0..n)
+                .max_by_key(|&v| (g.degree_weight(v), g.freq[v], std::cmp::Reverse(g.vars[v]))),
+        };
+    let Some(seed_vertex) = seed_vertex else {
+        unreachable!("n > 0 was checked above")
     };
 
     let mut left: Vec<usize> = Vec::new(); // grows outwards; left[0] next to seed
@@ -126,8 +128,10 @@ pub(crate) fn bidirectional_grouping(g: &LocalGraph, seed: Seed) -> Vec<usize> {
     for _ in 1..n {
         let next = (0..n)
             .filter(|&v| !placed[v])
-            .max_by_key(|&v| (conn[v], g.freq[v], std::cmp::Reverse(g.vars[v])))
-            .expect("unplaced vertex remains");
+            .max_by_key(|&v| (conn[v], g.freq[v], std::cmp::Reverse(g.vars[v])));
+        let Some(next) = next else {
+            unreachable!("fewer than n vertices are placed")
+        };
 
         let mut cost_left = 0i128;
         let mut cost_right = 0i128;

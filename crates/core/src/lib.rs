@@ -58,7 +58,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library paths report through `PlacementError` (or recover) instead of
+// panicking; `unwrap`/`expect` are allowed only in test modules
+// (`DESIGN.md` §9). CI promotes these to errors with `-D warnings`.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+mod cancel;
 mod cost;
 mod error;
 pub mod eval;
@@ -72,15 +77,17 @@ pub mod random_walk;
 pub mod search;
 mod strategy;
 
+pub use cancel::CancelToken;
 pub use cost::{sum_per_subarray, CostModel, InitialAlignment};
-pub use error::PlacementError;
+pub use error::{PlacementError, RtmError};
 pub use eval::{EngineStats, FitnessEngine};
 pub use ga::{GaConfig, GaOutcome, GeneticPlacer};
 pub use placement::{Location, Placement};
 pub use pool::WorkerPool;
 pub use random_walk::RandomWalkConfig;
 pub use search::{
-    Budget, LaneSpec, Portfolio, PortfolioConfig, PortfolioOutcome, SaConfig, SearchOutcome,
-    SimulatedAnnealing, TabuConfig, TabuSearch,
+    Budget, LaneOutcome, LaneReport, LaneSpec, LaneStatus, Portfolio, PortfolioConfig,
+    PortfolioOutcome, SaConfig, SearchOutcome, SimulatedAnnealing, StopCause, TabuConfig,
+    TabuSearch,
 };
 pub use strategy::{PlacementProblem, Solution, Strategy, StrategyKind};

@@ -38,11 +38,25 @@
 //! threads, no work outliving the call). If any worker panics, the
 //! remaining items are still drained by the surviving workers, the pool's
 //! tokens are released, and the panic is then propagated to the caller.
+//!
+//! A panic *while a deque lock is held* poisons only that mutex, never the
+//! data: the deque holds pending `(index, &mut slot)` claims that stay
+//! valid whether or not the poisoning pop completed, so every lock site
+//! recovers with [`PoisonError::into_inner`] and the surviving workers keep
+//! draining. One bad job degrades throughput, not correctness (`DESIGN.md`
+//! §9).
+//!
+//! [`WorkerPool::run_with_cancel`] additionally polls a
+//! [`CancelToken`](crate::CancelToken) before claiming each item: on
+//! cancellation the workers stop claiming, finish only their in-flight
+//! items, and return, leaving the unclaimed slots untouched — the hook the
+//! portfolio watchdog uses to enforce `deadline + grace`.
 
+use crate::cancel::CancelToken;
 use std::collections::VecDeque;
 use std::panic::resume_unwind;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// A work-stealing pool bounded by a shared worker-token budget.
 ///
@@ -107,14 +121,38 @@ impl WorkerPool {
         I: Fn() -> C + Sync,
         F: Fn(&mut C, usize, &mut T) + Sync,
     {
+        self.run_with_cancel(items, None, init, work);
+    }
+
+    /// [`run`](Self::run) with a cooperative cancellation hook: when
+    /// `cancel` fires, workers stop *claiming* new items (in-flight items
+    /// still finish — nothing is interrupted mid-computation) and the call
+    /// returns with the unclaimed slots untouched. The caller is
+    /// responsible for knowing which slots were filled (e.g. the
+    /// portfolio's lane slots start as `None`).
+    pub fn run_with_cancel<T, C, I, F>(
+        &self,
+        items: &mut [T],
+        cancel: Option<&CancelToken>,
+        init: I,
+        work: F,
+    ) where
+        T: Send,
+        I: Fn() -> C + Sync,
+        F: Fn(&mut C, usize, &mut T) + Sync,
+    {
         let n = items.len();
         if n == 0 {
             return;
         }
+        let cancelled = || cancel.is_some_and(CancelToken::is_cancelled);
         let tokens = self.reserve(n - 1);
         if tokens.count == 0 {
             let mut ctx = init();
             for (i, item) in items.iter_mut().enumerate() {
+                if cancelled() {
+                    return;
+                }
                 work(&mut ctx, i, item);
             }
             return;
@@ -142,11 +180,11 @@ impl WorkerPool {
         let work = &work;
         std::thread::scope(|scope| {
             let handles: Vec<_> = (1..workers)
-                .map(|w| scope.spawn(move || self.worker(w, deques, init, work)))
+                .map(|w| scope.spawn(move || self.worker(w, deques, cancel, init, work)))
                 .collect();
             // The caller participates as worker 0; if it panics, the scope
             // still joins the spawned workers before unwinding further.
-            self.worker(0, deques, init, work);
+            self.worker(0, deques, cancel, init, work);
             for h in handles {
                 if let Err(panic) = h.join() {
                     resume_unwind(panic);
@@ -156,16 +194,28 @@ impl WorkerPool {
     }
 
     /// One worker: drain the own deque front-to-back, then steal from the
-    /// back of the longest other deque; exit when every deque is empty.
-    fn worker<T, C, I, F>(&self, me: usize, deques: &[Deque<'_, T>], init: &I, work: &F)
-    where
+    /// back of the longest other deque; exit when every deque is empty or
+    /// cancellation fires.
+    fn worker<T, C, I, F>(
+        &self,
+        me: usize,
+        deques: &[Deque<'_, T>],
+        cancel: Option<&CancelToken>,
+        init: &I,
+        work: &F,
+    ) where
         T: Send,
         I: Fn() -> C + Sync,
         F: Fn(&mut C, usize, &mut T) + Sync,
     {
         let mut ctx = init();
         loop {
-            let own = deques[me].lock().expect("pool deque poisoned").pop_front();
+            // Poll before every claim: a cancelled batch stops growing its
+            // in-flight set immediately.
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                return;
+            }
+            let own = lock_deque(&deques[me]).pop_front();
             if let Some((i, item)) = own {
                 work(&mut ctx, i, item);
                 continue;
@@ -176,13 +226,13 @@ impl WorkerPool {
                 .iter()
                 .enumerate()
                 .filter(|&(v, _)| v != me)
-                .map(|(v, d)| (d.lock().expect("pool deque poisoned").len(), v))
+                .map(|(v, d)| (lock_deque(d).len(), v))
                 .max()
                 .filter(|&(len, _)| len > 0);
             let Some((_, v)) = victim else {
                 return;
             };
-            let stolen = deques[v].lock().expect("pool deque poisoned").pop_back();
+            let stolen = lock_deque(&deques[v]).pop_back();
             if let Some((i, item)) = stolen {
                 self.steals.fetch_add(1, Ordering::Relaxed);
                 work(&mut ctx, i, item);
@@ -213,6 +263,14 @@ impl WorkerPool {
 
 /// A deque of pending `(index, item)` slots for one worker.
 type Deque<'a, T> = Mutex<VecDeque<(usize, &'a mut T)>>;
+
+/// Locks a deque, recovering from poison: a panic inside `pop_front` /
+/// `pop_back` / `len` cannot leave the deque half-mutated (pending claims
+/// stay valid either way), so the poisoned data is simply taken as-is and
+/// the surviving workers keep draining it.
+fn lock_deque<'a, 'b, T>(d: &'a Deque<'b, T>) -> MutexGuard<'a, VecDeque<(usize, &'b mut T)>> {
+    d.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Reserved worker tokens; released on drop (also on the panic path, so a
 /// panicking batch never leaks pool capacity).
@@ -354,5 +412,53 @@ mod tests {
     #[test]
     fn auto_detect_resolves_to_at_least_one_worker() {
         assert!(WorkerPool::new(0).workers() >= 1);
+    }
+
+    #[test]
+    fn pre_cancelled_batches_claim_nothing() {
+        let token = CancelToken::new();
+        token.cancel();
+        for workers in [1usize, 4] {
+            let pool = WorkerPool::new(workers);
+            let mut items = vec![0u64; 64];
+            pool.run_with_cancel(&mut items, Some(&token), || (), |_, _, slot| *slot = 1);
+            assert!(items.iter().all(|&v| v == 0), "{workers} workers");
+            assert_eq!(pool.active(), 0);
+        }
+    }
+
+    #[test]
+    fn cancellation_mid_batch_stops_claiming_but_finishes_in_flight() {
+        let pool = WorkerPool::new(2);
+        let token = CancelToken::new();
+        let mut items = vec![0u64; 256];
+        let done = AtomicUsize::new(0);
+        pool.run_with_cancel(
+            &mut items,
+            Some(&token),
+            || (),
+            |_, _, slot| {
+                // Cancel from inside the batch after a few items: the
+                // in-flight item still completes (slot is written), but
+                // the bulk of the batch is never claimed.
+                if done.fetch_add(1, Ordering::Relaxed) == 3 {
+                    token.cancel();
+                }
+                *slot = 1;
+            },
+        );
+        let filled = items.iter().filter(|&&v| v == 1).count();
+        assert!(filled >= 4, "in-flight items must complete: {filled}");
+        assert!(filled < 256, "cancellation ignored: all items ran");
+        assert_eq!(pool.active(), 0);
+    }
+
+    #[test]
+    fn run_without_cancel_is_unaffected() {
+        // `run` delegates with no token; the full batch always completes.
+        let pool = WorkerPool::new(3);
+        let mut items = vec![0u64; 100];
+        pool.run(&mut items, || (), |_, i, slot| *slot = i as u64 + 1);
+        assert!(items.iter().enumerate().all(|(i, &v)| v == i as u64 + 1));
     }
 }

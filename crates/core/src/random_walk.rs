@@ -20,7 +20,7 @@ use crate::eval::FitnessEngine;
 use crate::ga::random_assignment_into;
 use crate::inter::check_fit;
 use crate::placement::Placement;
-use crate::search::{Budget, BudgetMeter, RaceControl, SearchOutcome};
+use crate::search::{Budget, RaceControl, SearchOutcome};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rtm_trace::{AccessSequence, VarId};
@@ -152,7 +152,7 @@ pub fn run_budgeted(
     let vars = seq.liveness().by_first_occurrence();
     check_fit(vars.len(), dbcs, capacity)?;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut meter = BudgetMeter::new(budget);
+    let mut meter = crate::search::meter_for(budget, race);
     let mut best: Option<(Vec<Vec<VarId>>, u64)> = None;
     // Candidate buffers persist across batches: each slot's per-DBC lists
     // (and the shared shuffle scratch) are refilled in place, and only an
@@ -192,13 +192,17 @@ pub fn run_budgeted(
             break;
         }
     }
-    let (lists, cost) = best.expect("at least one batch");
+    let Some((lists, cost)) = best else {
+        unreachable!("the first batch always costs at least one candidate")
+    };
     Ok(SearchOutcome {
         placement: Placement::from_dbc_lists(lists),
         cost,
         evals: meter.evals(),
         evals_at_best: meter.evals_at_best(),
         time_to_best: meter.time_to_best(),
+        elapsed: meter.elapsed(),
+        stop: meter.stop_cause(),
     })
 }
 

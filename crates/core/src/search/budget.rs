@@ -16,6 +16,8 @@
 //! (best-so-far is always available) but bit-reproducibility is only
 //! promised for deterministic budgets (see `DESIGN.md` §8).
 
+use crate::cancel::CancelToken;
+use std::fmt;
 use std::time::{Duration, Instant};
 
 /// Evaluation horizon assumed by [`BudgetMeter::progress`] when the budget
@@ -123,6 +125,44 @@ impl Budget {
     }
 }
 
+/// Why a metered run stopped — the telemetry that distinguishes "hit the
+/// deadline" from "spent the eval budget" from "was cancelled by the
+/// watchdog" (ISSUE 7: deadline overshoot used to be invisible).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// The solver reached a natural fixpoint (e.g. a zero-cost optimum)
+    /// before any budget axis ran out.
+    Finished,
+    /// The evaluation bound was spent.
+    Evals,
+    /// The stall bound was spent (no improvement for `stall_evals`).
+    Stall,
+    /// The wall-clock deadline elapsed.
+    Deadline,
+    /// An attached [`CancelToken`] was cancelled (deadline watchdog or an
+    /// external caller).
+    Cancelled,
+}
+
+impl StopCause {
+    /// Stable lowercase name, used verbatim in the CLI `--json` schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            StopCause::Finished => "finished",
+            StopCause::Evals => "evals",
+            StopCause::Stall => "stall",
+            StopCause::Deadline => "deadline",
+            StopCause::Cancelled => "cancelled",
+        }
+    }
+}
+
+impl fmt::Display for StopCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Runtime state of one solver run against a [`Budget`]: consumed
 /// evaluations, elapsed time, stall counter, and the best-so-far telemetry
 /// (`evals_at_best`, `time_to_best`).
@@ -135,6 +175,9 @@ pub struct BudgetMeter {
     evals_at_best: u64,
     time_at_best: Duration,
     stall: u64,
+    cancel: Option<CancelToken>,
+    #[cfg(feature = "faults")]
+    faults: Option<crate::search::faults::LaneFaults>,
 }
 
 impl BudgetMeter {
@@ -148,7 +191,27 @@ impl BudgetMeter {
             evals_at_best: 0,
             time_at_best: Duration::ZERO,
             stall: 0,
+            cancel: None,
+            #[cfg(feature = "faults")]
+            faults: None,
         }
+    }
+
+    /// Attaches a cancellation token: once it is cancelled, the meter
+    /// reports [`exhausted`](Self::exhausted) at the next check. Checking
+    /// the token never consumes budget or draws randomness, so attaching
+    /// one to a deterministic run cannot perturb its trajectory.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Attaches a deterministic fault schedule for this lane (test-only;
+    /// see [`crate::search::faults`]).
+    #[cfg(feature = "faults")]
+    pub(crate) fn with_faults(mut self, faults: Option<crate::search::faults::LaneFaults>) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// The budget being metered.
@@ -160,6 +223,10 @@ impl BudgetMeter {
     pub fn charge(&mut self, n: u64) {
         self.evals += n;
         self.stall += n;
+        #[cfg(feature = "faults")]
+        if let Some(faults) = self.faults.as_mut() {
+            faults.on_charge(self.evals, self.cancel.as_ref());
+        }
     }
 
     /// Records an observed total cost; returns whether it improves the
@@ -176,11 +243,15 @@ impl BudgetMeter {
         improved
     }
 
-    /// Whether any configured axis of the budget is exhausted.
+    /// Whether any configured axis of the budget is exhausted, or an
+    /// attached [`CancelToken`] has been cancelled.
     ///
     /// The stall axis only applies once a first cost has been observed; the
     /// deadline axis reads the clock, so deterministic budgets never do.
     pub fn exhausted(&self) -> bool {
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return true;
+        }
         if let Some(n) = self.budget.max_evals {
             if self.evals >= n.max(1) {
                 return true;
@@ -242,6 +313,49 @@ impl BudgetMeter {
     /// The best cost noted so far.
     pub fn best(&self) -> Option<u64> {
         self.best
+    }
+
+    /// Wall time elapsed since the meter started — the actual
+    /// elapsed-at-stop when read after the solver loop exits, so telemetry
+    /// can expose deadline overshoot instead of silently absorbing it.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Why the run stopped, judged from the meter's final state.
+    ///
+    /// Priority when several axes are spent at once: a blown deadline
+    /// outranks cancellation (the watchdog cancels *because* of the
+    /// deadline, and "deadline" is the actionable cause), which outranks
+    /// the deterministic axes. A meter with nothing spent reports
+    /// [`StopCause::Finished`] — the solver stopped on its own (e.g. a
+    /// zero-cost optimum).
+    pub fn stop_cause(&self) -> StopCause {
+        if self
+            .budget
+            .deadline
+            .is_some_and(|d| self.start.elapsed() >= d)
+        {
+            return StopCause::Deadline;
+        }
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return StopCause::Cancelled;
+        }
+        if self
+            .budget
+            .max_evals
+            .is_some_and(|n| self.evals >= n.max(1))
+        {
+            return StopCause::Evals;
+        }
+        if self
+            .budget
+            .stall_evals
+            .is_some_and(|s| self.best.is_some() && self.stall >= s.max(1))
+        {
+            return StopCause::Stall;
+        }
+        StopCause::Finished
     }
 }
 
@@ -333,5 +447,46 @@ mod tests {
         assert_eq!(b.max_evals(), Some(20));
         assert_eq!(b.stall_evals(), Some(5));
         assert_eq!(b.deadline(), None);
+    }
+
+    #[test]
+    fn cancellation_exhausts_immediately() {
+        let token = CancelToken::new();
+        let m = BudgetMeter::new(Budget::evals(1_000)).with_cancel(token.clone());
+        assert!(!m.exhausted());
+        assert_eq!(m.stop_cause(), StopCause::Finished);
+        token.cancel();
+        assert!(m.exhausted());
+        assert_eq!(m.stop_cause(), StopCause::Cancelled);
+    }
+
+    #[test]
+    fn stop_cause_names_each_axis() {
+        let mut m = BudgetMeter::new(Budget::evals(2));
+        m.charge(2);
+        assert_eq!(m.stop_cause(), StopCause::Evals);
+
+        let mut m = BudgetMeter::new(Budget::stall(1));
+        m.note_cost(10);
+        m.charge(1);
+        assert_eq!(m.stop_cause(), StopCause::Stall);
+
+        let m = BudgetMeter::new(Budget::wall_clock(Duration::ZERO));
+        assert_eq!(m.stop_cause(), StopCause::Deadline);
+
+        // A blown deadline outranks a cancelled token.
+        let token = CancelToken::new();
+        token.cancel();
+        let m = BudgetMeter::new(Budget::wall_clock(Duration::ZERO)).with_cancel(token);
+        assert_eq!(m.stop_cause(), StopCause::Deadline);
+    }
+
+    #[test]
+    fn stop_cause_names_are_stable() {
+        assert_eq!(StopCause::Finished.name(), "finished");
+        assert_eq!(StopCause::Evals.name(), "evals");
+        assert_eq!(StopCause::Stall.name(), "stall");
+        assert_eq!(StopCause::Deadline.name(), "deadline");
+        assert_eq!(StopCause::Cancelled.to_string(), "cancelled");
     }
 }

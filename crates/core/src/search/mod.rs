@@ -32,22 +32,27 @@
 //! §8 for the full argument.
 
 mod budget;
+#[cfg(feature = "faults")]
+pub mod faults;
 pub mod portfolio;
 pub mod sa;
 pub mod tabu;
 
-pub use budget::{Budget, BudgetMeter};
-pub use portfolio::{LaneOutcome, LaneSpec, Portfolio, PortfolioConfig, PortfolioOutcome};
+pub use budget::{Budget, BudgetMeter, StopCause};
+pub use portfolio::{
+    LaneOutcome, LaneReport, LaneSpec, LaneStatus, Portfolio, PortfolioConfig, PortfolioOutcome,
+};
 pub use sa::{SaConfig, SimulatedAnnealing};
 pub use tabu::{TabuConfig, TabuSearch};
 
+use crate::cancel::CancelToken;
 use crate::eval::{EvalScratch, FitnessEngine};
 use crate::ga::random_assignment;
 use crate::placement::Placement;
 use rand::Rng;
 use rtm_trace::VarId;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Result of one anytime solver run: the best placement found, its cost,
@@ -64,6 +69,11 @@ pub struct SearchOutcome {
     pub evals_at_best: u64,
     /// Wall time from solver start to the first sighting of the best.
     pub time_to_best: Duration,
+    /// Actual wall time from solver start to stop — under a deadline
+    /// budget this exposes the overshoot instead of absorbing it.
+    pub elapsed: Duration,
+    /// Why the run stopped.
+    pub stop: StopCause,
 }
 
 /// One improvement event of a [`Portfolio`] race — the raw material of the
@@ -80,49 +90,85 @@ pub struct RaceEvent {
     pub elapsed: Duration,
 }
 
-/// The shared state of a race: a stop flag, an optional global deadline,
-/// and the best-so-far incumbent with its improvement log.
+/// The shared state of a race: a cancellation token, an optional global
+/// deadline, and the best-so-far incumbent with its improvement log.
 ///
 /// Publishing is lock-free on the fast path (an atomic best-cost check)
 /// and falls back to a mutex only on actual improvements. Lanes never read
 /// the incumbent into their trajectories — see the determinism contract in
 /// the [module docs](self).
+///
+/// Both internal mutexes recover from poison by *taking the data as-is*:
+/// the incumbent record is built completely before being assigned (a panic
+/// cannot tear it) and the event log is append-only, so a lane panicking
+/// mid-publish leaves a valid previous state behind.
 #[derive(Debug)]
 pub struct RaceControl {
-    stop: AtomicBool,
+    cancel: CancelToken,
     deadline: Option<Instant>,
     started: Instant,
     best_cost: AtomicU64,
     best: Mutex<Option<Incumbent>>,
     events: Mutex<Vec<RaceEvent>>,
+    #[cfg(feature = "faults")]
+    faults: Option<faults::FaultPlan>,
 }
 
 /// The incumbent record: `(cost, per-DBC lists, publishing lane)`.
 type Incumbent = (u64, Vec<Vec<VarId>>, usize);
+
+/// Locks one of the race's mutexes, recovering from poison by taking the
+/// data as-is (see the type docs for why that is always valid here).
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 impl RaceControl {
     /// Starts a race now, with an optional global wall-clock deadline.
     pub fn new(deadline: Option<Duration>) -> Self {
         let started = Instant::now();
         Self {
-            stop: AtomicBool::new(false),
+            cancel: CancelToken::new(),
             deadline: deadline.map(|d| started + d),
             started,
             best_cost: AtomicU64::new(u64::MAX),
             best: Mutex::new(None),
             events: Mutex::new(Vec::new()),
+            #[cfg(feature = "faults")]
+            faults: None,
         }
     }
 
-    /// Asks every lane to stop at its next check point.
+    /// Attaches a deterministic fault schedule to the race (test-only).
+    #[cfg(feature = "faults")]
+    pub fn with_faults(mut self, faults: Option<faults::FaultPlan>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The fault schedule for one lane, if any (test-only).
+    #[cfg(feature = "faults")]
+    pub(crate) fn lane_faults(&self, lane: usize) -> Option<faults::LaneFaults> {
+        self.faults.as_ref().map(|p| p.lane_faults(lane))
+    }
+
+    /// Asks every lane to stop at its next check point (cancels the shared
+    /// token, so pool workers and budget meters observe it too).
     pub fn request_stop(&self) {
-        self.stop.store(true, Ordering::Release);
+        self.cancel.cancel();
     }
 
     /// Whether lanes should stop: an explicit request or an expired global
     /// deadline.
     pub fn should_stop(&self) -> bool {
-        self.stop.load(Ordering::Acquire) || self.deadline.is_some_and(|d| Instant::now() >= d)
+        self.cancel.is_cancelled() || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The race's cancellation token — what [`request_stop`]
+    /// (Self::request_stop) cancels, and what lane meters and pool jobs
+    /// poll.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
     }
 
     /// Wall time since the race started.
@@ -136,22 +182,19 @@ impl RaceControl {
         if cost >= self.best_cost.load(Ordering::Acquire) {
             return false;
         }
-        let mut best = self.best.lock().expect("incumbent poisoned");
+        let mut best = lock_recover(&self.best);
         // Re-check under the lock: another lane may have won the race here.
         if best.as_ref().is_some_and(|(c, _, _)| cost >= *c) {
             return false;
         }
         *best = Some((cost, lists.to_vec(), lane));
         self.best_cost.store(cost, Ordering::Release);
-        self.events
-            .lock()
-            .expect("race events poisoned")
-            .push(RaceEvent {
-                lane,
-                cost,
-                lane_evals,
-                elapsed: self.started.elapsed(),
-            });
+        lock_recover(&self.events).push(RaceEvent {
+            lane,
+            cost,
+            lane_evals,
+            elapsed: self.started.elapsed(),
+        });
         true
     }
 
@@ -163,16 +206,14 @@ impl RaceControl {
 
     /// A snapshot of the incumbent placement, if any.
     pub fn best_placement(&self) -> Option<(u64, Placement, usize)> {
-        self.best
-            .lock()
-            .expect("incumbent poisoned")
+        lock_recover(&self.best)
             .as_ref()
             .map(|(c, lists, lane)| (*c, Placement::from_dbc_lists(lists.clone()), *lane))
     }
 
     /// The improvement log so far, in publication order.
     pub fn trace(&self) -> Vec<RaceEvent> {
-        self.events.lock().expect("race events poisoned").clone()
+        lock_recover(&self.events).clone()
     }
 }
 
@@ -181,13 +222,43 @@ pub(crate) type Race<'a> = Option<(&'a RaceControl, usize)>;
 
 /// Whether a race asked this lane to stop (`false` outside a race).
 pub(crate) fn race_stopped(race: Race<'_>) -> bool {
-    race.is_some_and(|(c, _)| c.should_stop())
+    race.is_some_and(|(c, _)| {
+        if c.should_stop() {
+            // Latch the observation into the shared token: sibling lanes and
+            // the pool wind down without waiting for the watchdog's next
+            // poll, and this lane's own meter reads `Cancelled` instead of a
+            // spurious `Finished` (its per-lane clock may be nowhere near
+            // its own deadline when the *race* deadline expires).
+            c.request_stop();
+            true
+        } else {
+            false
+        }
+    })
 }
 
 /// Publishes an improvement to the race, if racing.
 pub(crate) fn race_publish(race: Race<'_>, cost: u64, lists: &[Vec<VarId>], evals: u64) {
     if let Some((control, lane)) = race {
         control.publish(lane, cost, lists, evals);
+    }
+}
+
+/// Builds the lane's budget meter: outside a race a plain meter, inside a
+/// race one wired to the shared cancellation token (and, under
+/// `--features faults`, to the lane's fault schedule). Token checks are
+/// free of budget and randomness, so deterministic trajectories are
+/// unchanged by the wiring.
+pub(crate) fn meter_for(budget: Budget, race: Race<'_>) -> BudgetMeter {
+    let meter = BudgetMeter::new(budget);
+    match race {
+        Some((control, _lane)) => {
+            let meter = meter.with_cancel(control.cancel_token().clone());
+            #[cfg(feature = "faults")]
+            let meter = meter.with_faults(control.lane_faults(_lane));
+            meter
+        }
+        None => meter,
     }
 }
 
@@ -284,7 +355,9 @@ impl Move {
         match self {
             Move::Noop | Move::Transpose { .. } | Move::Exchange { .. } => self.apply(lists),
             Move::Relocate { src, i, dst } => {
-                let v = lists[dst].pop().expect("relocated variable present");
+                let Some(v) = lists[dst].pop() else {
+                    unreachable!("undo without a matching apply");
+                };
                 lists[src].insert(i, v);
             }
         }

@@ -18,8 +18,24 @@
 //! eval split), so the portfolio's best can never lose to any of its lanes
 //! run standalone with the same budget and lane seed — a one-lane
 //! portfolio degenerates to exactly the underlying solver.
+//!
+//! # Fault isolation and the degradation contract
+//!
+//! Every lane body runs under [`std::panic::catch_unwind`]: a panicking
+//! lane is recorded as [`LaneStatus::Panicked`] and the race continues on
+//! the surviving lanes. Under a wall-clock budget a watchdog thread
+//! cancels the race's [`CancelToken`](crate::CancelToken) at the deadline,
+//! which every lane meter, pool worker and injected stall polls
+//! cooperatively — so the portfolio returns within
+//! `deadline + `[`PortfolioConfig::grace`] even when lanes misbehave. If
+//! *every* lane dies the best **published incumbent** is still returned
+//! (as a degraded result, see [`PortfolioOutcome::degraded`]); only when
+//! no lane survived *and* nothing was ever published does
+//! [`Portfolio::run_with_engine`] report
+//! [`PlacementError::NoSurvivingLane`]. `DESIGN.md` §9 states the full
+//! contract.
 
-use super::{Budget, RaceControl, RaceEvent, SaConfig, SearchOutcome, TabuConfig};
+use super::{Budget, RaceControl, RaceEvent, SaConfig, SearchOutcome, StopCause, TabuConfig};
 use super::{SimulatedAnnealing, TabuSearch};
 use crate::error::PlacementError;
 use crate::eval::FitnessEngine;
@@ -27,6 +43,9 @@ use crate::ga::{GaConfig, GeneticPlacer};
 use crate::inter::check_fit;
 use crate::placement::Placement;
 use crate::random_walk;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
 /// One lane kind of a portfolio race.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,11 +101,16 @@ pub struct PortfolioConfig {
     /// Base RNG seed; each lane derives its own stream via
     /// [`lane_seed`](Self::lane_seed).
     pub seed: u64,
+    /// Wind-down allowance after a wall-clock deadline: the contractual
+    /// bound on how long cooperative cancellation may take to propagate
+    /// (lane meters poll per evaluation, injected stalls poll every
+    /// millisecond). A deadline race returns within `deadline + grace`.
+    pub grace: Duration,
 }
 
 impl PortfolioConfig {
     /// The default four-lane race (SA, tabu, GA, random walk) under the
-    /// given per-lane budget, seed `0xF0_2020`.
+    /// given per-lane budget, seed `0xF0_2020`, 250 ms grace.
     pub fn new(budget: Budget) -> Self {
         Self {
             lanes: vec![
@@ -97,6 +121,7 @@ impl PortfolioConfig {
             ],
             budget,
             seed: 0xF0_2020,
+            grace: Duration::from_millis(250),
         }
     }
 
@@ -117,6 +142,12 @@ impl PortfolioConfig {
         self
     }
 
+    /// Returns the config with a different wind-down allowance.
+    pub fn with_grace(mut self, grace: Duration) -> Self {
+        self.grace = grace;
+        self
+    }
+
     /// The deterministic seed of lane `lane`: a splitmix64 finalizer over
     /// `seed ⊕ (lane + 1)`, so lanes draw from independent `ChaCha`
     /// streams. Running a solver standalone with this seed reproduces the
@@ -129,33 +160,127 @@ impl PortfolioConfig {
     }
 }
 
+/// How one lane of a race ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaneStatus {
+    /// The lane ran its budget to completion (evals, stall or zero cost).
+    Completed,
+    /// The lane was stopped by the deadline/cancellation — or never
+    /// started because the deadline fired before a worker claimed it.
+    TimedOut,
+    /// The lane panicked (or failed with a lane-local error) and was
+    /// contained; the payload/message is kept for telemetry.
+    Panicked(String),
+}
+
+impl LaneStatus {
+    /// Stable status name used in reports and the CLI `--json` output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LaneStatus::Completed => "completed",
+            LaneStatus::TimedOut => "timed-out",
+            LaneStatus::Panicked(_) => "panicked",
+        }
+    }
+}
+
+impl std::fmt::Display for LaneStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// The finished state of one lane.
 #[derive(Debug, Clone)]
 pub struct LaneOutcome {
     /// Which solver ran in this lane.
     pub spec: LaneSpec,
-    /// The lane's best result and telemetry.
-    pub outcome: SearchOutcome,
+    /// How the lane ended.
+    pub status: LaneStatus,
+    /// The lane's best result and telemetry — `None` when the lane
+    /// panicked or never ran.
+    pub outcome: Option<SearchOutcome>,
+}
+
+/// A flat per-lane summary for reports (the CLI `--json` `lanes` array).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneReport {
+    /// Stable lane name ([`LaneSpec::name`]).
+    pub name: &'static str,
+    /// How the lane ended.
+    pub status: LaneStatus,
+    /// The lane's best cost, if it produced a result.
+    pub cost: Option<u64>,
+    /// Evaluations the lane consumed (0 when it produced no result).
+    pub evals: u64,
 }
 
 /// Result of a portfolio race.
 #[derive(Debug, Clone)]
 pub struct PortfolioOutcome {
     /// Index (into `lanes`) of the winning lane — lowest cost, earliest
-    /// lane on ties.
+    /// lane on ties. In a degraded race this is the lane that published
+    /// the surviving incumbent.
     pub winner: usize,
+    /// The best result of the race: the winning lane's outcome, or — when
+    /// every lane died — a result synthesized from the published
+    /// incumbent (see [`degraded`](Self::degraded)).
+    pub best: SearchOutcome,
     /// Every lane's outcome, in lane order.
     pub lanes: Vec<LaneOutcome>,
     /// The incumbent's improvement log (the time-to-best trace).
     pub trace: Vec<RaceEvent>,
-    /// Evaluations summed over all lanes.
+    /// Evaluations summed over all lanes that produced a result.
     pub total_evals: u64,
+    /// Wall time of the whole race.
+    pub elapsed: Duration,
 }
 
 impl PortfolioOutcome {
-    /// The winning lane's outcome.
+    /// The race's best result (see the [`best`](Self::best) field).
     pub fn best(&self) -> &SearchOutcome {
-        &self.lanes[self.winner].outcome
+        &self.best
+    }
+
+    /// Whether the result is degraded: no lane survived to report an
+    /// outcome, and `best` was recovered from the shared incumbent. The
+    /// placement is still valid and the best ever published.
+    pub fn degraded(&self) -> bool {
+        self.lanes[self.winner].outcome.is_none()
+    }
+
+    /// Flat per-lane summaries, in lane order.
+    pub fn lane_reports(&self) -> Vec<LaneReport> {
+        self.lanes
+            .iter()
+            .map(|l| LaneReport {
+                name: l.spec.name(),
+                status: l.status.clone(),
+                cost: l.outcome.as_ref().map(|o| o.cost),
+                evals: l.outcome.as_ref().map_or(0, |o| o.evals),
+            })
+            .collect()
+    }
+}
+
+/// Internal per-lane slot filled by the pool job (one per lane).
+enum LaneSlot {
+    /// The deadline fired before a worker claimed the lane.
+    NotRun,
+    /// The lane returned (its own `Ok`/`Err`).
+    Finished(Result<SearchOutcome, PlacementError>),
+    /// The lane panicked; the payload message was captured.
+    Panicked(String),
+}
+
+/// Renders a `catch_unwind` payload for telemetry.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -164,6 +289,8 @@ impl PortfolioOutcome {
 pub struct Portfolio {
     config: PortfolioConfig,
     subarrays: usize,
+    #[cfg(feature = "faults")]
+    faults: Option<super::faults::FaultPlan>,
 }
 
 impl Portfolio {
@@ -172,6 +299,8 @@ impl Portfolio {
         Self {
             config,
             subarrays: 1,
+            #[cfg(feature = "faults")]
+            faults: None,
         }
     }
 
@@ -181,8 +310,18 @@ impl Portfolio {
         self
     }
 
+    /// Attaches a deterministic fault-injection schedule (test-only; see
+    /// [`crate::search::faults`]).
+    #[cfg(feature = "faults")]
+    pub fn with_faults(mut self, faults: super::faults::FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Races the configured lanes on the engine's worker pool; blocks
-    /// until every lane has exhausted the budget (or the deadline fired).
+    /// until every lane has exhausted the budget, panicked, or the
+    /// deadline fired (plus the cooperative wind-down, bounded by
+    /// [`PortfolioConfig::grace`]).
     ///
     /// `seeds` are candidate start placements handed to every lane (the
     /// heuristic solutions, when called through
@@ -190,8 +329,10 @@ impl Portfolio {
     ///
     /// # Errors
     ///
-    /// Returns [`PlacementError`] if the variables cannot fit the geometry
-    /// or the configuration has no lanes.
+    /// Returns [`PlacementError`] if the variables cannot fit the
+    /// geometry, the configuration has no lanes, or — the only failure a
+    /// *running* race can produce — every lane died before publishing an
+    /// incumbent ([`PlacementError::NoSurvivingLane`]).
     pub fn run_with_engine(
         &self,
         engine: &FitnessEngine<'_>,
@@ -205,6 +346,8 @@ impl Portfolio {
         let seq = engine.seq();
         check_fit(seq.liveness().by_first_occurrence().len(), dbcs, capacity)?;
         let control = RaceControl::new(self.config.budget.deadline());
+        #[cfg(feature = "faults")]
+        let control = control.with_faults(self.faults.clone());
         // Lanes are coarse work items on the engine's shared pool: lane
         // threads and any batch-evaluation fan-out *inside* a lane (the GA
         // generations, the random walk's candidate batches) draw from one
@@ -212,35 +355,147 @@ impl Portfolio {
         // lane writes only its own slot and is a pure function of its
         // `(seed, budget)` pair, so results are independent of worker
         // count and steal schedule (`DESIGN.md` §8).
-        let mut slots: Vec<Option<Result<SearchOutcome, PlacementError>>> =
-            self.config.lanes.iter().map(|_| None).collect();
-        engine.pool().run(
-            &mut slots,
-            || (),
-            |(), lane, slot| {
-                let spec = self.config.lanes[lane];
-                *slot = Some(self.run_lane(spec, (&control, lane), engine, dbcs, capacity, seeds));
-            },
-        );
+        let mut slots: Vec<LaneSlot> = self.config.lanes.iter().map(|_| LaneSlot::NotRun).collect();
+        let finished = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            // The watchdog exists only for wall-clock budgets: it turns
+            // the deadline into a cancellation every lane polls, so even a
+            // lane that stopped charging evaluations (e.g. an injected
+            // stall) is reclaimed. Deterministic (eval/stall) budgets
+            // never spawn it, so their trajectories see no new
+            // synchronization.
+            if self.config.budget.deadline().is_some() {
+                let control = &control;
+                let finished = &finished;
+                s.spawn(move || {
+                    while !finished.load(Ordering::Acquire) {
+                        if control.should_stop() {
+                            control.request_stop();
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                });
+            }
+            engine.pool().run_with_cancel(
+                &mut slots,
+                Some(control.cancel_token()),
+                || (),
+                |(), lane, slot| {
+                    let spec = self.config.lanes[lane];
+                    // Panic containment: a lane that unwinds is recorded
+                    // and the race continues. The closure only touches the
+                    // shared engine caches (poison-recovering), the race
+                    // control (poison-recovering) and this lane's slot, so
+                    // broken invariants cannot leak across the boundary.
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        self.run_lane(spec, (&control, lane), engine, dbcs, capacity, seeds)
+                    }));
+                    *slot = match result {
+                        Ok(res) => LaneSlot::Finished(res),
+                        Err(payload) => LaneSlot::Panicked(panic_message(payload.as_ref())),
+                    };
+                },
+            );
+            finished.store(true, Ordering::Release);
+        });
+        // A near-zero deadline can cancel the pool before any worker
+        // claims a lane. The portfolio must still report a placement, so
+        // run the first lane inline once: every solver returns its best
+        // even under an already-expired meter.
+        if slots.iter().all(|slot| matches!(slot, LaneSlot::NotRun)) {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                self.run_lane(
+                    self.config.lanes[0],
+                    (&control, 0),
+                    engine,
+                    dbcs,
+                    capacity,
+                    seeds,
+                )
+            }));
+            slots[0] = match result {
+                Ok(res) => LaneSlot::Finished(res),
+                Err(payload) => LaneSlot::Panicked(panic_message(payload.as_ref())),
+            };
+        }
+
         let mut lanes = Vec::with_capacity(slots.len());
         for (spec, slot) in self.config.lanes.iter().zip(slots) {
+            let (status, outcome) = match slot {
+                LaneSlot::NotRun => (LaneStatus::TimedOut, None),
+                LaneSlot::Panicked(msg) => (LaneStatus::Panicked(msg), None),
+                LaneSlot::Finished(Err(e)) => {
+                    (LaneStatus::Panicked(format!("lane failed: {e}")), None)
+                }
+                LaneSlot::Finished(Ok(out)) => {
+                    let status = match out.stop {
+                        StopCause::Deadline | StopCause::Cancelled => LaneStatus::TimedOut,
+                        _ => LaneStatus::Completed,
+                    };
+                    (status, Some(out))
+                }
+            };
             lanes.push(LaneOutcome {
                 spec: *spec,
-                outcome: slot.expect("every lane slot filled")?,
+                status,
+                outcome,
             });
         }
-        let winner = lanes
+
+        // Winner: lowest cost over the surviving lanes, earliest on ties.
+        let mut winner_best: Option<(usize, SearchOutcome)> = None;
+        for (i, lane) in lanes.iter().enumerate() {
+            if let Some(out) = &lane.outcome {
+                if winner_best.as_ref().is_none_or(|(_, b)| out.cost < b.cost) {
+                    winner_best = Some((i, out.clone()));
+                }
+            }
+        }
+        let trace = control.trace();
+        let (winner, best) = match winner_best {
+            Some(pair) => pair,
+            None => {
+                // Degraded path: no lane survived, but the shared
+                // incumbent may still hold the best placement any lane
+                // published before dying. Synthesize its telemetry from
+                // the improvement log (its last event *is* the incumbent:
+                // costs strictly decrease).
+                let Some((cost, placement, lane)) = control.best_placement() else {
+                    return Err(PlacementError::NoSurvivingLane {
+                        lanes: self
+                            .config
+                            .lanes
+                            .iter()
+                            .map(|spec| spec.name().to_string())
+                            .collect(),
+                    });
+                };
+                let event = trace.last();
+                let best = SearchOutcome {
+                    placement,
+                    cost,
+                    evals: event.map_or(0, |e| e.lane_evals),
+                    evals_at_best: event.map_or(0, |e| e.lane_evals),
+                    time_to_best: event.map_or(Duration::ZERO, |e| e.elapsed),
+                    elapsed: control.elapsed(),
+                    stop: StopCause::Cancelled,
+                };
+                (lane, best)
+            }
+        };
+        let total_evals = lanes
             .iter()
-            .enumerate()
-            .min_by_key(|(i, l)| (l.outcome.cost, *i))
-            .map(|(i, _)| i)
-            .expect("at least one lane");
-        let total_evals = lanes.iter().map(|l| l.outcome.evals).sum();
+            .filter_map(|l| l.outcome.as_ref())
+            .map(|o| o.evals)
+            .sum();
         Ok(PortfolioOutcome {
             winner,
+            best,
             lanes,
-            trace: control.trace(),
+            trace,
             total_evals,
+            elapsed: control.elapsed(),
         })
     }
 
@@ -257,6 +512,14 @@ impl Portfolio {
     ) -> Result<SearchOutcome, PlacementError> {
         let seed = self.config.lane_seed(race.1);
         let budget = self.config.budget;
+        #[cfg(feature = "faults")]
+        if race
+            .0
+            .lane_faults(race.1)
+            .is_some_and(|f| f.poisons_caches())
+        {
+            engine.poison_caches();
+        }
         let race = Some(race);
         match spec {
             LaneSpec::Sa => SimulatedAnnealing::new(SaConfig::new(budget).with_seed(seed))
@@ -276,6 +539,8 @@ impl Portfolio {
                     evals: out.evaluations as u64,
                     evals_at_best: out.evals_at_best as u64,
                     time_to_best: out.time_to_best,
+                    elapsed: out.elapsed,
+                    stop: out.stop,
                 })
             }
             LaneSpec::RandomWalk => {
@@ -334,6 +599,14 @@ mod tests {
     }
 
     #[test]
+    fn lane_status_names_are_stable() {
+        assert_eq!(LaneStatus::Completed.name(), "completed");
+        assert_eq!(LaneStatus::TimedOut.name(), "timed-out");
+        assert_eq!(LaneStatus::Panicked("boom".into()).name(), "panicked");
+        assert_eq!(LaneStatus::Completed.to_string(), "completed");
+    }
+
+    #[test]
     fn winner_is_the_min_cost_earliest_lane() {
         let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
         let (engine, seeds) = engine_and_seeds(&seq, 2, 512);
@@ -342,18 +615,41 @@ mod tests {
             .run_with_engine(&engine, 2, 512, &seeds)
             .unwrap();
         assert_eq!(out.lanes.len(), 4);
-        let min = out.lanes.iter().map(|l| l.outcome.cost).min().unwrap();
-        assert_eq!(out.best().cost, min);
-        let first_min = out
+        assert!(!out.degraded());
+        let costs: Vec<u64> = out
             .lanes
             .iter()
-            .position(|l| l.outcome.cost == min)
-            .unwrap();
+            .map(|l| l.outcome.as_ref().unwrap().cost)
+            .collect();
+        let min = *costs.iter().min().unwrap();
+        assert_eq!(out.best().cost, min);
+        let first_min = costs.iter().position(|&c| c == min).unwrap();
         assert_eq!(out.winner, first_min);
         assert_eq!(
             out.total_evals,
-            out.lanes.iter().map(|l| l.outcome.evals).sum::<u64>()
+            out.lanes
+                .iter()
+                .map(|l| l.outcome.as_ref().unwrap().evals)
+                .sum::<u64>()
         );
+    }
+
+    #[test]
+    fn eval_budget_lanes_report_completed() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let (engine, seeds) = engine_and_seeds(&seq, 2, 512);
+        let cfg = PortfolioConfig::new(Budget::evals(200)).with_seed(7);
+        let out = Portfolio::new(cfg)
+            .run_with_engine(&engine, 2, 512, &seeds)
+            .unwrap();
+        let reports = out.lane_reports();
+        assert_eq!(reports.len(), 4);
+        for (report, lane) in reports.iter().zip(&out.lanes) {
+            assert_eq!(report.status, LaneStatus::Completed, "{} lane", report.name);
+            assert_eq!(report.name, lane.spec.name());
+            assert_eq!(report.cost, lane.outcome.as_ref().map(|o| o.cost));
+            assert_eq!(report.evals, lane.outcome.as_ref().unwrap().evals);
+        }
     }
 
     #[test]
@@ -370,9 +666,11 @@ mod tests {
         assert_eq!(a.winner, b.winner);
         assert_eq!(a.total_evals, b.total_evals);
         for (x, y) in a.lanes.iter().zip(&b.lanes) {
-            assert_eq!(x.outcome.cost, y.outcome.cost, "{} lane", x.spec);
-            assert_eq!(x.outcome.placement, y.outcome.placement);
-            assert_eq!(x.outcome.evals, y.outcome.evals);
+            let (xo, yo) = (x.outcome.as_ref().unwrap(), y.outcome.as_ref().unwrap());
+            assert_eq!(xo.cost, yo.cost, "{} lane", x.spec);
+            assert_eq!(xo.placement, yo.placement);
+            assert_eq!(xo.evals, yo.evals);
+            assert_eq!(x.status, y.status);
         }
     }
 
@@ -416,9 +714,21 @@ mod tests {
             .unwrap();
         out.best().placement.validate(&seq, 512).unwrap();
         assert_eq!(engine.shift_cost(&out.best().placement), out.best().cost);
+        assert!(out.elapsed >= out.best().time_to_best);
         // The incumbent trace is consistent: costs strictly decrease.
         for w in out.trace.windows(2) {
             assert!(w[1].cost < w[0].cost);
         }
+    }
+
+    #[test]
+    fn zero_deadline_still_reports_a_placement() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let (engine, seeds) = engine_and_seeds(&seq, 2, 512);
+        let cfg = PortfolioConfig::new(Budget::wall_clock(Duration::ZERO));
+        let out = Portfolio::new(cfg)
+            .run_with_engine(&engine, 2, 512, &seeds)
+            .unwrap();
+        out.best().placement.validate(&seq, 512).unwrap();
     }
 }

@@ -35,7 +35,7 @@
 //!   ([`exp_neg`]), not the platform `exp`.
 
 use super::{
-    choose_start, race_publish, race_stopped, Budget, BudgetMeter, Move, Neighborhood, Race,
+    choose_start, meter_for, race_publish, race_stopped, Budget, Move, Neighborhood, Race,
     SearchOutcome,
 };
 use crate::error::PlacementError;
@@ -152,7 +152,7 @@ impl SimulatedAnnealing {
         let seq = engine.seq();
         check_fit(seq.liveness().by_first_occurrence().len(), dbcs, capacity)?;
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
-        let mut meter = BudgetMeter::new(self.config.budget);
+        let mut meter = meter_for(self.config.budget, race);
         let mut state = choose_start(engine, dbcs, capacity, seeds, &mut rng, &mut meter);
         let mut best = (state.lists.clone(), state.total);
         race_publish(race, best.1, &best.0, meter.evals());
@@ -232,6 +232,8 @@ impl SimulatedAnnealing {
             evals: meter.evals(),
             evals_at_best: meter.evals_at_best(),
             time_to_best: meter.time_to_best(),
+            elapsed: meter.elapsed(),
+            stop: meter.stop_cause(),
         })
     }
 }

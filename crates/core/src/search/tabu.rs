@@ -20,7 +20,7 @@
 //! toward the earliest sample.
 
 use super::{
-    choose_start, race_publish, race_stopped, Budget, BudgetMeter, Move, Neighborhood, Race,
+    choose_start, meter_for, race_publish, race_stopped, Budget, Move, Neighborhood, Race,
     SearchOutcome,
 };
 use crate::error::PlacementError;
@@ -128,7 +128,7 @@ impl TabuSearch {
         let seq = engine.seq();
         check_fit(seq.liveness().by_first_occurrence().len(), dbcs, capacity)?;
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
-        let mut meter = BudgetMeter::new(self.config.budget);
+        let mut meter = meter_for(self.config.budget, race);
         let mut state = choose_start(engine, dbcs, capacity, seeds, &mut rng, &mut meter);
         let mut best = (state.lists.clone(), state.total);
         race_publish(race, best.1, &best.0, meter.evals());
@@ -199,6 +199,8 @@ impl TabuSearch {
             evals: meter.evals(),
             evals_at_best: meter.evals_at_best(),
             time_to_best: meter.time_to_best(),
+            elapsed: meter.elapsed(),
+            stop: meter.stop_cause(),
         })
     }
 
@@ -211,10 +213,10 @@ impl TabuSearch {
         match m {
             Move::Noop => [None, None],
             Move::Transpose { d, i, j } => [Some(pair_key(lists[d][i], lists[d][j])), None],
-            Move::Relocate { dst, .. } => {
-                let v = *lists[dst].last().expect("relocated variable at tail");
-                [Some(into_key(v, dst)), None]
-            }
+            Move::Relocate { dst, .. } => match lists[dst].last() {
+                Some(&v) => [Some(into_key(v, dst)), None],
+                None => [None, None],
+            },
             Move::Exchange { a, i, b, j } => [
                 Some(into_key(lists[a][i], a)),
                 Some(into_key(lists[b][j], b)),
@@ -230,10 +232,10 @@ impl TabuSearch {
             // Re-swapping the same pair undoes a transposition.
             Move::Transpose { d, i, j } => [Some(pair_key(lists[d][i], lists[d][j])), None],
             // Don't move the variable back into its source DBC.
-            Move::Relocate { src, dst, .. } => {
-                let v = *lists[dst].last().expect("relocated variable at tail");
-                [Some(into_key(v, src)), None]
-            }
+            Move::Relocate { src, dst, .. } => match lists[dst].last() {
+                Some(&v) => [Some(into_key(v, src)), None],
+                None => [None, None],
+            },
             // Don't send either variable back where it came from.
             Move::Exchange { a, i, b, j } => [
                 Some(into_key(lists[a][i], b)),

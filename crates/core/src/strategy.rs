@@ -6,8 +6,8 @@ use crate::inter::{Afd, Dma, InterHeuristic};
 use crate::intra::{Chen, IntraHeuristic, Ofu, ShiftsReduce};
 use crate::placement::Placement;
 use crate::random_walk::{self, RandomWalkConfig};
-use crate::search::{Portfolio, PortfolioConfig, SaConfig, SimulatedAnnealing};
-use crate::search::{TabuConfig, TabuSearch};
+use crate::search::{LaneReport, Portfolio, PortfolioConfig, SaConfig, SimulatedAnnealing};
+use crate::search::{StopCause, TabuConfig, TabuSearch};
 use rtm_arch::ArrayGeometry;
 use rtm_trace::{AccessSequence, VarId};
 use std::fmt;
@@ -252,6 +252,15 @@ pub struct Solution {
     /// Wall time from search start to the first sighting of the returned
     /// placement (zero for the deterministic heuristics).
     pub time_to_best: Duration,
+    /// Total wall time of the solving strategy (zero for the
+    /// deterministic heuristics).
+    pub elapsed: Duration,
+    /// Why the strategy stopped ([`StopCause::Finished`] for the
+    /// deterministic heuristics and fixed-iteration searches).
+    pub stop: StopCause,
+    /// Per-lane telemetry, non-empty only for `Portfolio` (name, status,
+    /// cost, evals of every raced lane).
+    pub lanes: Vec<LaneReport>,
 }
 
 impl Solution {
@@ -417,6 +426,9 @@ impl PlacementProblem {
     pub fn solve(&self, strategy: &Strategy) -> Result<Solution, PlacementError> {
         let mut evals_consumed = 0u64;
         let mut time_to_best = Duration::ZERO;
+        let mut elapsed = Duration::ZERO;
+        let mut stop = StopCause::Finished;
+        let mut lanes = Vec::new();
         let placement = match strategy {
             Strategy::AfdNative => {
                 Placement::from_dbc_lists(Afd.distribute(&self.seq, self.dbcs, self.capacity)?)
@@ -437,6 +449,8 @@ impl PlacementProblem {
                     .run_with_engine(&engine, self.dbcs, self.capacity, &seeds)?;
                 evals_consumed = out.evaluations as u64;
                 time_to_best = out.time_to_best;
+                elapsed = out.elapsed;
+                stop = out.stop;
                 out.best
             }
             Strategy::RandomWalk(cfg) => {
@@ -453,6 +467,8 @@ impl PlacementProblem {
                 )?;
                 evals_consumed = out.evals;
                 time_to_best = out.time_to_best;
+                elapsed = out.elapsed;
+                stop = out.stop;
                 out.placement
             }
             Strategy::Sa(cfg) => {
@@ -463,6 +479,8 @@ impl PlacementProblem {
                     .run_with_engine(&engine, self.dbcs, self.capacity, &seeds)?;
                 evals_consumed = out.evals;
                 time_to_best = out.time_to_best;
+                elapsed = out.elapsed;
+                stop = out.stop;
                 out.placement
             }
             Strategy::Tabu(cfg) => {
@@ -473,6 +491,8 @@ impl PlacementProblem {
                     .run_with_engine(&engine, self.dbcs, self.capacity, &seeds)?;
                 evals_consumed = out.evals;
                 time_to_best = out.time_to_best;
+                elapsed = out.elapsed;
+                stop = out.stop;
                 out.placement
             }
             Strategy::Portfolio(cfg) => {
@@ -483,6 +503,9 @@ impl PlacementProblem {
                     .run_with_engine(&engine, self.dbcs, self.capacity, &seeds)?;
                 evals_consumed = out.total_evals;
                 time_to_best = out.best().time_to_best;
+                elapsed = out.elapsed;
+                stop = out.best().stop;
+                lanes = out.lane_reports();
                 out.best().placement.clone()
             }
         };
@@ -496,6 +519,9 @@ impl PlacementProblem {
             per_dbc_shifts,
             evals_consumed,
             time_to_best,
+            elapsed,
+            stop,
+            lanes,
         })
     }
 

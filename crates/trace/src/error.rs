@@ -8,6 +8,7 @@ use std::fmt;
 pub struct ParseTraceError {
     kind: ParseTraceErrorKind,
     line: usize,
+    column: usize,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,13 +22,20 @@ pub(crate) enum ParseTraceErrorKind {
 }
 
 impl ParseTraceError {
-    pub(crate) fn new(kind: ParseTraceErrorKind, line: usize) -> Self {
-        Self { kind, line }
+    pub(crate) fn new(kind: ParseTraceErrorKind, line: usize, column: usize) -> Self {
+        Self { kind, line, column }
     }
 
-    /// 1-based line number at which the error occurred (0 for single-line input).
+    /// 1-based line number at which the error occurred (0 when the error
+    /// has no position, e.g. an empty trace).
     pub fn line(&self) -> usize {
         self.line
+    }
+
+    /// 1-based byte column of the offending token within its line (0 when
+    /// the error has no position).
+    pub fn column(&self) -> usize {
+        self.column
     }
 }
 
@@ -41,7 +49,11 @@ impl fmt::Display for ParseTraceError {
             ParseTraceErrorKind::EmptySequence => write!(f, "trace contains no accesses"),
         }?;
         if self.line > 0 {
-            write!(f, " (line {})", self.line)?;
+            if self.column > 0 {
+                write!(f, " (line {}, column {})", self.line, self.column)?;
+            } else {
+                write!(f, " (line {})", self.line)?;
+            }
         }
         Ok(())
     }
@@ -54,16 +66,24 @@ mod tests {
     use super::*;
 
     #[test]
-    fn display_mentions_line() {
-        let e = ParseTraceError::new(ParseTraceErrorKind::EmptyVariable, 3);
-        assert_eq!(e.to_string(), "empty variable name (line 3)");
+    fn display_mentions_position() {
+        let e = ParseTraceError::new(ParseTraceErrorKind::EmptyVariable, 3, 5);
+        assert_eq!(e.to_string(), "empty variable name (line 3, column 5)");
         assert_eq!(e.line(), 3);
+        assert_eq!(e.column(), 5);
+    }
+
+    #[test]
+    fn display_without_column() {
+        let e = ParseTraceError::new(ParseTraceErrorKind::EmptyVariable, 3, 0);
+        assert_eq!(e.to_string(), "empty variable name (line 3)");
     }
 
     #[test]
     fn display_without_line() {
-        let e = ParseTraceError::new(ParseTraceErrorKind::EmptySequence, 0);
+        let e = ParseTraceError::new(ParseTraceErrorKind::EmptySequence, 0, 0);
         assert_eq!(e.to_string(), "trace contains no accesses");
+        assert_eq!(e.column(), 0);
     }
 
     #[test]

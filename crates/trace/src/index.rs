@@ -54,7 +54,9 @@ impl PositionIndex {
     /// Panics if the stream has more than `u32::MAX` accesses, or contains
     /// a variable with index `>= vars`.
     pub fn of_accesses(accesses: &[VarId], vars: usize) -> Self {
-        let len = u32::try_from(accesses.len()).expect("trace longer than u32::MAX accesses");
+        let Ok(len) = u32::try_from(accesses.len()) else {
+            panic!("trace longer than u32::MAX accesses")
+        };
         // Counting sort by variable: prefix sums give each variable's slice.
         let mut starts = vec![0u32; vars + 1];
         for &v in accesses {

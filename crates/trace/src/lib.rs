@@ -34,6 +34,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library paths report through `ParseTraceError` instead of panicking;
+// `unwrap`/`expect` are allowed only in test modules (`DESIGN.md` §9). CI
+// promotes these to errors with `-D warnings`.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod error;
 mod graph;

@@ -62,15 +62,19 @@ impl AccessSequence {
     /// # Errors
     ///
     /// Returns [`ParseTraceError`] if a token has an unknown suffix, a name
-    /// is empty, or the trace contains no accesses at all.
+    /// is empty, or the trace contains no accesses at all. Errors carry the
+    /// 1-based line and byte column of the offending token; parsing never
+    /// panics, for any byte string.
     pub fn parse(text: &str) -> Result<Self, ParseTraceError> {
         let mut builder = SequenceBuilder::new();
         for (lineno, line) in text.lines().enumerate() {
-            let line = line.trim();
-            if line.is_empty() || line.starts_with('#') {
+            if line.trim_start().starts_with('#') {
                 continue;
             }
             for tok in line.split_whitespace() {
+                // Tokens are subslices of `line`, so their byte offset —
+                // the reported column — is plain pointer distance.
+                let column = tok.as_ptr() as usize - line.as_ptr() as usize + 1;
                 let (name, kind) = match tok.rsplit_once(':') {
                     Some((n, "r")) => (n, AccessKind::Read),
                     Some((n, "w")) => (n, AccessKind::Write),
@@ -78,6 +82,7 @@ impl AccessSequence {
                         return Err(ParseTraceError::new(
                             ParseTraceErrorKind::BadAccessKind(tok.to_owned()),
                             lineno + 1,
+                            column,
                         ))
                     }
                     None => (tok, AccessKind::Read),
@@ -86,13 +91,18 @@ impl AccessSequence {
                     return Err(ParseTraceError::new(
                         ParseTraceErrorKind::EmptyVariable,
                         lineno + 1,
+                        column,
                     ));
                 }
                 builder.access_named(name, kind);
             }
         }
         if builder.is_empty() {
-            return Err(ParseTraceError::new(ParseTraceErrorKind::EmptySequence, 0));
+            return Err(ParseTraceError::new(
+                ParseTraceErrorKind::EmptySequence,
+                0,
+                0,
+            ));
         }
         Ok(builder.finish())
     }
@@ -300,6 +310,16 @@ mod tests {
     fn parse_rejects_bad_kind() {
         let err = AccessSequence::parse("x:q").unwrap_err();
         assert!(err.to_string().contains("x:q"));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_column() {
+        let err = AccessSequence::parse("a b\n  c x:q").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert_eq!(err.column(), 5); // byte column of `x:q` in "  c x:q"
+        assert!(err.to_string().contains("(line 2, column 5)"));
+        let err = AccessSequence::parse("ok\n:w").unwrap_err();
+        assert_eq!((err.line(), err.column()), (2, 1));
     }
 
     #[test]

@@ -24,8 +24,15 @@ impl VarId {
     ///
     /// Mostly useful in tests and generators; in normal use ids come from a
     /// [`VarTable`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
     pub fn from_index(index: usize) -> Self {
-        VarId(u32::try_from(index).expect("variable index exceeds u32::MAX"))
+        let Ok(raw) = u32::try_from(index) else {
+            panic!("variable index {index} exceeds u32::MAX")
+        };
+        VarId(raw)
     }
 
     /// The dense index of this variable.

@@ -48,9 +48,10 @@ pub use rtm_trace as trace;
 pub use rtm_arch::{ArrayGeometry, MemoryParams, RtmGeometry, ScalingModel, SubarrayGeometry};
 pub use rtm_offsetstone::{stress_suite, suite, Benchmark, GeneratorConfig};
 pub use rtm_placement::{
-    Budget, CostModel, FitnessEngine, GaConfig, GeneticPlacer, LaneSpec, Placement,
-    PlacementProblem, Portfolio, PortfolioConfig, PortfolioOutcome, RandomWalkConfig, SaConfig,
-    SearchOutcome, SimulatedAnnealing, Solution, Strategy, StrategyKind, TabuConfig, TabuSearch,
+    Budget, CancelToken, CostModel, FitnessEngine, GaConfig, GeneticPlacer, LaneOutcome,
+    LaneReport, LaneSpec, LaneStatus, Placement, PlacementError, PlacementProblem, Portfolio,
+    PortfolioConfig, PortfolioOutcome, RandomWalkConfig, RtmError, SaConfig, SearchOutcome,
+    SimulatedAnnealing, Solution, StopCause, Strategy, StrategyKind, TabuConfig, TabuSearch,
 };
 pub use rtm_sim::{SimStats, Simulator};
 pub use rtm_trace::{AccessSequence, SequenceBuilder, VarId, VarTable};

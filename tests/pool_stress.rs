@@ -155,6 +155,40 @@ fn panic_storms_never_wedge_or_leak() {
 }
 
 #[test]
+fn concurrent_panic_storms_poison_nothing_durably() {
+    // Unlike the single-panic rounds above, every fourth item panics here,
+    // so several workers unwind *concurrently* while holding deque locks —
+    // the poisoned-mutex recovery path, not just token cleanup. After each
+    // storm both plain and cancellable submissions must complete exactly.
+    let pool = WorkerPool::new(4);
+    for round in 0..10 {
+        let mut items: Vec<usize> = (0..64).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(
+                &mut items,
+                || (),
+                |_, i, _| {
+                    if i % 4 == round % 4 {
+                        panic!("concurrent storm {round}");
+                    }
+                    let _ = crunch(i);
+                },
+            );
+        }));
+        assert!(result.is_err(), "round {round}: panic swallowed");
+        assert_eq!(pool.active(), 0, "round {round}: tokens leaked");
+
+        // Post-panic submissions complete bit-exactly on the same pool.
+        let mut ok: Vec<u64> = vec![0; 48];
+        pool.run(&mut ok, || (), |_, i, slot| *slot = crunch(i));
+        assert!(ok.iter().enumerate().all(|(i, &v)| v == crunch(i)));
+        let mut ok: Vec<u64> = vec![0; 48];
+        pool.run_with_cancel(&mut ok, None, || (), |_, i, slot| *slot = crunch(i));
+        assert!(ok.iter().enumerate().all(|(i, &v)| v == crunch(i)));
+    }
+}
+
+#[test]
 fn per_worker_contexts_are_isolated() {
     let pool = WorkerPool::new(4);
     // Each worker accumulates into its own context; the per-item results

@@ -182,6 +182,30 @@ proptest! {
         prop_assert!(rw.placement.validate(&seq, capacity).is_ok());
     }
 
+    /// `AccessSequence::parse` never panics, for any byte string: it
+    /// either produces a sequence or a structured [`ParseTraceError`]
+    /// carrying the 1-based line and column of the offending token
+    /// (DESIGN.md §9 — library code must not panic on user input).
+    #[test]
+    fn parse_never_panics_on_arbitrary_bytes(bytes in vec(any::<u8>(), 0..256)) {
+        let text = String::from_utf8_lossy(&bytes);
+        match AccessSequence::parse(&text) {
+            Ok(seq) => prop_assert!(!seq.is_empty(), "parse accepted an empty trace"),
+            Err(e) => {
+                // Position telemetry: a diagnosable token has a line and a
+                // column; only the whole-input EmptySequence case has none.
+                let msg = e.to_string();
+                prop_assert!(!msg.is_empty());
+                if e.line() > 0 {
+                    let mentions_line = msg.contains(&format!("line {}", e.line()));
+                    prop_assert!(mentions_line, "no position in: {}", msg);
+                } else {
+                    prop_assert_eq!(e.column(), 0, "column without a line");
+                }
+            }
+        }
+    }
+
     /// Trace round-trips through its textual format.
     #[test]
     fn trace_text_roundtrip(seq in arb_trace(20, 100)) {

@@ -115,6 +115,8 @@ fn portfolio_lanes_match_standalone_solvers_bit_for_bit() {
                         evals: out.evaluations as u64,
                         evals_at_best: out.evals_at_best as u64,
                         time_to_best: out.time_to_best,
+                        elapsed: out.elapsed,
+                        stop: out.stop,
                     }
                 }
                 LaneSpec::RandomWalk => random_walk::run_budgeted(
@@ -127,20 +129,25 @@ fn portfolio_lanes_match_standalone_solvers_bit_for_bit() {
                 )
                 .unwrap(),
             };
+            let raced = outcome
+                .outcome
+                .as_ref()
+                .expect("eval-budget lane completed");
             assert_eq!(
-                outcome.outcome.cost, solo.cost,
+                raced.cost, solo.cost,
                 "{} lane diverged from the standalone solver",
                 outcome.spec
             );
-            assert_eq!(
-                outcome.outcome.placement, solo.placement,
-                "{}",
-                outcome.spec
-            );
-            assert_eq!(outcome.outcome.evals, solo.evals, "{}", outcome.spec);
+            assert_eq!(raced.placement, solo.placement, "{}", outcome.spec);
+            assert_eq!(raced.evals, solo.evals, "{}", outcome.spec);
         }
         // The racing contract: the portfolio's best is the lane minimum.
-        let min = race.lanes.iter().map(|l| l.outcome.cost).min().unwrap();
+        let min = race
+            .lanes
+            .iter()
+            .filter_map(|l| l.outcome.as_ref().map(|o| o.cost))
+            .min()
+            .unwrap();
         assert_eq!(race.best().cost, min);
     }
 }
@@ -276,6 +283,9 @@ fn custom_lane_lists_race_exactly_those_lanes() {
     assert_eq!(out.lanes[1].spec, LaneSpec::RandomWalk);
     assert_eq!(
         out.total_evals,
-        out.lanes.iter().map(|l| l.outcome.evals).sum::<u64>()
+        out.lanes
+            .iter()
+            .filter_map(|l| l.outcome.as_ref().map(|o| o.evals))
+            .sum::<u64>()
     );
 }
