@@ -1,0 +1,74 @@
+//! Tier/length scaling of the bounded-memory trace pipeline; writes
+//! `BENCH_scale.json`. See `DESIGN.md` §4 and §10.
+//!
+//! This binary installs a counting global allocator so the experiment can
+//! report the *tracked* peak of live bytes per ladder row — evidence that
+//! a 10M-access streamed solve really stays O(chunk) resident, independent
+//! of the OS-level `VmHWM` (which never shrinks across rows).
+
+use rtm_bench::experiments::scale::{self, MemProbe};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Live and peak byte counters over the system allocator. `peak` is
+/// maintained with a CAS loop, so concurrent allocator calls (the engine
+/// pool's workers) never lose a high-water mark.
+struct TrackingAllocator;
+
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+fn note_alloc(size: usize) {
+    let live = CURRENT.fetch_add(size, Ordering::Relaxed) + size;
+    let mut seen = PEAK.load(Ordering::Relaxed);
+    while live > seen {
+        match PEAK.compare_exchange_weak(seen, live, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(now) => seen = now,
+        }
+    }
+}
+
+unsafe impl GlobalAlloc for TrackingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            note_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
+            note_alloc(new_size);
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator;
+
+fn reset_peak() {
+    PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+fn peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+fn main() -> std::io::Result<()> {
+    let opts = rtm_bench::ExperimentOpts::from_args();
+    let probe = MemProbe {
+        reset: reset_peak,
+        peak: peak_bytes,
+    };
+    scale::run_with_probe(&opts, &probe).emit(&opts)
+}

@@ -10,6 +10,7 @@ pub mod latency;
 pub mod perf;
 pub mod portfolio;
 pub mod ports;
+pub mod scale;
 pub mod table1;
 
 use crate::ExperimentOpts;

@@ -14,6 +14,7 @@
 //! | `capacity` | subarray-count sweep of the capacity-aware path vs the legacy grown-track spill |
 //! | `perf` | search-stack throughput, written to `BENCH_perf.json` |
 //! | `portfolio` | anytime search quality vs budget (per lane and portfolio, across ports/subarrays), written to `BENCH_search.json` |
+//! | `scale` | workload-tier scaling of the bounded-memory trace pipeline, written to `BENCH_scale.json` |
 //!
 //! All binaries accept `--quick` (reduced GA/RW budgets), `--dbcs 2,4,8,16`,
 //! `--seed N`, `--benchmarks a,b,c` and write CSV next to the printed table

@@ -5,7 +5,7 @@ use std::str::FromStr;
 
 /// Options that are bare flags (no value follows them on the command
 /// line); everything else is a `--key value` pair.
-const BOOL_FLAGS: &[&str] = &["json"];
+const BOOL_FLAGS: &[&str] = &["json", "stream"];
 
 /// Parsed `--key value` pairs plus bare boolean flags.
 #[derive(Debug, Clone, Default)]

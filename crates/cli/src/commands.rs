@@ -2,10 +2,14 @@
 
 use crate::args::CliArgs;
 use crate::{build_problem, build_simulator, parse_strategy, read_trace, ProblemSpec};
-use rtm_offsetstone::{suite as bench_suite, Benchmark};
-use rtm_placement::{Solution, Strategy, StrategyKind};
+use rtm_offsetstone::{suite as bench_suite, Benchmark, Tier, TierWorkload};
+use rtm_placement::eval::FitnessEngine;
+use rtm_placement::{
+    random_walk, CostModel, GeneticPlacer, Portfolio, SimulatedAnnealing, Solution, Strategy,
+    StrategyKind, TabuSearch,
+};
 use rtm_sim::SimStats;
-use rtm_trace::AccessSequence;
+use rtm_trace::{AccessSequence, AccessStream};
 use std::fmt::Write as _;
 
 type CmdResult = Result<(), Box<dyn std::error::Error>>;
@@ -107,6 +111,168 @@ pub(crate) fn simulate_report(args: &CliArgs) -> Result<String, Box<dyn std::err
         "strategy {}: {stats}\nruntime {:.1} (incl. compute gaps)",
         strategy.name(),
         stats.runtime()
+    ))
+}
+
+/// `rtm place --stream` — solve through the bounded-memory streaming
+/// pipeline (the trace is indexed, never materialized).
+pub fn place_stream(args: &CliArgs) -> CmdResult {
+    let (spec, outcome) = stream_solve(args)?;
+    let mut out = format!(
+        "strategy {} on {} DBCs x {} locations ({} port(s)/track): {} shifts [streamed]",
+        outcome.strategy_name, spec.dbcs, spec.capacity, spec.ports, outcome.cost
+    );
+    write!(
+        out,
+        "\nsearch: {} evals, best found after {:.1} ms",
+        outcome.evals,
+        outcome.time_to_best_ms()
+    )?;
+    let per_dbc = outcome.engine.per_dbc_costs(outcome.placement.dbc_lists());
+    for (d, list) in outcome.placement.dbc_lists().iter().enumerate() {
+        // Streams carry no symbol table; variables print positionally.
+        let names: Vec<String> = list.iter().map(|v| format!("v{}", v.index())).collect();
+        write!(out, "\nDBC{d} ({} shifts): {}", per_dbc[d], names.join(" "))?;
+    }
+    println!("{out}");
+    Ok(())
+}
+
+/// `rtm simulate --stream` — solve as [`place_stream`], then replay the
+/// stream through [`rtm_sim::Simulator::run_stream`].
+pub fn simulate_stream(args: &CliArgs) -> CmdResult {
+    let (spec, outcome) = stream_solve(args)?;
+    let geometry = rtm_arch::RtmGeometry::new(spec.dbcs, 32, spec.capacity, spec.ports)?;
+    let params = rtm_arch::table1::preset(spec.dbcs)
+        .unwrap_or_else(|| rtm_arch::ScalingModel::from_table1().params(spec.dbcs));
+    let sim = rtm_sim::Simulator::new(geometry, params)?;
+    let stats = sim.run_stream(&spec.workload, &outcome.placement)?;
+    println!(
+        "strategy {} [streamed]: {stats}\nruntime {:.1} (incl. compute gaps)",
+        outcome.strategy_name,
+        stats.runtime()
+    );
+    Ok(())
+}
+
+/// The resolved geometry of a `--stream` invocation.
+struct StreamSpec {
+    workload: TierWorkload,
+    dbcs: usize,
+    capacity: usize,
+    ports: usize,
+}
+
+/// A solved streaming placement with its telemetry (and the engine it was
+/// costed on, for per-DBC reporting).
+struct StreamOutcome<'a> {
+    strategy_name: &'static str,
+    placement: rtm_placement::Placement,
+    cost: u64,
+    evals: u64,
+    time_to_best: std::time::Duration,
+    engine: FitnessEngine<'a>,
+}
+
+impl StreamOutcome<'_> {
+    fn time_to_best_ms(&self) -> f64 {
+        self.time_to_best.as_secs_f64() * 1e3
+    }
+}
+
+/// Resolves `--profile`/`--scale`/geometry and runs the selected anytime
+/// strategy through a streaming [`FitnessEngine`].
+fn stream_solve(
+    args: &CliArgs,
+) -> Result<(StreamSpec, StreamOutcome<'static>), Box<dyn std::error::Error>> {
+    let workload = crate::tier_workload(args)?
+        .ok_or("--stream requires --profile (a file trace is already materialized)")?;
+    if args.flag("json") {
+        return Err("--json is not supported with --stream".into());
+    }
+    if args.get("subarrays").is_some() {
+        return Err("--subarrays is not supported with --stream".into());
+    }
+    let dbcs: usize = args.get_parsed("dbcs")?.unwrap_or(4);
+    if dbcs == 0 {
+        return Err("--dbcs must be at least 1".into());
+    }
+    let paper_cap = 4096 * 8 / (dbcs * 32);
+    let default_cap = paper_cap.max(workload.var_count().div_ceil(dbcs));
+    let capacity: usize = args.get_parsed("capacity")?.unwrap_or(default_cap);
+    let ports: usize = args.get_parsed("ports")?.unwrap_or(1);
+    if ports == 0 {
+        return Err("--ports must be at least 1".into());
+    }
+    if ports > capacity {
+        return Err(format!("--ports {ports} exceeds the track length {capacity}").into());
+    }
+    let cost = if ports == 1 {
+        CostModel::single_port()
+    } else {
+        CostModel::multi_port(ports, capacity)
+    };
+    let strategy = parse_strategy(args.get("strategy").unwrap_or("sa"), args)?;
+    let strategy_name = strategy.name();
+    let engine = FitnessEngine::streaming(&workload, cost);
+    let (placement, total, evals, time_to_best) = match &strategy {
+        Strategy::Sa(cfg) => {
+            let o = SimulatedAnnealing::new(*cfg).run_with_engine(&engine, dbcs, capacity, &[])?;
+            (o.placement, o.cost, o.evals, o.time_to_best)
+        }
+        Strategy::Tabu(cfg) => {
+            let o = TabuSearch::new(*cfg).run_with_engine(&engine, dbcs, capacity, &[])?;
+            (o.placement, o.cost, o.evals, o.time_to_best)
+        }
+        Strategy::Portfolio(cfg) => {
+            let o = Portfolio::new(cfg.clone()).run_with_engine(&engine, dbcs, capacity, &[])?;
+            let best = o.best();
+            (
+                best.placement.clone(),
+                best.cost,
+                o.total_evals,
+                best.time_to_best,
+            )
+        }
+        Strategy::Ga(cfg) => {
+            let o = GeneticPlacer::new(*cfg).run_with_engine(&engine, dbcs, capacity, &[])?;
+            let cost = o.best_cost;
+            (o.best, cost, o.evaluations as u64, o.time_to_best)
+        }
+        Strategy::RandomWalk(cfg) => {
+            let o = random_walk::run_budgeted(
+                &engine,
+                dbcs,
+                capacity,
+                cfg.seed,
+                rtm_placement::Budget::evals(cfg.iterations as u64),
+                None,
+            )?;
+            (o.placement, o.cost, o.evals, o.time_to_best)
+        }
+        other => {
+            return Err(format!(
+            "strategy {} needs a materialized trace; --stream supports sa, tabu, ga, rw, portfolio",
+            other.name()
+        )
+            .into())
+        }
+    };
+    Ok((
+        StreamSpec {
+            workload,
+            dbcs,
+            capacity,
+            ports,
+        },
+        StreamOutcome {
+            strategy_name,
+            placement,
+            cost: total,
+            evals,
+            time_to_best,
+            engine,
+        },
     ))
 }
 
@@ -252,18 +418,27 @@ pub fn stats(args: &CliArgs) -> CmdResult {
     Ok(())
 }
 
-/// `rtm suite` — list the synthetic OffsetStone suite or show one entry.
+/// `rtm suite` — list the synthetic OffsetStone suite and the workload
+/// tiers, or show one entry (a benchmark or a tier profile).
 pub fn suite(args: &CliArgs) -> CmdResult {
     match args.get("benchmark") {
         Some(name) => {
-            let b =
-                Benchmark::by_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
-            let p = b.profile();
-            let trace = b.trace();
-            println!("{} ({}):", b.name(), p.class);
-            println!("  variables {} / length {}", p.variables, p.length);
-            println!("  phases {} / zipf {:.1}", p.phases, p.zipf_exponent);
-            println!("  generated: {}", trace.stats());
+            if let Some(b) = Benchmark::by_name(name) {
+                let p = b.profile();
+                let trace = b.trace();
+                println!("{} ({}):", b.name(), p.class);
+                println!("  variables {} / length {}", p.variables, p.length);
+                println!("  phases {} / zipf {:.1}", p.phases, p.zipf_exponent);
+                println!("  generated: {}", trace.stats());
+            } else if let Some(w) = TierWorkload::by_name(name, 1.0) {
+                let (vars, len) = (w.var_count(), w.access_count());
+                println!("{} (tier {}):", w.name(), w.tier());
+                println!("  variables {vars} / length {len}  (at --scale 1)");
+                println!("  seed {:#018x}", w.seed());
+                println!("  generated: {}", w.generate().stats());
+            } else {
+                return Err(format!("unknown benchmark or profile `{name}`").into());
+            }
         }
         None => {
             println!("{:10} {:>6} {:>7}  class", "name", "vars", "length");
@@ -276,6 +451,14 @@ pub fn suite(args: &CliArgs) -> CmdResult {
                     p.length,
                     p.class
                 );
+            }
+            println!("\nworkload tiers (usable as --profile NAME [--scale S]):");
+            println!("{:13} {:>6} {:>7}  tier", "name", "vars", "length");
+            for tier in Tier::ALL {
+                for w in tier.workloads() {
+                    let (vars, len) = (w.var_count(), w.access_count());
+                    println!("{:13} {:>6} {:>7}  {}", w.name(), vars, len, tier);
+                }
             }
         }
     }
@@ -686,6 +869,94 @@ mod tests {
     }
 
     #[test]
+    fn profile_generates_a_workload_trace() {
+        // Materialized tier workload in place of a trace file.
+        let a = args(&[("profile", "expected-dsp"), ("scale", "0.1"), ("dbcs", "2")]);
+        place(&a).unwrap();
+        stats(&a).unwrap();
+        // Unknown profile and trace/profile conflict are errors.
+        assert!(place(&args(&[("profile", "nope")])).is_err());
+        let f = trace_file("a b");
+        let both = args(&[("trace", f.to_str().unwrap()), ("profile", "expected-dsp")]);
+        assert!(place(&both).is_err());
+        let bad_scale = args(&[("profile", "expected-dsp"), ("scale", "-1")]);
+        assert!(place(&bad_scale).is_err());
+        let _ = std::fs::remove_file(f);
+    }
+
+    #[test]
+    fn stream_place_and_simulate_run() {
+        for cmd in [place_stream as fn(&CliArgs) -> CmdResult, simulate_stream] {
+            let a = args(&[
+                ("profile", "adv-ping"),
+                ("scale", "0.2"),
+                ("dbcs", "2"),
+                ("strategy", "sa"),
+                ("budget-evals", "150"),
+                ("seed", "3"),
+            ]);
+            cmd(&a).unwrap();
+        }
+        // rw and portfolio route through their engine entry points too.
+        let a = args(&[
+            ("profile", "expected-ctl"),
+            ("scale", "0.2"),
+            ("strategy", "rw"),
+        ]);
+        place_stream(&a).unwrap();
+        let a = args(&[
+            ("profile", "expected-ctl"),
+            ("scale", "0.2"),
+            ("strategy", "portfolio"),
+            ("budget-evals", "100"),
+        ]);
+        place_stream(&a).unwrap();
+    }
+
+    #[test]
+    fn stream_rejects_unsupported_combinations() {
+        let f = trace_file("a b a");
+        // --stream without --profile.
+        let a = args(&[("trace", f.to_str().unwrap()), ("stream", "")]);
+        assert!(place_stream(&a).is_err());
+        // Heuristic strategies need the materialized trace.
+        let a = args(&[("profile", "expected-dsp"), ("strategy", "dma-sr")]);
+        assert!(place_stream(&a).is_err());
+        // --json and --subarrays are materialized-only for now.
+        let a = args(&[("profile", "expected-dsp"), ("json", "")]);
+        assert!(place_stream(&a).is_err());
+        let a = args(&[("profile", "expected-dsp"), ("subarrays", "2")]);
+        assert!(place_stream(&a).is_err());
+        let _ = std::fs::remove_file(f);
+    }
+
+    #[test]
+    fn stream_solve_matches_materialized_solve() {
+        // The same SA run must find the same cost whether the trace is
+        // materialized or streamed (heuristic seeds are skipped on both
+        // sides by pinning the start with a fixed seed and no seeds).
+        let a = args(&[
+            ("profile", "stress-ctl"),
+            ("scale", "0.05"),
+            ("dbcs", "2"),
+            ("strategy", "sa"),
+            ("budget-evals", "300"),
+            ("seed", "5"),
+        ]);
+        let (_, streamed) = stream_solve(&a).unwrap();
+        let w = TierWorkload::by_name("stress-ctl", 0.05).unwrap();
+        let seq = w.generate();
+        let engine = FitnessEngine::new(&seq, CostModel::single_port());
+        let capacity = seq.vars().len().div_ceil(2).max(4096 * 8 / (2 * 32));
+        let cfg = rtm_placement::SaConfig::new(rtm_placement::Budget::evals(300)).with_seed(5);
+        let out = SimulatedAnnealing::new(cfg)
+            .run_with_engine(&engine, 2, capacity, &[])
+            .unwrap();
+        assert_eq!(streamed.cost, out.cost);
+        assert_eq!(streamed.placement, out.placement);
+    }
+
+    #[test]
     fn stats_runs() {
         let f = trace_file("a a b b");
         stats(&args(&[("trace", f.to_str().unwrap())])).unwrap();
@@ -696,6 +967,9 @@ mod tests {
     fn suite_lists_and_describes() {
         suite(&args(&[])).unwrap();
         suite(&args(&[("benchmark", "gzip")])).unwrap();
+        // Tier profiles resolve too (the adversarial tier has no
+        // Benchmark wrapper).
+        suite(&args(&[("benchmark", "adv-sweep")])).unwrap();
         assert!(suite(&args(&[("benchmark", "nope")])).is_err());
     }
 

@@ -1,10 +1,12 @@
 //! `rtm` — command-line front end for racetrack-memory data placement.
 //!
 //! ```text
-//! rtm place    --trace FILE [--dbcs N] [--capacity N] [--ports N] [--subarrays N] [--strategy NAME]
+//! rtm place    --trace FILE | --profile NAME [--scale S] [--stream] [--dbcs N] [--capacity N]
+//!              [--ports N] [--subarrays N] [--strategy NAME]
 //!              [--budget-evals N] [--budget-ms N] [--budget-stall N] [--lanes L,..] [--seed N]
 //!              [--threads N] [--json]
-//! rtm simulate --trace FILE [--dbcs N] [--ports N] [--subarrays N] [--strategy NAME] [--threads N] [--json]
+//! rtm simulate --trace FILE | --profile NAME [--scale S] [--stream] [--dbcs N] [--ports N]
+//!              [--subarrays N] [--strategy NAME] [--threads N] [--json]
 //! rtm stats    --trace FILE
 //! rtm suite    [--benchmark NAME]
 //! rtm strategies
@@ -41,7 +43,9 @@ fn main() -> ExitCode {
         }
     };
     let result = match command.as_str() {
+        "place" if args.flag("stream") => commands::place_stream(&args),
         "place" => commands::place(&args),
+        "simulate" if args.flag("stream") => commands::simulate_stream(&args),
         "simulate" => commands::simulate(&args),
         "stats" => commands::stats(&args),
         "suite" => commands::suite(&args),
@@ -64,14 +68,21 @@ fn main() -> ExitCode {
 const USAGE: &str = "rtm — racetrack-memory data placement
 
 USAGE:
-    rtm place     --trace FILE [--dbcs N] [--capacity N] [--ports N] [--subarrays N] [--strategy NAME] [--threads N] [--json]
-    rtm simulate  --trace FILE [--dbcs N] [--ports N] [--subarrays N] [--strategy NAME] [--threads N] [--json]
+    rtm place     --trace FILE | --profile NAME [--scale S] [--stream] [--dbcs N] [--capacity N] [--ports N] [--subarrays N] [--strategy NAME] [--threads N] [--json]
+    rtm simulate  --trace FILE | --profile NAME [--scale S] [--stream] [--dbcs N] [--ports N] [--subarrays N] [--strategy NAME] [--threads N] [--json]
     rtm stats     --trace FILE
     rtm suite     [--benchmark NAME]
     rtm strategies
 
 OPTIONS:
     --trace FILE      trace file (`-` for stdin)
+    --profile NAME    generate a tier workload instead of reading a file
+                      (expected-*/stress-*/adv-*; see `rtm suite`)
+    --scale S         grow a --profile workload: length x S, variables x sqrt(S)
+                      (default 1.0)
+    --stream          with --profile: solve and simulate through the
+                      bounded-memory streaming pipeline (never materializes
+                      the trace; anytime strategies only, no --json)
     --dbcs N          number of DBCs per subarray (default 4)
     --capacity N      locations per DBC (default: the paper's 4 KiB subarray
                       track length; without --subarrays, grown to fit)
@@ -93,9 +104,35 @@ OPTIONS:
     --json            machine-readable output for place/simulate
     --benchmark NAME  one benchmark of the OffsetStone-style suite";
 
-/// Reads the trace named by `--trace` (stdin for `-`).
+/// Resolves `--profile NAME` (with `--scale S`) to a tier workload, if
+/// given.
+fn tier_workload(
+    args: &CliArgs,
+) -> Result<Option<rtm_offsetstone::TierWorkload>, Box<dyn std::error::Error>> {
+    let Some(name) = args.get("profile") else {
+        return Ok(None);
+    };
+    if args.get("trace").is_some() {
+        return Err("--trace and --profile are mutually exclusive".into());
+    }
+    let scale: f64 = args.get_parsed("scale")?.unwrap_or(1.0);
+    if !(scale.is_finite() && scale > 0.0) {
+        return Err("--scale must be a positive number".into());
+    }
+    let w = rtm_offsetstone::TierWorkload::by_name(name, scale)
+        .ok_or_else(|| format!("unknown profile `{name}` (see `rtm suite`)"))?;
+    Ok(Some(w))
+}
+
+/// Reads the trace named by `--trace` (stdin for `-`), or generates the
+/// tier workload named by `--profile`.
 fn read_trace(args: &CliArgs) -> Result<AccessSequence, Box<dyn std::error::Error>> {
-    let path = args.get("trace").ok_or("missing required option --trace")?;
+    if let Some(w) = tier_workload(args)? {
+        return Ok(w.generate());
+    }
+    let path = args
+        .get("trace")
+        .ok_or("missing required option --trace (or --profile)")?;
     let text = if path == "-" {
         let mut s = String::new();
         std::io::stdin()

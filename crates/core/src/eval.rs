@@ -57,7 +57,7 @@
 use crate::cost::{AccessCoster, CostModel, InitialAlignment};
 use crate::placement::Placement;
 use crate::pool::WorkerPool;
-use rtm_trace::{AccessSequence, PositionIndex, VarId};
+use rtm_trace::{AccessSequence, AccessStream, CompactPositionIndex, PositionIndex, VarId};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -221,6 +221,33 @@ const SUBSEQ_ELEM_CAPACITY: usize = 1 << 22;
 /// few generations, not a whole run).
 const MEMO_CAPACITY: usize = 1 << 16;
 
+/// Where the engine's trace comes from.
+///
+/// Both variants index the **consecutive-deduplicated** stream (a
+/// self-transition is free at every port count), so a per-DBC cost is the
+/// same pure function of the list's content under either source — the
+/// streaming path is bit-identical to the materialized one by
+/// construction, and the equivalence tests pin it.
+#[derive(Debug)]
+enum TraceSource<'a> {
+    /// A borrowed in-memory [`AccessSequence`] with the uncompressed
+    /// [`PositionIndex`] of its dedup stream — the historical path, and
+    /// the only one that can serve naive-mode replays.
+    Materialized {
+        seq: &'a AccessSequence,
+        /// The trace with consecutive same-variable accesses collapsed.
+        /// All engine costing runs against this stream; only the naive
+        /// reference path replays `seq` verbatim.
+        dedup: Vec<VarId>,
+        /// Position index of `dedup` (not of the raw trace).
+        index: PositionIndex,
+    },
+    /// A delta-compressed [`CompactPositionIndex`] built from one
+    /// streaming pass pair — the trace itself is never materialized, so
+    /// resident memory is the compressed index, not `O(|S|)` ids.
+    Streamed { index: CompactPositionIndex },
+}
+
 /// How the engine computes per-DBC costs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EvalMode {
@@ -284,6 +311,9 @@ pub struct EvalScratch {
     bitmap: Vec<u64>,
     /// The merged member-access sequence (variables in trace order).
     seq_buf: Vec<u32>,
+    /// Packed `(position << 32) | var_index` keys for the streaming merge
+    /// (sorting them orders the members' accesses by trace position).
+    merge_buf: Vec<u64>,
     /// Variable -> offset table (`u32::MAX` = not in the DBC / placement),
     /// set and cleared around each costing.
     offsets: Vec<u32>,
@@ -403,22 +433,17 @@ impl EvalJob {
 /// `O(A log A)` in the DBC's own access count.
 #[derive(Debug)]
 pub struct FitnessEngine<'a> {
-    seq: &'a AccessSequence,
+    source: TraceSource<'a>,
     cost: CostModel,
     /// The per-access coster with port homes precomputed — the multi-port
     /// min-over-ports displacement runs in the merge/walk inner loops
     /// without a division per port per access.
     coster: AccessCoster,
-    /// The trace with consecutive same-variable accesses collapsed. A
-    /// self-transition is free under *every* port count and placement (the
-    /// port is already at the variable's offset, so the displacement is
-    /// unchanged), so dropping globally-adjacent repeats changes no per-DBC
-    /// cost — it only shrinks every merge, walk, and replay by the trace's
-    /// repeat factor. All engine costing runs against this stream; only the
-    /// naive reference path replays [`seq`](Self::seq) verbatim.
-    dedup: Vec<VarId>,
-    /// Position index of [`dedup`](Self::dedup) (not of the raw trace).
-    index: PositionIndex,
+    /// Accessed variables in first-occurrence order — identical to
+    /// `seq.liveness().by_first_occurrence()` on a materialized trace, and
+    /// the canonical variable universe for fit checks and random seeding
+    /// when no sequence exists (streamed sources).
+    accessed: Vec<VarId>,
     mode: EvalMode,
     pool: WorkerPool,
     memo: Option<Mutex<Memo>>,
@@ -446,25 +471,83 @@ impl<'a> FitnessEngine<'a> {
         Self::with_mode(seq, cost, EvalMode::Naive)
     }
 
+    /// Creates a **streaming** engine over any [`AccessStream`]: the trace
+    /// is consumed in chunks (two passes) into a delta-compressed
+    /// [`CompactPositionIndex`] and never materialized, so resident memory
+    /// is the compressed index plus per-DBC scratch — `O(chunk)` during
+    /// the build, independent of trace length afterwards.
+    ///
+    /// Costs are **bit-identical** to a materialized engine over the same
+    /// trace: both index the consecutive-deduplicated stream and walk the
+    /// same per-DBC subsequences. The membership-keyed subsequence cache
+    /// stays off (its summaries are `O(subsequence)` each — exactly the
+    /// allocation a bounded-memory pipeline must not make); the
+    /// content-keyed cost memo works as usual.
+    ///
+    /// [`seq`](Self::seq) returns `None` for a streaming engine, so
+    /// sequence-dependent extras (naive mode, heuristic seeding) are
+    /// unavailable — the search loops degrade gracefully.
+    pub fn streaming(src: &dyn AccessStream, cost: CostModel) -> Self {
+        let index = CompactPositionIndex::from_stream(src);
+        Self::from_compact_index(index, cost)
+    }
+
+    /// Creates a streaming engine from an already-built
+    /// [`CompactPositionIndex`] (see [`streaming`](Self::streaming)) —
+    /// lets callers that need the index anyway (memory accounting, reuse
+    /// across engines) avoid a second two-pass build.
+    pub fn from_compact_index(index: CompactPositionIndex, cost: CostModel) -> Self {
+        let accessed = index.accessed_vars().to_vec();
+        Self::with_source(
+            TraceSource::Streamed { index },
+            accessed,
+            cost,
+            EvalMode::Incremental,
+        )
+    }
+
     fn with_mode(seq: &'a AccessSequence, cost: CostModel, mode: EvalMode) -> Self {
-        let caching = mode == EvalMode::Incremental;
         let mut dedup: Vec<VarId> = Vec::with_capacity(seq.len());
+        let mut seen = vec![false; seq.vars().len()];
+        let mut accessed: Vec<VarId> = Vec::new();
         for &v in seq.accesses() {
             if dedup.last() != Some(&v) {
                 dedup.push(v);
             }
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                accessed.push(v);
+            }
         }
         let index = PositionIndex::of_accesses(&dedup, seq.vars().len());
+        Self::with_source(
+            TraceSource::Materialized { seq, dedup, index },
+            accessed,
+            cost,
+            mode,
+        )
+    }
+
+    fn with_source(
+        source: TraceSource<'a>,
+        accessed: Vec<VarId>,
+        cost: CostModel,
+        mode: EvalMode,
+    ) -> Self {
+        let caching = mode == EvalMode::Incremental;
+        // The subsequence cache stores O(subsequence)-sized summaries;
+        // streaming engines exist to avoid exactly that flavor of resident
+        // growth, so only materialized sources enable it.
+        let subseq = caching && matches!(source, TraceSource::Materialized { .. });
         Self {
-            seq,
+            source,
             cost,
             coster: cost.coster(),
-            dedup,
-            index,
+            accessed,
             mode,
             pool: WorkerPool::new(0),
             memo: caching.then(|| Mutex::new(Memo::default())),
-            subseq: caching.then(|| Mutex::new(SubseqCache::default())),
+            subseq: subseq.then(|| Mutex::new(SubseqCache::default())),
             evaluations: AtomicU64::new(0),
             dbc_recomputations: AtomicU64::new(0),
             dbc_cache_hits: AtomicU64::new(0),
@@ -497,14 +580,72 @@ impl<'a> FitnessEngine<'a> {
     /// where neither lists nor memberships recur.
     pub fn with_memo(mut self, enabled: bool) -> Self {
         let caching = enabled && self.mode == EvalMode::Incremental;
+        let subseq = caching && matches!(self.source, TraceSource::Materialized { .. });
         self.memo = caching.then(|| Mutex::new(Memo::default()));
-        self.subseq = caching.then(|| Mutex::new(SubseqCache::default()));
+        self.subseq = subseq.then(|| Mutex::new(SubseqCache::default()));
         self
     }
 
-    /// The trace this engine evaluates against.
-    pub fn seq(&self) -> &'a AccessSequence {
-        self.seq
+    /// The materialized trace this engine evaluates against, or `None` for
+    /// a [`streaming`](Self::streaming) engine (whose trace only ever
+    /// existed as chunks).
+    pub fn seq(&self) -> Option<&'a AccessSequence> {
+        match &self.source {
+            TraceSource::Materialized { seq, .. } => Some(seq),
+            TraceSource::Streamed { .. } => None,
+        }
+    }
+
+    /// Accessed variables in first-occurrence order — identical to
+    /// `seq().liveness().by_first_occurrence()` when a sequence exists,
+    /// and the canonical variable universe for fit checks and random
+    /// seeding when none does.
+    pub fn accessed_vars(&self) -> &[VarId] {
+        &self.accessed
+    }
+
+    /// Whether `placement` is a valid start state for this engine's trace:
+    /// no DBC over `capacity`, no variable placed twice, and every
+    /// accessed variable placed. Equivalent to
+    /// [`Placement::validate`](crate::Placement::validate) without needing
+    /// the materialized sequence.
+    pub fn seed_is_valid(&self, placement: &Placement, capacity: usize) -> bool {
+        let lists = placement.dbc_lists();
+        let width = lists
+            .iter()
+            .flatten()
+            .map(|v| v.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut seen = vec![false; self.var_table_len().max(width)];
+        for list in lists {
+            if list.len() > capacity {
+                return false;
+            }
+            for &v in list {
+                if seen[v.index()] {
+                    return false;
+                }
+                seen[v.index()] = true;
+            }
+        }
+        self.accessed.iter().all(|v| seen[v.index()])
+    }
+
+    /// Number of variable slots the trace's index covers.
+    fn var_table_len(&self) -> usize {
+        match &self.source {
+            TraceSource::Materialized { index, .. } => index.var_count(),
+            TraceSource::Streamed { index } => index.var_count(),
+        }
+    }
+
+    /// `v`'s dedup-stream access count (0 for unknown variables).
+    fn var_frequency(&self, v: VarId) -> usize {
+        match &self.source {
+            TraceSource::Materialized { index, .. } => index.frequency(v),
+            TraceSource::Streamed { index } => index.frequency(v),
+        }
     }
 
     /// The cost model in effect.
@@ -597,7 +738,7 @@ impl<'a> FitnessEngine<'a> {
     fn dbc_cost_uncached(&self, list: &[VarId], scratch: &mut EvalScratch) -> u64 {
         self.dbc_recomputations.fetch_add(1, Ordering::Relaxed);
         // Populate the var -> offset table and find the accessed members.
-        let table_len = self.index.var_count();
+        let table_len = self.var_table_len();
         if scratch.offsets.len() < table_len {
             scratch.offsets.resize(table_len, u32::MAX);
         }
@@ -606,7 +747,7 @@ impl<'a> FitnessEngine<'a> {
         let mut set_key = 0u64;
         for (off, &v) in list.iter().enumerate() {
             let i = v.index();
-            if i < table_len && self.index.frequency(v) > 0 {
+            if i < table_len && self.var_frequency(v) > 0 {
                 scratch.offsets[i] = off as u32;
                 members += 1;
                 last_offset = off as u32;
@@ -655,7 +796,7 @@ impl<'a> FitnessEngine<'a> {
                                     members: list
                                         .iter()
                                         .copied()
-                                        .filter(|&v| self.index.frequency(v) > 0)
+                                        .filter(|&v| self.var_frequency(v) > 0)
                                         .collect(),
                                     summary: s.clone(),
                                 };
@@ -689,12 +830,55 @@ impl<'a> FitnessEngine<'a> {
     }
 
     /// Merges the members' access positions into trace order
-    /// (`scratch.seq_buf`) without any sort: positions are scattered into a
+    /// (`scratch.seq_buf`), dispatching on the trace source. Both forms
+    /// produce the identical subsequence, so [`walk_seq_buf`]
+    /// (Self::walk_seq_buf) yields bit-identical costs either way.
+    fn merge_members(&self, list: &[VarId], scratch: &mut EvalScratch) {
+        match &self.source {
+            TraceSource::Materialized { index, .. } => {
+                self.merge_members_indexed(index, list, scratch);
+            }
+            TraceSource::Streamed { index } => Self::merge_members_streamed(index, list, scratch),
+        }
+    }
+
+    /// Streaming merge: decode each member's delta-compressed positions,
+    /// pack `(position << 32) | var_index`, sort. Positions are unique
+    /// across members (each dedup slot belongs to one variable), so the
+    /// packed sort orders strictly by position — the same subsequence the
+    /// bitmap scatter extracts. `O(A log A)` in the DBC's own access
+    /// count, resident `O(A)`.
+    fn merge_members_streamed(
+        index: &CompactPositionIndex,
+        list: &[VarId],
+        scratch: &mut EvalScratch,
+    ) {
+        scratch.merge_buf.clear();
+        for &v in list {
+            for p in index.positions(v) {
+                scratch
+                    .merge_buf
+                    .push((u64::from(p) << 32) | v.index() as u64);
+            }
+        }
+        scratch.merge_buf.sort_unstable();
+        scratch.seq_buf.clear();
+        scratch
+            .seq_buf
+            .extend(scratch.merge_buf.iter().map(|&packed| packed as u32));
+    }
+
+    /// Materialized merge — no sort: positions are scattered into a
     /// per-position slot array gated by a bitmap, then extracted in
     /// ascending order by iterating the bitmap's set bits.
-    fn merge_members(&self, list: &[VarId], scratch: &mut EvalScratch) {
-        let raw = self.index.raw_positions();
-        let len = self.index.access_count();
+    fn merge_members_indexed(
+        &self,
+        index: &PositionIndex,
+        list: &[VarId],
+        scratch: &mut EvalScratch,
+    ) {
+        let raw = index.raw_positions();
+        let len = index.access_count();
         let words = len.div_ceil(64);
         if scratch.slots.len() < len {
             scratch.slots.resize(len, 0);
@@ -710,7 +894,7 @@ impl<'a> FitnessEngine<'a> {
         let mut lo = u32::MAX;
         let mut hi = 0u32;
         for &v in list {
-            let (start, end) = self.index.span(v);
+            let (start, end) = index.span(v);
             if start == end {
                 continue;
             }
@@ -818,9 +1002,12 @@ impl<'a> FitnessEngine<'a> {
     /// for fresh candidates (random walk) where no per-DBC structure can be
     /// reused.
     fn replay_lists(&self, lists: &[Vec<VarId>], scratch: &mut EvalScratch) -> u64 {
+        let TraceSource::Materialized { dedup, .. } = &self.source else {
+            unreachable!("replay_lists requires a materialized dedup stream");
+        };
         self.dbc_recomputations
             .fetch_add(lists.len() as u64, Ordering::Relaxed);
-        let table_len = self.index.var_count();
+        let table_len = self.var_table_len();
         if scratch.offsets.len() < table_len {
             scratch.offsets.resize(table_len, u32::MAX);
         }
@@ -846,7 +1033,7 @@ impl<'a> FitnessEngine<'a> {
             let track_head = self.cost.initial() == InitialAlignment::TrackHead;
             scratch.disp1.clear();
             scratch.disp1.resize(lists.len(), i64::MIN);
-            for &v in &self.dedup {
+            for &v in dedup {
                 let i = v.index();
                 let d = scratch.dbc_of[i];
                 if d == u32::MAX {
@@ -864,7 +1051,7 @@ impl<'a> FitnessEngine<'a> {
         } else {
             scratch.disp.clear();
             scratch.disp.resize(lists.len(), None);
-            for &v in &self.dedup {
+            for &v in dedup {
                 let i = v.index();
                 let d = scratch.dbc_of[i];
                 if d == u32::MAX {
@@ -920,10 +1107,13 @@ impl<'a> FitnessEngine<'a> {
     /// The pre-engine evaluation, verbatim: clone the lists, build a
     /// placement, replay the whole trace.
     fn naive_per_dbc_costs(&self, lists: &[Vec<VarId>]) -> Vec<u64> {
+        let TraceSource::Materialized { seq, .. } = &self.source else {
+            unreachable!("naive mode is only constructible from a materialized sequence");
+        };
         self.dbc_recomputations
             .fetch_add(lists.len() as u64, Ordering::Relaxed);
         let p = Placement::from_dbc_lists(lists.to_vec());
-        self.cost.per_dbc_costs(&p, self.seq.accesses())
+        self.cost.per_dbc_costs(&p, seq.accesses())
     }
 
     // ---- Batch evaluation --------------------------------------------------
@@ -986,9 +1176,18 @@ impl<'a> FitnessEngine<'a> {
     }
 
     fn total_cost_uncached(&self, lists: &[Vec<VarId>], scratch: &mut EvalScratch) -> u64 {
-        match self.mode {
-            EvalMode::Incremental => self.replay_lists(lists, scratch),
-            EvalMode::Naive => self.naive_per_dbc_costs(lists).into_iter().sum(),
+        match (self.mode, &self.source) {
+            (EvalMode::Incremental, TraceSource::Materialized { .. }) => {
+                self.replay_lists(lists, scratch)
+            }
+            // Streaming has no linear dedup stream to replay; per-DBC
+            // separability makes the sum of per-DBC merges the same total
+            // (and the same recomputation count).
+            (EvalMode::Incremental, TraceSource::Streamed { .. }) => lists
+                .iter()
+                .map(|l| self.dbc_cost_uncached(l, scratch))
+                .sum(),
+            (EvalMode::Naive, _) => self.naive_per_dbc_costs(lists).into_iter().sum(),
         }
     }
 }
@@ -1157,6 +1356,94 @@ mod tests {
             engine.dbc_cost(&[VarId::from_index(0), VarId::from_index(99)]),
             0
         );
+    }
+
+    #[test]
+    fn streaming_engine_matches_materialized() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let lists = paper_placement(&seq);
+        for cost in [CostModel::single_port(), CostModel::multi_port(2, 8)] {
+            let materialized = FitnessEngine::new(&seq, cost);
+            // Arbitrary chunking must be invisible to the costs.
+            for chunk in [1usize, 3, 7, 100] {
+                let chunked = rtm_trace::ChunkedSequence::new(&seq, chunk);
+                let streaming = FitnessEngine::streaming(&chunked, cost);
+                assert_eq!(
+                    streaming.per_dbc_costs(&lists),
+                    materialized.per_dbc_costs(&lists),
+                    "chunk {chunk}"
+                );
+                assert_eq!(
+                    streaming.batch_costs(std::slice::from_ref(&lists)),
+                    materialized.batch_costs(std::slice::from_ref(&lists)),
+                );
+                assert_eq!(streaming.seq(), None);
+                assert!(materialized.seq().is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn accessed_vars_match_first_occurrence_order() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let expect = seq.liveness().by_first_occurrence();
+        let materialized = FitnessEngine::new(&seq, CostModel::single_port());
+        assert_eq!(materialized.accessed_vars(), expect.as_slice());
+        let streaming = FitnessEngine::streaming(&seq, CostModel::single_port());
+        assert_eq!(streaming.accessed_vars(), expect.as_slice());
+    }
+
+    #[test]
+    fn seed_is_valid_agrees_with_placement_validate() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let engine = FitnessEngine::new(&seq, CostModel::single_port());
+        let v = VarId::from_index;
+        let complete = Placement::from_dbc_lists(paper_placement(&seq));
+        let missing = Placement::from_dbc_lists(vec![vec![v(0), v(1)]]);
+        let duplicate = {
+            let mut lists = paper_placement(&seq);
+            let dup = lists[0][0];
+            lists[1].push(dup);
+            Placement::from_dbc_lists(lists)
+        };
+        for (p, capacity) in [
+            (&complete, 5usize),
+            (&complete, 4), // DBC0 holds 5 vars: overflow
+            (&missing, 8),
+            (&duplicate, 8),
+        ] {
+            assert_eq!(
+                engine.seed_is_valid(p, capacity),
+                p.validate(&seq, capacity).is_ok(),
+                "{p:?} at capacity {capacity}"
+            );
+        }
+        // Unknown (never-traced) variables are legal in both forms.
+        let extra = Placement::from_dbc_lists(vec![
+            paper_placement(&seq).concat(),
+            vec![VarId::from_index(99)],
+        ]);
+        assert_eq!(
+            engine.seed_is_valid(&extra, 512),
+            extra.validate(&seq, 512).is_ok()
+        );
+    }
+
+    #[test]
+    fn streaming_memo_works_without_subseq_cache() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let lists = paper_placement(&seq);
+        let engine = FitnessEngine::streaming(&seq, CostModel::single_port());
+        assert!(engine.subseq.is_none(), "no O(subsequence) summaries");
+        engine.per_dbc_costs(&lists);
+        engine.per_dbc_costs(&lists);
+        engine.per_dbc_costs(&lists);
+        let stats = engine.stats();
+        // Same second-touch promotion discipline as the materialized memo.
+        assert_eq!(stats.evaluations, 3);
+        assert_eq!(stats.dbc_recomputations, 4);
+        assert_eq!(stats.dbc_cache_hits, 2);
+        assert_eq!(stats.subseq_cache_hits, 0);
     }
 
     #[test]

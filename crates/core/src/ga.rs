@@ -256,9 +256,7 @@ impl GeneticPlacer {
         capacity: usize,
         seeds: &[Placement],
     ) -> Result<GaOutcome, PlacementError> {
-        let seq = engine.seq();
-        let live = seq.liveness();
-        let vars = live.by_first_occurrence(); // first-appearance order, as §III-C indexes V
+        let vars = engine.accessed_vars(); // first-appearance order, as §III-C indexes V
         check_fit(vars.len(), dbcs, capacity)?;
         // DBCs per subarray for the hierarchical mutation mix; a flat run
         // (one subarray, or an indivisible DBC count) is encoded as
@@ -275,7 +273,7 @@ impl GeneticPlacer {
         // ---- Initial population -------------------------------------------
         // Candidates are generated first (RNG order unchanged from the
         // sequential implementation), then costed as one batch.
-        let mut initial = self.initial_jobs(seq, dbcs, capacity, &vars, seeds, &mut rng);
+        let mut initial = self.initial_jobs(engine, dbcs, capacity, vars, seeds, &mut rng);
         evaluations += initial.len();
         engine.evaluate_batch(&mut initial);
         let mut population: Vec<Individual> =
@@ -300,7 +298,7 @@ impl GeneticPlacer {
             // operators actually touched.
             let mut jobs = self.offspring_batch(
                 &population,
-                &vars,
+                vars,
                 capacity,
                 q,
                 self.config.lambda,
@@ -363,9 +361,7 @@ impl GeneticPlacer {
         budget: Budget,
         race: Option<(&RaceControl, usize)>,
     ) -> Result<GaOutcome, PlacementError> {
-        let seq = engine.seq();
-        let live = seq.liveness();
-        let vars = live.by_first_occurrence();
+        let vars = engine.accessed_vars();
         check_fit(vars.len(), dbcs, capacity)?;
         let q = if self.subarrays > 1 && dbcs.is_multiple_of(self.subarrays) {
             dbcs / self.subarrays
@@ -378,7 +374,7 @@ impl GeneticPlacer {
         // Initial population exactly as in the fixed-generation run, then
         // clamped to the eval budget (the RNG draws of discarded random
         // individuals still happen, keeping the stream deterministic).
-        let mut initial = self.initial_jobs(seq, dbcs, capacity, &vars, seeds, &mut rng);
+        let mut initial = self.initial_jobs(engine, dbcs, capacity, vars, seeds, &mut rng);
         let cap = meter.remaining_evals().min(initial.len() as u64).max(1) as usize;
         initial.truncate(cap);
         engine.evaluate_batch(&mut initial);
@@ -402,7 +398,7 @@ impl GeneticPlacer {
                 .max(1) as usize;
             let mut jobs = self.offspring_batch(
                 &population,
-                &vars,
+                vars,
                 capacity,
                 q,
                 lambda,
@@ -442,9 +438,13 @@ impl GeneticPlacer {
     /// The initial µ-population shared by both run loops: valid external
     /// seeds, then the DMA/AFD heuristic distributions, then random
     /// assignments up to µ — all RNG draws in the historical order.
+    ///
+    /// The DMA/AFD heuristics need the materialized sequence; a streaming
+    /// engine ([`FitnessEngine::seq`] is `None`) skips them and relies on
+    /// external seeds plus random individuals.
     fn initial_jobs(
         &self,
-        seq: &AccessSequence,
+        engine: &FitnessEngine<'_>,
         dbcs: usize,
         capacity: usize,
         vars: &[VarId],
@@ -456,20 +456,22 @@ impl GeneticPlacer {
             let lists = seed_placement.dbc_lists().to_vec();
             let valid = lists.len() == dbcs
                 && lists.iter().all(|l| l.len() <= capacity)
-                && seed_placement.validate(seq, capacity).is_ok();
+                && engine.seed_is_valid(seed_placement, capacity);
             if valid && initial.len() < self.config.mu {
                 initial.push(EvalJob::fresh(lists));
             }
         }
         if self.config.seed_with_heuristics {
-            for dist in [
-                Dma.distribute(seq, dbcs, capacity),
-                crate::inter::Afd.distribute(seq, dbcs, capacity),
-            ]
-            .into_iter()
-            .flatten()
-            {
-                initial.push(EvalJob::fresh(dist));
+            if let Some(seq) = engine.seq() {
+                for dist in [
+                    Dma.distribute(seq, dbcs, capacity),
+                    crate::inter::Afd.distribute(seq, dbcs, capacity),
+                ]
+                .into_iter()
+                .flatten()
+                {
+                    initial.push(EvalJob::fresh(dist));
+                }
             }
         }
         while initial.len() < self.config.mu {

@@ -148,8 +148,7 @@ pub fn run_budgeted(
     budget: Budget,
     race: Option<(&RaceControl, usize)>,
 ) -> Result<SearchOutcome, PlacementError> {
-    let seq = engine.seq();
-    let vars = seq.liveness().by_first_occurrence();
+    let vars = engine.accessed_vars();
     check_fit(vars.len(), dbcs, capacity)?;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut meter = crate::search::meter_for(budget, race);
@@ -168,7 +167,7 @@ pub fn run_budgeted(
             batch.resize_with(n, Vec::new);
         }
         for slot in batch[..n].iter_mut() {
-            random_assignment_into(&vars, dbcs, capacity, &mut rng, slot, &mut shuffle_buf);
+            random_assignment_into(vars, dbcs, capacity, &mut rng, slot, &mut shuffle_buf);
         }
         let costs = engine.batch_costs(&batch[..n]);
         for (lists, c) in batch[..n].iter().zip(costs) {

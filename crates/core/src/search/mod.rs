@@ -478,7 +478,6 @@ pub(crate) fn choose_start(
     rng: &mut impl Rng,
     meter: &mut BudgetMeter,
 ) -> SearchState {
-    let seq = engine.seq();
     let mut best: Option<SearchState> = None;
     for seed in seeds {
         if best.is_some() && meter.exhausted() {
@@ -487,7 +486,7 @@ pub(crate) fn choose_start(
         let lists = seed.dbc_lists();
         let valid = lists.len() == dbcs
             && lists.iter().all(|l| l.len() <= capacity)
-            && seed.validate(seq, capacity).is_ok();
+            && engine.seed_is_valid(seed, capacity);
         if !valid {
             continue;
         }
@@ -504,8 +503,7 @@ pub(crate) fn choose_start(
         }
     }
     best.unwrap_or_else(|| {
-        let vars = seq.liveness().by_first_occurrence();
-        let lists = random_assignment(&vars, dbcs, capacity, rng);
+        let lists = random_assignment(engine.accessed_vars(), dbcs, capacity, rng);
         let dbc_costs = engine.per_dbc_costs(&lists);
         meter.charge(1);
         let total = dbc_costs.iter().sum();

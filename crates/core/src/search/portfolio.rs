@@ -343,8 +343,7 @@ impl Portfolio {
         if self.config.lanes.is_empty() {
             return Err(PlacementError::EmptyPortfolio);
         }
-        let seq = engine.seq();
-        check_fit(seq.liveness().by_first_occurrence().len(), dbcs, capacity)?;
+        check_fit(engine.accessed_vars().len(), dbcs, capacity)?;
         let control = RaceControl::new(self.config.budget.deadline());
         #[cfg(feature = "faults")]
         let control = control.with_faults(self.faults.clone());

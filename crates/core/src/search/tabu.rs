@@ -125,8 +125,7 @@ impl TabuSearch {
         seeds: &[Placement],
         race: Race<'_>,
     ) -> Result<SearchOutcome, PlacementError> {
-        let seq = engine.seq();
-        check_fit(seq.liveness().by_first_occurrence().len(), dbcs, capacity)?;
+        check_fit(engine.accessed_vars().len(), dbcs, capacity)?;
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
         let mut meter = meter_for(self.config.budget, race);
         let mut state = choose_start(engine, dbcs, capacity, seeds, &mut rng, &mut meter);

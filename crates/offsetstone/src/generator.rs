@@ -175,12 +175,27 @@ impl TraceGenerator {
     /// `config.variables` distinct variables (small workloads may not touch
     /// every variable; temporaries are consumed on demand).
     pub fn generate(&self, seed: u64) -> AccessSequence {
+        let mut b = SequenceBuilder::new();
+        for i in 0..self.config.variables.max(1) {
+            b.var(&format!("v{i}"));
+        }
+        self.emit(seed, &mut |v, k| {
+            b.access(v, k);
+        });
+        b.finish()
+    }
+
+    /// Emits the trace for `seed` into `sink`, one `(variable, kind)` pair
+    /// per access, without materializing anything — the streaming form of
+    /// [`generate`](Self::generate). Variable `i` is `VarId::from_index(i)`
+    /// (named `v{i}` in the materialized table); the emitted stream is
+    /// byte-identical to the accesses of `generate(seed)`.
+    pub fn emit(&self, seed: u64, sink: &mut dyn FnMut(VarId, AccessKind)) {
         let c = &self.config;
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let mut b = SequenceBuilder::new();
 
         let n = c.variables.max(1);
-        let vars: Vec<VarId> = (0..n).map(|i| b.var(&format!("v{i}"))).collect();
+        let vars: Vec<VarId> = (0..n).map(VarId::from_index).collect();
 
         // Globals first, then the pool of phase-local temporaries.
         let shared_count = ((n as f64 * c.shared_fraction).round() as usize).min(n);
@@ -229,13 +244,13 @@ impl TraceGenerator {
             while phase_emitted < phase_budget {
                 let k = c.working_set.max(1);
 
-                let emit = |v: VarId,
+                let push = |v: VarId,
                             rng: &mut ChaCha8Rng,
-                            b: &mut SequenceBuilder,
+                            sink: &mut dyn FnMut(VarId, AccessKind),
                             phase_emitted: &mut usize| {
                     if *phase_emitted < phase_budget {
                         let kk = kind(rng);
-                        b.access(v, kk);
+                        sink(v, kk);
                         *phase_emitted += 1;
                     }
                 };
@@ -260,7 +275,7 @@ impl TraceGenerator {
                         let dist = WeightedIndex::new(&w).expect("positive weights");
                         for _ in 0..(iters * k).max(1) {
                             let v = pool[dist.sample(&mut rng)];
-                            emit(v, &mut rng, &mut b, &mut phase_emitted);
+                            push(v, &mut rng, sink, &mut phase_emitted);
                             if phase_emitted >= phase_budget {
                                 break;
                             }
@@ -286,14 +301,14 @@ impl TraceGenerator {
                     if let (Some(dist), false) = (&global_dist, shared.is_empty()) {
                         for _ in 0..iters.max(1) {
                             let g = shared[dist.sample(&mut rng)];
-                            emit(g, &mut rng, &mut b, &mut phase_emitted);
+                            push(g, &mut rng, sink, &mut phase_emitted);
                             if phase_emitted >= phase_budget {
                                 break;
                             }
                         }
                     } else {
                         // Degenerate: a single variable in total.
-                        emit(vars[0], &mut rng, &mut b, &mut phase_emitted);
+                        push(vars[0], &mut rng, sink, &mut phase_emitted);
                     }
                     continue;
                 }
@@ -303,12 +318,12 @@ impl TraceGenerator {
                     // temporaries with globals in between.
                     for &t in &ws {
                         for _ in 0..iters {
-                            emit(t, &mut rng, &mut b, &mut phase_emitted);
+                            push(t, &mut rng, sink, &mut phase_emitted);
                         }
                         if let Some(dist) = &global_dist {
                             if rng.gen_bool(c.global_touch.clamp(0.0, 1.0)) {
                                 let g = shared[dist.sample(&mut rng)];
-                                emit(g, &mut rng, &mut b, &mut phase_emitted);
+                                push(g, &mut rng, sink, &mut phase_emitted);
                             }
                         }
                         if phase_emitted >= phase_budget {
@@ -319,7 +334,7 @@ impl TraceGenerator {
                     // Interleaved loop body: (t1 t2 … tk [g])^iters.
                     'outer: for _ in 0..iters {
                         for &t in &ws {
-                            emit(t, &mut rng, &mut b, &mut phase_emitted);
+                            push(t, &mut rng, sink, &mut phase_emitted);
                             if phase_emitted >= phase_budget {
                                 break 'outer;
                             }
@@ -327,7 +342,7 @@ impl TraceGenerator {
                         if let Some(dist) = &global_dist {
                             if rng.gen_bool(c.global_touch.clamp(0.0, 1.0)) {
                                 let g = shared[dist.sample(&mut rng)];
-                                emit(g, &mut rng, &mut b, &mut phase_emitted);
+                                push(g, &mut rng, sink, &mut phase_emitted);
                                 if phase_emitted >= phase_budget {
                                     break 'outer;
                                 }
@@ -343,11 +358,9 @@ impl TraceGenerator {
         while emitted < c.length {
             let v = shared.first().copied().unwrap_or(vars[0]);
             let kk = kind(&mut rng);
-            b.access(v, kk);
+            sink(v, kk);
             emitted += 1;
         }
-
-        b.finish()
     }
 }
 

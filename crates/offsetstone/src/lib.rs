@@ -39,7 +39,9 @@
 pub mod generator;
 mod profile;
 mod suite;
+pub mod tiers;
 
 pub use generator::{GeneratorConfig, TraceGenerator};
 pub use profile::{BenchmarkProfile, WorkloadClass};
 pub use suite::{generate_traces, largest, stress_suite, suite, Benchmark};
+pub use tiers::{AdversarialConfig, Tier, TierMetrics, TierWorkload};

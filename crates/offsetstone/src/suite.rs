@@ -115,14 +115,7 @@ pub fn generate_traces(benchmarks: &[Benchmark], threads: usize) -> Vec<AccessSe
         .collect()
 }
 
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
+use crate::tiers::fnv1a;
 
 /// The full benchmark suite: every program named on the x-axis of the
 /// paper's Fig. 4, with workload classes and sizes matching the paper's
@@ -300,106 +293,12 @@ pub fn suite() -> Vec<Benchmark> {
 /// are generated with the same seeded discipline as the Fig. 4 suite
 /// (seed = FNV-1a of the name ⇒ same name, same trace, forever).
 pub fn stress_suite() -> Vec<Benchmark> {
-    use WorkloadClass::{Control, MediaDsp, Scientific};
-    #[allow(clippy::type_complexity)]
-    let table: &[(
-        &'static str,
-        WorkloadClass,
-        usize,
-        usize,
-        usize,
-        f64,
-        f64,
-        usize,
-        usize,
-        f64,
-        f64,
-        f64,
-        f64,
-    )] = &[
-        (
-            "stress-ctl",
-            Control,
-            2600,
-            11200,
-            10,
-            1.0,
-            0.06,
-            2,
-            6,
-            0.30,
-            0.35,
-            0.60,
-            0.45,
-        ),
-        (
-            "stress-dsp",
-            MediaDsp,
-            2100,
-            12400,
-            9,
-            0.8,
-            0.06,
-            4,
-            5,
-            0.34,
-            0.50,
-            0.45,
-            0.15,
-        ),
-        (
-            "stress-sci",
-            Scientific,
-            3200,
-            14800,
-            11,
-            1.1,
-            0.05,
-            3,
-            6,
-            0.27,
-            0.40,
-            0.50,
-            0.30,
-        ),
-    ];
-    table
-        .iter()
-        .map(
-            |&(
-                name,
-                class,
-                variables,
-                length,
-                phases,
-                zipf,
-                shared,
-                iters,
-                ws,
-                writes,
-                serial,
-                gtouch,
-                irregular,
-            )| {
-                Benchmark {
-                    profile: BenchmarkProfile {
-                        name,
-                        class,
-                        variables,
-                        length,
-                        phases,
-                        zipf_exponent: zipf,
-                        shared_fraction: shared,
-                        loop_iterations: iters,
-                        working_set: ws,
-                        write_fraction: writes,
-                        serial_fraction: serial,
-                        global_touch: gtouch,
-                        irregular_fraction: irregular,
-                    },
-                }
-            },
-        )
+    // The profiles live in `tiers` (the stress tier and this suite view
+    // are the same single generator path); this wrapper only attaches the
+    // `Benchmark` name/seed/trace API.
+    crate::tiers::stress_profiles()
+        .into_iter()
+        .map(|profile| Benchmark { profile })
         .collect()
 }
 

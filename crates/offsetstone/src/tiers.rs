@@ -1,0 +1,860 @@
+//! Workload tiers: the `expected` / `stress` / `adversarial` generator
+//! families behind the scale experiments.
+//!
+//! Each tier is a small family of named workloads with a deterministic
+//! per-workload seed (FNV-1a of the name, XOR a per-tier salt) and a
+//! `scale` factor that grows the trace: length scales linearly, the
+//! variable count with √scale (so access density per variable rises with
+//! scale, like longer runs of the same program).
+//!
+//! * **expected** — paper-shaped workloads (phases, loop bursts, mild
+//!   Zipf skew over globals): the regime the composite heuristics were
+//!   designed for.
+//! * **stress** — the legacy `stress_suite` profiles, folded in here so
+//!   there is exactly one generator path; same names, same seeds, same
+//!   traces as before.
+//! * **adversarial** — anti-locality sweeps built to maximize heuristic
+//!   regret: per-phase variable permutations (phase changes), a Zipf
+//!   hot set interleaved everywhere (frequency skew that ping-pongs the
+//!   port), and lane-strided emission so consecutive accesses are always
+//!   far apart in first-occurrence order (defeats chain harvesting).
+//!
+//! Every workload can be materialized ([`TierWorkload::generate`]) or
+//! streamed chunk by chunk ([`AccessStream`]) without materializing
+//! anything — the 10M-access rows of `BENCH_scale.json` run entirely
+//! through the streaming form.
+
+use crate::generator::{GeneratorConfig, TraceGenerator};
+use crate::profile::{BenchmarkProfile, WorkloadClass};
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rtm_trace::{AccessKind, AccessSequence, AccessStream, SequenceBuilder, VarId};
+
+/// Accesses per chunk delivered by a [`TierWorkload`] stream.
+const STREAM_CHUNK: usize = 64 * 1024;
+
+/// FNV-1a hash of `bytes` — the suite-wide seed derivation.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The three workload tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Paper-shaped workloads the heuristics were designed for.
+    Expected,
+    /// Beyond-paper-scale workloads (the legacy stress suite).
+    Stress,
+    /// Anti-locality workloads built to maximize heuristic regret.
+    Adversarial,
+}
+
+impl Tier {
+    /// All tiers, in canonical order.
+    pub const ALL: [Tier; 3] = [Tier::Expected, Tier::Stress, Tier::Adversarial];
+
+    /// The tier's canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Expected => "expected",
+            Tier::Stress => "stress",
+            Tier::Adversarial => "adversarial",
+        }
+    }
+
+    /// Parses a tier name (the `--profile` CLI value).
+    pub fn parse(s: &str) -> Option<Tier> {
+        Tier::ALL.into_iter().find(|t| t.name() == s)
+    }
+
+    /// Per-tier seed salt. The stress tier's salt is zero so its folded-in
+    /// legacy benchmarks keep the exact seeds (and traces) they have
+    /// always had.
+    pub fn salt(self) -> u64 {
+        match self {
+            Tier::Expected => 0xE19E_C7ED_5EED_0001,
+            Tier::Stress => 0,
+            Tier::Adversarial => 0xAD5E_ED00_0BAD_CA5E,
+        }
+    }
+
+    /// The tier's workload family at scale 1.
+    pub fn workloads(self) -> Vec<TierWorkload> {
+        self.workloads_scaled(1.0)
+    }
+
+    /// The tier's workload family, grown by `scale` (length ×scale,
+    /// variables ×√scale; `scale == 1.0` reproduces the base workloads
+    /// exactly).
+    pub fn workloads_scaled(self, scale: f64) -> Vec<TierWorkload> {
+        match self {
+            Tier::Expected => expected_profiles()
+                .into_iter()
+                .map(|p| TierWorkload::profiled(self, p, scale))
+                .collect(),
+            Tier::Stress => stress_profiles()
+                .into_iter()
+                .map(|p| TierWorkload::profiled(self, p, scale))
+                .collect(),
+            Tier::Adversarial => adversarial_presets()
+                .into_iter()
+                .map(|(name, cfg)| TierWorkload::adversarial(name, cfg, scale))
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Derives the deterministic seed of workload `name` in `tier`.
+pub fn derive_seed(tier: Tier, name: &str) -> u64 {
+    fnv1a(name.as_bytes()) ^ tier.salt()
+}
+
+/// The legacy stress profile family — the single source of truth for
+/// `stress_suite()` (which wraps these into [`Benchmark`](crate::Benchmark)
+/// values) and for [`Tier::Stress`]. Same names, same profiles, same
+/// FNV-1a-of-name seeds as the original `stress_suite()` table.
+pub fn stress_profiles() -> Vec<BenchmarkProfile> {
+    use WorkloadClass::{Control, MediaDsp, Scientific};
+    vec![
+        BenchmarkProfile {
+            name: "stress-ctl",
+            class: Control,
+            variables: 2600,
+            length: 11200,
+            phases: 10,
+            zipf_exponent: 1.0,
+            shared_fraction: 0.06,
+            loop_iterations: 2,
+            working_set: 6,
+            write_fraction: 0.30,
+            serial_fraction: 0.35,
+            global_touch: 0.60,
+            irregular_fraction: 0.45,
+        },
+        BenchmarkProfile {
+            name: "stress-dsp",
+            class: MediaDsp,
+            variables: 2100,
+            length: 12400,
+            phases: 9,
+            zipf_exponent: 0.8,
+            shared_fraction: 0.06,
+            loop_iterations: 4,
+            working_set: 5,
+            write_fraction: 0.34,
+            serial_fraction: 0.50,
+            global_touch: 0.45,
+            irregular_fraction: 0.15,
+        },
+        BenchmarkProfile {
+            name: "stress-sci",
+            class: Scientific,
+            variables: 3200,
+            length: 14800,
+            phases: 11,
+            zipf_exponent: 1.1,
+            shared_fraction: 0.05,
+            loop_iterations: 3,
+            working_set: 6,
+            write_fraction: 0.27,
+            serial_fraction: 0.40,
+            global_touch: 0.50,
+            irregular_fraction: 0.30,
+        },
+    ]
+}
+
+/// The expected-tier profiles: one per workload class, inside the paper's
+/// reported OffsetStone ranges, with the structure (disjoint temporaries,
+/// loop locality, global skew) the composite heuristics exploit.
+pub fn expected_profiles() -> Vec<BenchmarkProfile> {
+    use WorkloadClass::{Control, MediaDsp, Scientific};
+    vec![
+        BenchmarkProfile {
+            name: "expected-ctl",
+            class: Control,
+            variables: 420,
+            length: 2200,
+            phases: 5,
+            zipf_exponent: 1.0,
+            shared_fraction: 0.09,
+            loop_iterations: 3,
+            working_set: 5,
+            write_fraction: 0.30,
+            serial_fraction: 0.35,
+            global_touch: 0.60,
+            irregular_fraction: 0.45,
+        },
+        BenchmarkProfile {
+            name: "expected-dsp",
+            class: MediaDsp,
+            variables: 300,
+            length: 2600,
+            phases: 4,
+            zipf_exponent: 0.8,
+            shared_fraction: 0.08,
+            loop_iterations: 4,
+            working_set: 4,
+            write_fraction: 0.33,
+            serial_fraction: 0.50,
+            global_touch: 0.45,
+            irregular_fraction: 0.15,
+        },
+        BenchmarkProfile {
+            name: "expected-sci",
+            class: Scientific,
+            variables: 500,
+            length: 3000,
+            phases: 5,
+            zipf_exponent: 1.1,
+            shared_fraction: 0.08,
+            loop_iterations: 3,
+            working_set: 6,
+            write_fraction: 0.27,
+            serial_fraction: 0.40,
+            global_touch: 0.50,
+            irregular_fraction: 0.30,
+        },
+    ]
+}
+
+/// The adversarial presets: `(name, config)` pairs.
+pub fn adversarial_presets() -> Vec<(&'static str, AdversarialConfig)> {
+    vec![
+        (
+            "adv-sweep",
+            AdversarialConfig {
+                variables: 2000,
+                length: 12000,
+                phases: 6,
+                lanes: 8,
+                hot_fraction: 0.08,
+                hot_touch: 0.25,
+                zipf_exponent: 1.1,
+                write_fraction: 0.30,
+            },
+        ),
+        (
+            "adv-ping",
+            AdversarialConfig {
+                variables: 1200,
+                length: 10000,
+                phases: 4,
+                lanes: 12,
+                hot_fraction: 0.15,
+                hot_touch: 0.40,
+                zipf_exponent: 1.3,
+                write_fraction: 0.30,
+            },
+        ),
+        (
+            "adv-chase",
+            AdversarialConfig {
+                variables: 3000,
+                length: 14000,
+                phases: 8,
+                lanes: 6,
+                hot_fraction: 0.05,
+                hot_touch: 0.15,
+                zipf_exponent: 0.9,
+                write_fraction: 0.30,
+            },
+        ),
+    ]
+}
+
+/// Scales base `(variables, length)` by `scale`: length linearly, the
+/// variable count by √scale (both deterministic IEEE arithmetic; the
+/// identity at `scale == 1.0`).
+pub fn scaled_dims(variables: usize, length: usize, scale: f64) -> (usize, usize) {
+    let s = if scale.is_finite() && scale > 0.0 {
+        scale
+    } else {
+        1.0
+    };
+    let length = ((length as f64 * s).round() as usize).max(1);
+    let variables = ((variables as f64 * s.sqrt()).round() as usize).max(8);
+    (variables, length)
+}
+
+/// The anti-locality generator of the adversarial tier.
+///
+/// Per phase it owns a disjoint slice of "cold" variables, shuffles them
+/// into a fresh permutation (the phase change), and then sweeps that
+/// permutation in `lanes` interleaved strides: consecutive emissions come
+/// from positions `~m/lanes` apart, so no placement that follows
+/// first-occurrence or chain order keeps consecutive accesses close.
+/// Between cold steps a Zipf-distributed **hot** variable is interspersed
+/// with probability `hot_touch` — globally recurring skew that tempts
+/// frequency-greedy placement into port ping-pong. Sweep direction
+/// alternates to break residual ordering.
+///
+/// Emission is O(1) per access after an O(variables) per-phase setup, so
+/// 10M+-access traces stream in seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdversarialConfig {
+    /// Distinct variables.
+    pub variables: usize,
+    /// Accesses to emit.
+    pub length: usize,
+    /// Phases (each with a fresh cold-set permutation).
+    pub phases: usize,
+    /// Interleaved anti-locality lanes per sweep.
+    pub lanes: usize,
+    /// Fraction of variables in the global Zipf hot set.
+    pub hot_fraction: f64,
+    /// Probability a cold step is followed by a hot access.
+    pub hot_touch: f64,
+    /// Zipf exponent over the hot set.
+    pub zipf_exponent: f64,
+    /// Fraction of write accesses.
+    pub write_fraction: f64,
+}
+
+impl AdversarialConfig {
+    /// Number of variable slots the emitter draws from (every emitted
+    /// [`VarId`] has a smaller index).
+    pub fn var_slots(&self) -> usize {
+        self.variables.max(2)
+    }
+
+    /// Emits exactly `length` accesses for `seed` into `sink` — the
+    /// streaming form; [`generate`](Self::generate) materializes the same
+    /// stream.
+    pub fn emit(&self, seed: u64, sink: &mut dyn FnMut(VarId, AccessKind)) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let n = self.var_slots();
+        let hot_count = ((n as f64 * self.hot_fraction.clamp(0.0, 1.0)).round() as usize)
+            .min(n.saturating_sub(1));
+        let hot: Vec<VarId> = (0..hot_count).map(VarId::from_index).collect();
+        let hot_dist = (!hot.is_empty()).then(|| {
+            let w: Vec<f64> = (0..hot.len())
+                .map(|r| 1.0 / ((r + 1) as f64).powf(self.zipf_exponent.max(0.1)))
+                .collect();
+            WeightedIndex::new(&w).expect("positive weights")
+        });
+        let cold_n = n - hot_count;
+        let phases = self.phases.max(1);
+        let per_phase_cold = cold_n / phases;
+        let per_phase_len = self.length.div_ceil(phases);
+        let write_p = self.write_fraction.clamp(0.0, 1.0);
+        let hot_p = self.hot_touch.clamp(0.0, 1.0);
+        let mut emitted = 0usize;
+
+        for phase in 0..phases {
+            if emitted >= self.length {
+                break;
+            }
+            let budget = per_phase_len.min(self.length - emitted);
+            let lo = hot_count + phase * per_phase_cold;
+            let hi = if phase == phases - 1 {
+                n
+            } else {
+                lo + per_phase_cold
+            };
+            // Fresh permutation of this phase's cold slice: the phase
+            // change adversarial placements must survive.
+            let mut perm: Vec<VarId> = (lo..hi).map(VarId::from_index).collect();
+            for i in (1..perm.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                perm.swap(i, j);
+            }
+            let m = perm.len();
+            let mut count = 0usize;
+            if m == 0 {
+                // Hot-only degenerate phase.
+                while count < budget {
+                    let v = match &hot_dist {
+                        Some(d) => hot[d.sample(&mut rng)],
+                        None => VarId::from_index(0),
+                    };
+                    sink(v, kind_of(&mut rng, write_p));
+                    count += 1;
+                }
+                emitted += count;
+                continue;
+            }
+            let k = self.lanes.clamp(1, m);
+            let mut forward = true;
+            'phase: loop {
+                for i in 0..m {
+                    if count >= budget {
+                        break 'phase;
+                    }
+                    let pos = if forward { i } else { m - 1 - i };
+                    // Lane-strided visit: neighbors in time are ~m/k
+                    // apart in permutation order.
+                    let idx = (pos % k * m / k + pos / k) % m;
+                    sink(perm[idx], kind_of(&mut rng, write_p));
+                    count += 1;
+                    if let Some(d) = &hot_dist {
+                        if count < budget && rng.gen_bool(hot_p) {
+                            sink(hot[d.sample(&mut rng)], kind_of(&mut rng, write_p));
+                            count += 1;
+                        }
+                    }
+                }
+                forward = !forward;
+            }
+            emitted += count;
+        }
+    }
+
+    /// Materializes the trace of [`emit`](Self::emit) for `seed`.
+    pub fn generate(&self, seed: u64) -> AccessSequence {
+        let mut b = SequenceBuilder::new();
+        for i in 0..self.var_slots() {
+            b.var(&format!("v{i}"));
+        }
+        self.emit(seed, &mut |v, k| {
+            b.access(v, k);
+        });
+        b.finish()
+    }
+}
+
+fn kind_of(rng: &mut ChaCha8Rng, write_p: f64) -> AccessKind {
+    if rng.gen_bool(write_p) {
+        AccessKind::Write
+    } else {
+        AccessKind::Read
+    }
+}
+
+/// The generator behind one tier workload.
+#[derive(Debug, Clone, PartialEq)]
+enum WorkloadKind {
+    /// Phase/burst generator driven by a [`BenchmarkProfile`].
+    Profiled(BenchmarkProfile),
+    /// The adversarial anti-locality generator.
+    Adversarial(&'static str, AdversarialConfig),
+}
+
+/// One named, seeded, scaled workload of a [`Tier`].
+///
+/// Implements [`AccessStream`], so it can be indexed, solved and simulated
+/// without ever materializing its trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierWorkload {
+    tier: Tier,
+    kind: WorkloadKind,
+    scale: f64,
+}
+
+impl TierWorkload {
+    fn profiled(tier: Tier, profile: BenchmarkProfile, scale: f64) -> Self {
+        Self {
+            tier,
+            kind: WorkloadKind::Profiled(profile),
+            scale,
+        }
+    }
+
+    fn adversarial(name: &'static str, cfg: AdversarialConfig, scale: f64) -> Self {
+        Self {
+            tier: Tier::Adversarial,
+            kind: WorkloadKind::Adversarial(name, cfg),
+            scale,
+        }
+    }
+
+    /// Looks a workload up by name across all tiers (e.g. `"stress-ctl"`,
+    /// `"adv-sweep"`), at the given scale.
+    pub fn by_name(name: &str, scale: f64) -> Option<TierWorkload> {
+        Tier::ALL
+            .into_iter()
+            .flat_map(|t| t.workloads_scaled(scale))
+            .find(|w| w.name() == name)
+    }
+
+    /// The workload's name.
+    pub fn name(&self) -> &'static str {
+        match &self.kind {
+            WorkloadKind::Profiled(p) => p.name,
+            WorkloadKind::Adversarial(name, _) => name,
+        }
+    }
+
+    /// The owning tier.
+    pub fn tier(&self) -> Tier {
+        self.tier
+    }
+
+    /// The scale factor this workload was built with.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The workload's deterministic seed ([`derive_seed`] of its name).
+    pub fn seed(&self) -> u64 {
+        derive_seed(self.tier, self.name())
+    }
+
+    /// Scaled `(variables, length)` of the generated trace.
+    pub fn dims(&self) -> (usize, usize) {
+        match &self.kind {
+            WorkloadKind::Profiled(p) => scaled_dims(p.variables, p.length, self.scale),
+            WorkloadKind::Adversarial(_, c) => scaled_dims(c.variables, c.length, self.scale),
+        }
+    }
+
+    /// Emits the workload's trace into `sink` without materializing it.
+    pub fn emit(&self, sink: &mut dyn FnMut(VarId, AccessKind)) {
+        let seed = self.seed();
+        match &self.kind {
+            WorkloadKind::Profiled(p) => {
+                let mut cfg = GeneratorConfig::from(p);
+                (cfg.variables, cfg.length) = self.dims();
+                TraceGenerator::new(cfg).emit(seed, sink);
+            }
+            WorkloadKind::Adversarial(_, c) => {
+                let mut cfg = c.clone();
+                (cfg.variables, cfg.length) = self.dims();
+                cfg.emit(seed, sink);
+            }
+        }
+    }
+
+    /// Materializes the workload's trace (identical to the streamed form;
+    /// variable `i` is named `v{i}`).
+    pub fn generate(&self) -> AccessSequence {
+        let mut b = SequenceBuilder::new();
+        for i in 0..self.var_slots() {
+            b.var(&format!("v{i}"));
+        }
+        self.emit(&mut |v, k| {
+            b.access(v, k);
+        });
+        b.finish()
+    }
+
+    /// Number of variable slots the emitter draws from.
+    fn var_slots(&self) -> usize {
+        let (vars, _) = self.dims();
+        match &self.kind {
+            WorkloadKind::Profiled(_) => vars.max(1),
+            WorkloadKind::Adversarial(..) => vars.max(2),
+        }
+    }
+}
+
+impl AccessStream for TierWorkload {
+    fn access_count(&self) -> usize {
+        self.dims().1
+    }
+
+    fn var_count(&self) -> usize {
+        self.var_slots()
+    }
+
+    fn for_each_chunk(&self, f: &mut dyn FnMut(&[VarId], &[AccessKind])) {
+        let mut vbuf: Vec<VarId> = Vec::with_capacity(STREAM_CHUNK);
+        let mut kbuf: Vec<AccessKind> = Vec::with_capacity(STREAM_CHUNK);
+        self.emit(&mut |v, k| {
+            vbuf.push(v);
+            kbuf.push(k);
+            if vbuf.len() == STREAM_CHUNK {
+                f(&vbuf, &kbuf);
+                vbuf.clear();
+                kbuf.clear();
+            }
+        });
+        if !vbuf.is_empty() {
+            f(&vbuf, &kbuf);
+        }
+    }
+}
+
+/// Structural trace metrics used to tell the tiers apart in tests: the
+/// adversarial tier must *measurably* differ from the expected tier, not
+/// just by construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierMetrics {
+    /// Number of sharp working-set changes between consecutive windows
+    /// (Jaccard overlap < 0.5 across 32 windows).
+    pub phase_changes: usize,
+    /// Fraction of accesses going to the top-10%-frequency variables (the
+    /// Zipf tail mass).
+    pub hot_mass: f64,
+    /// Distinct transitions per access pair — high values mean
+    /// anti-locality (few repeated neighbor pairs for placement to
+    /// exploit).
+    pub locality_score: f64,
+}
+
+/// Computes [`TierMetrics`] of a trace.
+pub fn metrics_of(seq: &AccessSequence) -> TierMetrics {
+    let len = seq.len();
+    let nvars = seq.vars().len();
+    if len < 2 || nvars == 0 {
+        return TierMetrics {
+            phase_changes: 0,
+            hot_mass: 0.0,
+            locality_score: 0.0,
+        };
+    }
+    // Windowed working-set overlap.
+    const WINDOWS: usize = 32;
+    let wlen = len.div_ceil(WINDOWS).max(1);
+    let mut phase_changes = 0usize;
+    let mut prev: Option<Vec<bool>> = None;
+    for w in seq.accesses().chunks(wlen) {
+        let mut set = vec![false; nvars];
+        for &v in w {
+            set[v.index()] = true;
+        }
+        if let Some(p) = &prev {
+            let mut inter = 0usize;
+            let mut union = 0usize;
+            for i in 0..nvars {
+                inter += usize::from(set[i] && p[i]);
+                union += usize::from(set[i] || p[i]);
+            }
+            if union > 0 && (inter as f64) < 0.5 * union as f64 {
+                phase_changes += 1;
+            }
+        }
+        prev = Some(set);
+    }
+    // Top-10%-frequency access share.
+    let mut freq = vec![0u64; nvars];
+    for &v in seq.accesses() {
+        freq[v.index()] += 1;
+    }
+    let mut sorted = freq.clone();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let top = nvars.div_ceil(10);
+    let hot: u64 = sorted.iter().take(top).sum();
+    let hot_mass = hot as f64 / len as f64;
+    let st = seq.stats();
+    TierMetrics {
+        phase_changes,
+        hot_mass,
+        locality_score: st.distinct_transitions as f64 / (len - 1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fnv_trace(seq: &AccessSequence) -> u64 {
+        fnv1a(
+            &seq.accesses()
+                .iter()
+                .flat_map(|v| (v.index() as u32).to_le_bytes())
+                .chain(seq.kinds().iter().map(|&k| k as u8))
+                .collect::<Vec<u8>>(),
+        )
+    }
+
+    #[test]
+    fn legacy_stress_traces_are_reproduced_exactly() {
+        // Golden fingerprints captured from the pre-tier `stress_suite()`
+        // generator path: folding the stress family into the tier must
+        // not change a single byte of any trace.
+        let golden = [
+            ("stress-ctl", 0x861e04c365add20bu64, 11200, 2600),
+            ("stress-dsp", 0x52334478505e2930, 12400, 2100),
+            ("stress-sci", 0x0c8802d796b8c98e, 14800, 3200),
+        ];
+        let tier = Tier::Stress.workloads();
+        for (name, hash, len, vars) in golden {
+            let w = tier.iter().find(|w| w.name() == name).unwrap();
+            let t = w.generate();
+            assert_eq!(t.len(), len, "{name} length");
+            assert_eq!(t.vars().len(), vars, "{name} vars");
+            assert_eq!(fnv_trace(&t), hash, "{name} trace fingerprint");
+            // And the suite wrapper produces the same trace object.
+            let b = crate::Benchmark::by_name(name).unwrap();
+            assert_eq!(b.trace(), t, "{name}: suite and tier paths diverge");
+            assert_eq!(b.seed(), w.seed(), "{name}: seed derivation diverges");
+        }
+    }
+
+    #[test]
+    fn every_tier_has_three_named_seeded_workloads() {
+        let mut seeds = Vec::new();
+        for tier in Tier::ALL {
+            let ws = tier.workloads();
+            assert_eq!(ws.len(), 3, "{tier}");
+            for w in &ws {
+                assert_eq!(w.tier(), tier);
+                assert_eq!(w.seed(), derive_seed(tier, w.name()));
+                seeds.push(w.seed());
+                assert_eq!(
+                    TierWorkload::by_name(w.name(), 1.0).as_ref(),
+                    Some(w),
+                    "{} not found by name",
+                    w.name()
+                );
+            }
+        }
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 9, "tier seeds must be pairwise distinct");
+        assert!(Tier::parse("expected") == Some(Tier::Expected));
+        assert!(Tier::parse("bogus").is_none());
+    }
+
+    #[test]
+    fn scale_one_is_the_identity_and_scale_grows() {
+        for tier in Tier::ALL {
+            for (base, scaled) in tier.workloads().iter().zip(tier.workloads_scaled(4.0)) {
+                assert_eq!(base.dims(), scaled_dims_of_base(&scaled, 0.25));
+                let (v1, l1) = base.dims();
+                let (v4, l4) = scaled.dims();
+                assert_eq!(l4, l1 * 4, "{}", base.name());
+                assert_eq!(v4, (v1 as f64 * 2.0).round() as usize, "{}", base.name());
+                assert_eq!(scaled.access_count(), l4);
+            }
+        }
+        // Degenerate scales fall back to 1.0 / floors.
+        assert_eq!(scaled_dims(100, 1000, 1.0), (100, 1000));
+        assert_eq!(scaled_dims(100, 1000, f64::NAN), (100, 1000));
+        assert_eq!(scaled_dims(4, 10, 0.001), (8, 1));
+    }
+
+    /// Recovers the base dims of `w` given the inverse scale factor.
+    fn scaled_dims_of_base(w: &TierWorkload, _inv: f64) -> (usize, usize) {
+        let (v, l) = w.dims();
+        ((v as f64 / 2.0).round() as usize, l / 4)
+    }
+
+    #[test]
+    fn streamed_and_materialized_workloads_are_identical() {
+        for tier in Tier::ALL {
+            for w in tier.workloads() {
+                let seq = w.generate();
+                assert_eq!(seq.len(), w.access_count(), "{}", w.name());
+                assert!(seq.vars().len() <= w.var_count(), "{}", w.name());
+                let mut vars = Vec::new();
+                let mut kinds = Vec::new();
+                w.for_each_chunk(&mut |vs, ks| {
+                    vars.extend_from_slice(vs);
+                    kinds.extend_from_slice(ks);
+                });
+                assert_eq!(vars.as_slice(), seq.accesses(), "{}", w.name());
+                assert_eq!(kinds.as_slice(), seq.kinds(), "{}", w.name());
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name_and_scale() {
+        for tier in Tier::ALL {
+            for w in tier.workloads_scaled(1.5) {
+                let again = TierWorkload::by_name(w.name(), 1.5).unwrap();
+                assert_eq!(w.generate(), again.generate(), "{}", w.name());
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_emits_exact_length_at_any_shape() {
+        for (vars, len, phases, lanes) in [
+            (2usize, 7usize, 1usize, 1usize),
+            (50, 1000, 3, 8),
+            (8, 64, 16, 64),
+        ] {
+            let cfg = AdversarialConfig {
+                variables: vars,
+                length: len,
+                phases,
+                lanes,
+                hot_fraction: 0.2,
+                hot_touch: 0.3,
+                zipf_exponent: 1.0,
+                write_fraction: 0.3,
+            };
+            let t = cfg.generate(9);
+            assert_eq!(t.len(), len);
+            assert!(t.vars().len() <= cfg.var_slots());
+            assert_eq!(t, cfg.generate(9));
+            assert_ne!(t, cfg.generate(10));
+        }
+        // All-hot config (cold set empty).
+        let cfg = AdversarialConfig {
+            variables: 10,
+            length: 100,
+            phases: 2,
+            lanes: 4,
+            hot_fraction: 1.0,
+            hot_touch: 0.5,
+            zipf_exponent: 1.2,
+            write_fraction: 0.0,
+        };
+        assert_eq!(cfg.generate(3).len(), 100);
+    }
+
+    #[test]
+    fn tiers_are_structurally_distinct() {
+        let metrics = |tier: Tier| -> Vec<TierMetrics> {
+            tier.workloads()
+                .iter()
+                .map(|w| metrics_of(&w.generate()))
+                .collect()
+        };
+        let adv = metrics(Tier::Adversarial);
+        let exp = metrics(Tier::Expected);
+        let stress = metrics(Tier::Stress);
+        for (i, a) in adv.iter().enumerate() {
+            for (j, e) in exp.iter().enumerate() {
+                // Anti-locality: every adversarial workload spreads its
+                // transition pairs over more distinct neighbor pairs than
+                // every expected workload.
+                assert!(
+                    a.locality_score > 1.1 * e.locality_score,
+                    "adversarial[{i}] locality {:.3} !>> expected[{j}] {:.3}",
+                    a.locality_score,
+                    e.locality_score
+                );
+                // Phase structure: expected workloads churn fresh
+                // temporaries in every window (sharp set changes almost
+                // everywhere); adversarial phases hold one permuted cold
+                // slice live for many windows, so their working-set
+                // changes are few and sharp — phase boundaries, not
+                // churn.
+                assert!(
+                    a.phase_changes < e.phase_changes,
+                    "adversarial[{i}] {} !< expected[{j}] {}",
+                    a.phase_changes,
+                    e.phase_changes
+                );
+                // Zipf tail mass: the expected tier concentrates far more
+                // mass on its hot globals than the deliberately thin
+                // adversarial hot set.
+                assert!(
+                    e.hot_mass > a.hot_mass,
+                    "expected[{j}] hot mass {:.3} !> adversarial[{i}] {:.3}",
+                    e.hot_mass,
+                    a.hot_mass
+                );
+            }
+        }
+        // Every tier still carries *some* skew.
+        for m in adv.iter().chain(&exp).chain(&stress) {
+            assert!(m.hot_mass > 0.1, "degenerate hot mass {:.3}", m.hot_mass);
+        }
+    }
+
+    #[test]
+    fn metrics_handle_degenerate_traces() {
+        let tiny = AccessSequence::parse("a").unwrap();
+        let m = metrics_of(&tiny);
+        assert_eq!(m.phase_changes, 0);
+        assert_eq!(m.hot_mass, 0.0);
+    }
+}

@@ -3,7 +3,7 @@ use crate::error::SimError;
 use crate::stats::SimStats;
 use rtm_arch::{table1, ArrayGeometry, ConfigError, MemoryParams, Ns, RtmGeometry, ScalingModel};
 use rtm_placement::{CostModel, Placement};
-use rtm_trace::{AccessKind, AccessSequence};
+use rtm_trace::{AccessKind, AccessSequence, AccessStream};
 
 /// The RTM controller: replays an access trace against a data placement on
 /// a concrete geometry — one subarray by default, or a whole
@@ -233,6 +233,77 @@ impl Simulator {
             self.compute_gap,
         ))
     }
+
+    /// Replays a streamed trace against `placement` without materializing
+    /// it: resident state is the DBC port positions plus one chunk — the
+    /// bounded-memory twin of [`run`](Self::run), bit-identical on the
+    /// same accesses. Streams carry no symbol table, so
+    /// [`SimError::UnplacedVariable`] reports the positional name `v<index>`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run`](Self::run).
+    pub fn run_stream(
+        &self,
+        source: &dyn AccessStream,
+        placement: &Placement,
+    ) -> Result<SimStats, SimError> {
+        let total_dbcs = self.subarrays * self.geometry.dbcs();
+        let domains = self.geometry.domains_per_track();
+        let ports = self.geometry.ports_per_track();
+        let mut dbcs: Vec<DbcState> = (0..total_dbcs)
+            .map(|_| DbcState::new(domains, ports))
+            .collect();
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        // `for_each_chunk` has no early exit; park the first error and let
+        // the remaining chunks fall through untouched.
+        let mut failed: Option<SimError> = None;
+
+        source.for_each_chunk(&mut |vars, kinds| {
+            if failed.is_some() {
+                return;
+            }
+            for (&v, &kind) in vars.iter().zip(kinds) {
+                let Some(loc) = placement.location(v) else {
+                    failed = Some(SimError::UnplacedVariable(format!("v{}", v.index())));
+                    return;
+                };
+                if loc.dbc >= total_dbcs {
+                    failed = Some(SimError::DbcOutOfRange {
+                        dbc: loc.dbc,
+                        dbcs: total_dbcs,
+                    });
+                    return;
+                }
+                if loc.offset >= domains {
+                    failed = Some(SimError::OffsetOutOfRange {
+                        offset: loc.offset,
+                        domains,
+                    });
+                    return;
+                }
+                dbcs[loc.dbc].access(loc.offset);
+                match kind {
+                    AccessKind::Read => reads += 1,
+                    AccessKind::Write => writes += 1,
+                }
+            }
+        });
+        if let Some(err) = failed {
+            return Err(err);
+        }
+
+        let per_dbc_shifts: Vec<u64> = dbcs.iter().map(DbcState::total_shifts).collect();
+        Ok(SimStats::from_counters_array(
+            &self.params,
+            self.subarrays,
+            reads,
+            writes,
+            per_dbc_shifts,
+            self.compute_gap,
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -443,6 +514,40 @@ mod tests {
         assert_eq!(s1.energy.shift, s3.energy.shift);
         let ratio = s3.energy.leakage.value() / s1.energy.leakage.value();
         assert!((ratio - 3.0).abs() < 1e-9, "leakage ratio {ratio}");
+    }
+
+    #[test]
+    fn run_stream_is_bit_identical_to_run() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let sol = PlacementProblem::new(seq.clone(), 4, 256)
+            .solve(&Strategy::DmaSr)
+            .unwrap();
+        for ports in [1usize, 2] {
+            let sim = Simulator::for_paper_config_with_ports(4, ports).unwrap();
+            let reference = sim.run(&seq, &sol.placement).unwrap();
+            // A materialized sequence streams as one borrowed chunk…
+            assert_eq!(sim.run_stream(&seq, &sol.placement).unwrap(), reference);
+            // …and re-chunking must be invisible to every statistic.
+            for chunk in [1usize, 3, 7, 1024] {
+                let chunked = rtm_trace::ChunkedSequence::new(&seq, chunk);
+                assert_eq!(
+                    sim.run_stream(&chunked, &sol.placement).unwrap(),
+                    reference,
+                    "chunk {chunk} @ {ports} ports"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_stream_reports_positional_names() {
+        let seq = AccessSequence::parse("a b").unwrap();
+        let p = Placement::from_dbc_lists(vec![vec![VarId::from_index(0)]]);
+        let sim = Simulator::for_paper_config(2).unwrap();
+        assert!(matches!(
+            sim.run_stream(&seq, &p),
+            Err(SimError::UnplacedVariable(v)) if v == "v1"
+        ));
     }
 
     #[test]

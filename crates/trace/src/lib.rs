@@ -45,6 +45,7 @@ mod index;
 mod liveness;
 mod sequence;
 mod stats;
+mod stream;
 mod var;
 
 pub use error::ParseTraceError;
@@ -53,4 +54,5 @@ pub use index::PositionIndex;
 pub use liveness::{Liveness, VarLiveness};
 pub use sequence::{AccessKind, AccessSequence, SequenceBuilder};
 pub use stats::TraceStats;
+pub use stream::{AccessStream, ChunkedSequence, CompactPositionIndex, CompactPositions};
 pub use var::{VarId, VarTable};

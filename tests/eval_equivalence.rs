@@ -16,7 +16,7 @@ use proptest::prelude::*;
 use rtm::placement::eval::{EvalJob, FitnessEngine};
 use rtm::placement::random_walk::{self, RandomWalkConfig};
 use rtm::{AccessSequence, Benchmark, CostModel, GaConfig, GeneticPlacer, Placement, VarTable};
-use rtm_trace::VarId;
+use rtm_trace::{ChunkedSequence, VarId};
 
 const PAPER_SEQ: &str = "a b a b c a c a d d a i e f e f g e g h g i h i";
 
@@ -229,6 +229,106 @@ proptest! {
         let totals_b: Vec<u64> = jobs_b.iter().map(EvalJob::total).collect();
         prop_assert_eq!(&totals_a, &a);
         prop_assert_eq!(totals_a, totals_b);
+    }
+
+    /// A streaming engine (built over an arbitrary re-chunking of the
+    /// trace) is bit-identical to the materialized engine — per-DBC and
+    /// batch costs, across port counts 1/2/4 and worker counts 1/2/8.
+    #[test]
+    fn streaming_engine_matches_materialized_engine(
+        seq in arb_trace(16, 100),
+        dbcs in 1usize..5,
+        dbc_of in vec(0usize..5, 16),
+        order in vec(any::<u8>(), 16),
+        ports_sel in 0usize..3,
+        workers_sel in 0usize..3,
+        chunk in 1usize..130,
+    ) {
+        let ports = [1usize, 2, 4][ports_sel];
+        let workers = [1usize, 2, 8][workers_sel];
+        let lists = placement_from(&dbc_of, &order, seq.vars().len(), dbcs);
+        let track = lists.iter().map(Vec::len).max().unwrap_or(1).max(ports);
+        let cost = if ports == 1 {
+            CostModel::single_port()
+        } else {
+            CostModel::multi_port(ports, track)
+        };
+        let materialized = FitnessEngine::new(&seq, cost).with_threads(workers);
+        let chunked = ChunkedSequence::new(&seq, chunk);
+        let streaming = FitnessEngine::streaming(&chunked, cost).with_threads(workers);
+        prop_assert_eq!(streaming.accessed_vars(), materialized.accessed_vars());
+        prop_assert_eq!(streaming.per_dbc_costs(&lists), materialized.per_dbc_costs(&lists));
+        // Second pass answers from the streaming memo — still identical.
+        prop_assert_eq!(streaming.per_dbc_costs(&lists), materialized.per_dbc_costs(&lists));
+        // Batch replay over rotated variants.
+        let mut candidates = vec![lists.clone()];
+        for rot in 1..4 {
+            let mut c = lists.clone();
+            for l in &mut c {
+                if !l.is_empty() {
+                    let n = l.len();
+                    l.rotate_left(rot % n);
+                }
+            }
+            candidates.push(c);
+        }
+        prop_assert_eq!(
+            streaming.batch_costs(&candidates),
+            materialized.batch_costs(&candidates)
+        );
+    }
+
+    /// A random walk driven through a streaming engine returns the same
+    /// best placement and cost as through the materialized engine.
+    #[test]
+    fn streaming_random_walk_matches_materialized(
+        seq in arb_trace(12, 60),
+        seed in any::<u64>(),
+        chunk in 1usize..64,
+    ) {
+        let dbcs = 3;
+        let capacity = seq.vars().len().max(2);
+        let cfg = RandomWalkConfig { iterations: 200, seed };
+        let materialized =
+            FitnessEngine::new(&seq, CostModel::single_port()).with_memo(false);
+        let a = random_walk::search_with_engine(&materialized, dbcs, capacity, cfg).unwrap();
+        let chunked = ChunkedSequence::new(&seq, chunk);
+        let streaming =
+            FitnessEngine::streaming(&chunked, CostModel::single_port()).with_memo(false);
+        let b = random_walk::search_with_engine(&streaming, dbcs, capacity, cfg).unwrap();
+        prop_assert_eq!(a.1, b.1);
+        prop_assert_eq!(a.0, b.0);
+    }
+
+    /// The GA (heuristic seeding off — heuristics need the materialized
+    /// trace on both sides) is evaluator-source invariant: streamed and
+    /// materialized engines produce identical outcomes.
+    #[test]
+    fn streaming_ga_matches_materialized(
+        seq in arb_trace(12, 60),
+        seed in any::<u64>(),
+        chunk in 1usize..64,
+    ) {
+        let dbcs = 3;
+        let capacity = seq.vars().len().max(2);
+        let cfg = GaConfig {
+            mu: 8,
+            lambda: 8,
+            generations: 4,
+            seed_with_heuristics: false,
+            ..GaConfig::paper()
+        }
+        .with_seed(seed);
+        let placer = GeneticPlacer::new(cfg);
+        let materialized = FitnessEngine::new(&seq, CostModel::single_port());
+        let a = placer.run_with_engine(&materialized, dbcs, capacity, &[]).unwrap();
+        let chunked = ChunkedSequence::new(&seq, chunk);
+        let streaming = FitnessEngine::streaming(&chunked, CostModel::single_port());
+        let b = placer.run_with_engine(&streaming, dbcs, capacity, &[]).unwrap();
+        prop_assert_eq!(&a.history, &b.history);
+        prop_assert_eq!(a.best_cost, b.best_cost);
+        prop_assert_eq!(&a.best, &b.best);
+        prop_assert_eq!(a.evaluations, b.evaluations);
     }
 
     /// Same seed ⇒ identical GA outcome regardless of evaluator mode or

@@ -2,7 +2,11 @@
 //! yields valid placements, the analytic cost model agrees with the
 //! simulator, and the paper's quality ordering holds in aggregate.
 
-use rtm::{suite, GaConfig, PlacementProblem, RandomWalkConfig, RtmGeometry, Simulator, Strategy};
+use rtm::offsetstone::TierWorkload;
+use rtm::{
+    suite, Budget, GaConfig, PlacementProblem, RandomWalkConfig, RtmGeometry, SaConfig, Simulator,
+    Strategy,
+};
 
 fn capacity_for(dbcs: usize, vars: usize) -> usize {
     (4096 * 8 / (dbcs * 32)).max(vars.div_ceil(dbcs))
@@ -104,6 +108,60 @@ fn ga_and_rw_respect_search_contracts() {
     rw.placement.validate(&seq, capacity).unwrap();
     // RW samples blindly; on a trace this size it loses to the GA clearly.
     assert!(rw.shifts >= ga.shifts);
+}
+
+/// Best-of-the-heuristic-family shifts divided by what a budgeted SA run
+/// finds from a cold start on the same problem — 1.0 means the heuristics
+/// left nothing on the table.
+fn heuristic_regret(workload: &str, scale: f64) -> f64 {
+    let seq = TierWorkload::by_name(workload, scale)
+        .unwrap_or_else(|| panic!("unknown workload {workload}"))
+        .generate();
+    let dbcs = 4;
+    let capacity = capacity_for(dbcs, seq.vars().len());
+    let problem = PlacementProblem::new(seq, dbcs, capacity);
+    let heuristic = [
+        Strategy::AfdOfu,
+        Strategy::DmaOfu,
+        Strategy::DmaChen,
+        Strategy::DmaSr,
+    ]
+    .iter()
+    .map(|s| problem.solve(s).unwrap().shifts)
+    .min()
+    .unwrap();
+    let sa = problem
+        .solve(&Strategy::Sa(SaConfig::new(Budget::evals(20_000))))
+        .unwrap()
+        .shifts;
+    heuristic as f64 / sa.max(1) as f64
+}
+
+#[test]
+fn adversarial_tier_maximizes_heuristic_regret() {
+    // The adversarial generators exist to break locality-driven
+    // heuristics. `adv-ping` ping-pongs between distant pairs — a search
+    // can co-locate each pair, but access-frequency heuristics cannot see
+    // the pairing — so the regret there must decisively exceed every
+    // expected-tier workload's (measured ~1.96 vs at most ~1.31; all runs
+    // are seed-fixed and thread-count invariant, hence deterministic).
+    let expected_worst = ["expected-ctl", "expected-dsp", "expected-sci"]
+        .iter()
+        .map(|w| heuristic_regret(w, 1.0))
+        .fold(0.0f64, f64::max);
+    let adversarial = heuristic_regret("adv-ping", 0.2);
+    assert!(
+        expected_worst < 1.5,
+        "heuristics should stay competitive on the expected tier, worst regret {expected_worst:.3}"
+    );
+    assert!(
+        adversarial > 1.5,
+        "adv-ping should leave a large gap to search, regret {adversarial:.3}"
+    );
+    assert!(
+        adversarial > expected_worst * 1.2,
+        "adversarial regret {adversarial:.3} should clearly exceed the expected tier's worst {expected_worst:.3}"
+    );
 }
 
 #[test]
