@@ -157,8 +157,18 @@ fn representative(tier: Tier, target: usize) -> TierWorkload {
     TierWorkload::by_name(base.name(), scale).expect("representative exists at any scale")
 }
 
-/// Measures one ladder point end to end.
-fn measure(w: &TierWorkload, dbcs: usize, evals: u64, seed: u64, probe: &MemProbe) -> ScaleRow {
+/// Measures one ladder point end to end. `threads` is the engine worker
+/// count (`0` = all cores), routed into the streaming engine exactly as
+/// the CLI routes `--threads` into the materialized path — results are
+/// identical for any value.
+fn measure(
+    w: &TierWorkload,
+    dbcs: usize,
+    evals: u64,
+    seed: u64,
+    threads: usize,
+    probe: &MemProbe,
+) -> ScaleRow {
     (probe.reset)();
     let (variables, accesses) = (w.var_count(), w.access_count());
     let capacity = variables.div_ceil(dbcs).max(8);
@@ -171,7 +181,9 @@ fn measure(w: &TierWorkload, dbcs: usize, evals: u64, seed: u64, probe: &MemProb
 
     // Random walk through the streaming engine: candidate placements are
     // costed straight off the compressed index, O(chunk) resident.
-    let engine = FitnessEngine::from_compact_index(index, cost).with_memo(false);
+    let engine = FitnessEngine::from_compact_index(index, cost)
+        .with_memo(false)
+        .with_threads(threads);
     let t = Instant::now();
     let out = random_walk::run_budgeted(&engine, dbcs, capacity, seed, Budget::evals(evals), None)
         .expect("ladder capacities always fit");
@@ -254,7 +266,7 @@ pub fn collect(opts: &ExperimentOpts, probe: &MemProbe) -> (Vec<ScaleRow>, bool)
     for tier in Tier::ALL {
         for &(target, evals) in &steps {
             let w = representative(tier, target);
-            rows.push(measure(&w, dbcs, evals, opts.seed, probe));
+            rows.push(measure(&w, dbcs, evals, opts.seed, opts.threads, probe));
         }
     }
     // The deep end: one 10M-access adversarial row (the profiled
@@ -262,7 +274,7 @@ pub fn collect(opts: &ExperimentOpts, probe: &MemProbe) -> (Vec<ScaleRow>, bool)
     // adversarial emitter is O(1) per access).
     if let Some((target, evals)) = extra {
         let w = representative(Tier::Adversarial, target);
-        rows.push(measure(&w, dbcs, evals, opts.seed, probe));
+        rows.push(measure(&w, dbcs, evals, opts.seed, opts.threads, probe));
     }
     (rows, suite_identical(dbcs))
 }
@@ -276,7 +288,11 @@ pub fn to_json(rows: &[ScaleRow], suite_ok: bool, opts: &ExperimentOpts) -> Stri
     out.push_str(&format!("  \"dbcs\": {},\n", dbcs_for(opts)));
     out.push_str(&format!(
         "  \"threads\": {},\n",
-        std::thread::available_parallelism().map_or(1, usize::from)
+        if opts.threads > 0 {
+            opts.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        }
     ));
     out.push_str(&format!("  \"suite_identical\": {suite_ok},\n"));
     out.push_str("  \"rows\": [\n");

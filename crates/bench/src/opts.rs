@@ -12,6 +12,11 @@ use std::path::PathBuf;
 ///   experiment);
 /// * `--budgets 5000,20000,50000` — eval budgets to sweep (`portfolio`
 ///   experiment);
+/// * `--workers 1,2,4` — engine worker counts to sweep (`smp` experiment);
+/// * `--shards 1,8` — cache shard counts to sweep (`smp` experiment;
+///   `0` = the engine's auto policy);
+/// * `--threads N` — engine worker count for the non-sweeping experiments
+///   (`scale`; `0` = all cores);
 /// * `--legacy-spill` — revert Fig. 4/5/6 and latency to the historical
 ///   grown-track behavior instead of the capacity-aware multi-subarray
 ///   path (kept as an explicit comparison baseline);
@@ -30,6 +35,14 @@ pub struct ExperimentOpts {
     /// Eval budgets to sweep (the `portfolio` experiment); empty = the
     /// experiment's defaults (reduced under `--quick`).
     pub budgets: Vec<u64>,
+    /// Engine worker counts to sweep (the `smp` experiment).
+    pub workers: Vec<usize>,
+    /// Cache shard counts to sweep (the `smp` experiment; `0` = auto).
+    pub shards: Vec<usize>,
+    /// Engine worker count for the non-sweeping experiments (`0` = all
+    /// cores) — routed into streaming engines the same way the CLI routes
+    /// `--threads` into the materialized path.
+    pub threads: usize,
     /// Use the historical grown-track spill instead of the capacity-aware
     /// multi-subarray path (Fig. 4/5/6 and latency).
     pub legacy_spill: bool,
@@ -55,6 +68,9 @@ impl Default for ExperimentOpts {
             ports: vec![1, 2, 4],
             subarrays: vec![1, 2, 4],
             budgets: Vec::new(),
+            workers: vec![1, 2, 4],
+            shards: vec![1, 8],
+            threads: 0,
             legacy_spill: false,
             seed: 1,
             quick: false,
@@ -127,6 +143,28 @@ impl ExperimentOpts {
                         !opts.ports.is_empty() && opts.ports.iter().all(|&p| p >= 1),
                         "--ports takes positive integers"
                     );
+                }
+                "--workers" => {
+                    opts.workers = value("--workers")
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("--workers takes integers"))
+                        .collect();
+                    assert!(
+                        !opts.workers.is_empty() && opts.workers.iter().all(|&w| w >= 1),
+                        "--workers takes positive integers"
+                    );
+                }
+                "--shards" => {
+                    opts.shards = value("--shards")
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("--shards takes integers"))
+                        .collect();
+                    assert!(!opts.shards.is_empty(), "--shards takes a list");
+                }
+                "--threads" => {
+                    opts.threads = value("--threads")
+                        .parse()
+                        .expect("--threads takes an integer");
                 }
                 "--seed" => opts.seed = value("--seed").parse().expect("--seed takes an integer"),
                 "--benchmarks" => {
@@ -212,6 +250,24 @@ mod tests {
     #[should_panic(expected = "--budgets takes positive integers")]
     fn rejects_zero_budgets() {
         parse(&["--budgets", "0"]);
+    }
+
+    #[test]
+    fn parses_workers_shards_and_threads() {
+        let o = parse(&["--workers", "1,2,8", "--shards", "0,4", "--threads", "2"]);
+        assert_eq!(o.workers, vec![1, 2, 8]);
+        assert_eq!(o.shards, vec![0, 4]);
+        assert_eq!(o.threads, 2);
+        let d = parse(&[]);
+        assert_eq!(d.workers, vec![1, 2, 4]);
+        assert_eq!(d.shards, vec![1, 8]);
+        assert_eq!(d.threads, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "--workers takes positive integers")]
+    fn rejects_zero_workers() {
+        parse(&["--workers", "0,2"]);
     }
 
     #[test]

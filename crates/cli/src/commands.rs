@@ -214,7 +214,14 @@ fn stream_solve(
     };
     let strategy = parse_strategy(args.get("strategy").unwrap_or("sa"), args)?;
     let strategy_name = strategy.name();
-    let engine = FitnessEngine::streaming(&workload, cost);
+    // --threads/--shards reach the streaming engine exactly as they reach
+    // the materialized one (build_problem): results are identical for any
+    // value of either.
+    let threads: usize = args.get_parsed("threads")?.unwrap_or(0);
+    let shards: usize = args.get_parsed("shards")?.unwrap_or(0);
+    let engine = FitnessEngine::streaming(&workload, cost)
+        .with_threads(threads)
+        .with_shards(shards);
     let (placement, total, evals, time_to_best) = match &strategy {
         Strategy::Sa(cfg) => {
             let o = SimulatedAnnealing::new(*cfg).run_with_engine(&engine, dbcs, capacity, &[])?;
@@ -358,6 +365,20 @@ fn json_report(
         sol.time_to_best.as_secs_f64() * 1e3,
         sol.elapsed.as_secs_f64() * 1e3,
         sol.stop.name()
+    );
+    let es = &sol.engine_stats;
+    let _ = write!(
+        out,
+        ",\"cache\":{{\"dbc_recomputations\":{},\"dbc_cache_hits\":{},\
+         \"subseq_cache_hits\":{},\"dbc_inherited\":{},\"memo_merged\":{},\
+         \"memo_contended\":{},\"subseq_contended\":{}}}",
+        es.dbc_recomputations,
+        es.dbc_cache_hits,
+        es.subseq_cache_hits,
+        es.dbc_inherited,
+        es.memo_merged,
+        es.memo_contended,
+        es.subseq_contended
     );
     if !sol.lanes.is_empty() {
         out.push_str(",\"lanes\":[");

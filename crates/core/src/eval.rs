@@ -61,7 +61,7 @@ use rtm_trace::{AccessSequence, AccessStream, CompactPositionIndex, PositionInde
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Mutex, MutexGuard, TryLockError};
 use std::time::Instant;
 
 /// Locks a cache mutex, recovering from poison by **clearing and
@@ -77,6 +77,76 @@ fn lock_cache<T: Default>(m: &Mutex<T>) -> MutexGuard<'_, T> {
         m.clear_poison();
         guard
     })
+}
+
+/// Non-blocking variant of [`lock_cache`]: `WouldBlock` returns `None` (the
+/// caller treats the access as a cache miss or skips the write — every
+/// cached value is a pure function of its key, so recomputing is always
+/// correct), poison recovers by the same clear-and-rebuild.
+fn try_lock_cache<T: Default>(m: &Mutex<T>) -> Option<MutexGuard<'_, T>> {
+    match m.try_lock() {
+        Ok(guard) => Some(guard),
+        Err(TryLockError::Poisoned(poisoned)) => {
+            let mut guard = poisoned.into_inner();
+            *guard = T::default();
+            m.clear_poison();
+            Some(guard)
+        }
+        Err(TryLockError::WouldBlock) => None,
+    }
+}
+
+/// [`lock_cache`] with a contention counter: an acquisition that cannot
+/// complete immediately is counted before blocking. The `rtm-bench smp`
+/// experiment reads these counters to verify the batch hot path (which only
+/// ever uses [`try_lock_cache`]) takes zero contended locks.
+fn lock_counted<'m, T: Default>(m: &'m Mutex<T>, contended: &AtomicU64) -> MutexGuard<'m, T> {
+    match try_lock_cache(m) {
+        Some(guard) => guard,
+        None => {
+            contended.fetch_add(1, Ordering::Relaxed);
+            lock_cache(m)
+        }
+    }
+}
+
+/// Upper bound on the cache shard count (shard selection reads the top
+/// 8 bits of the key, so anything ≤ 256 works; 64 is plenty ahead of any
+/// realistic worker count).
+const MAX_SHARDS: usize = 64;
+
+/// A cache split into independently locked shards, selected by the *top*
+/// bits of the key hash so the shard index stays independent of the
+/// second-touch filter slot (low bits). Sharding can never change a
+/// returned cost — every cached value is a pure function of its key
+/// (`DESIGN.md` §7) — it only bounds how many workers can contend on one
+/// mutex. Poison recovery ([`lock_cache`] / [`try_lock_cache`]) applies per
+/// shard: one poisoned shard rebuilds alone, the others keep their
+/// contents.
+#[derive(Debug)]
+struct Sharded<T> {
+    shards: Box<[Mutex<T>]>,
+}
+
+impl<T: Default> Sharded<T> {
+    /// Builds `count` empty shards (`count` must be a power of two).
+    fn new(count: usize) -> Self {
+        debug_assert!(count.is_power_of_two() && count <= MAX_SHARDS);
+        Self {
+            shards: (0..count).map(|_| Mutex::new(T::default())).collect(),
+        }
+    }
+
+    /// The shard responsible for `key`.
+    fn shard(&self, key: u64) -> &Mutex<T> {
+        &self.shards[((key >> 56) as usize) & (self.shards.len() - 1)]
+    }
+
+    /// All shards (fault injection and the poison-recovery tests).
+    #[cfg_attr(not(any(test, feature = "faults")), allow(dead_code))]
+    fn iter(&self) -> std::slice::Iter<'_, Mutex<T>> {
+        self.shards.iter()
+    }
 }
 
 /// A fast multiply-xor hasher (FxHash-style) for the memo cache. DBC lists
@@ -277,6 +347,17 @@ pub struct EngineStats {
     /// Per-DBC costs inherited unchanged from a parent (clean under the
     /// dirty mask — never even looked up).
     pub dbc_inherited: u64,
+    /// Worker-overlay memo entries merged into the shared sharded memo at
+    /// batch boundaries (the batch path's writes all arrive this way).
+    pub memo_merged: u64,
+    /// Memo-shard acquisitions that found the shard held and had to block.
+    /// The batch hot path only ever try-locks (contention = recompute,
+    /// never block), so this counts the direct path alone — the smp
+    /// experiment asserts it stays 0 for pure batch evaluation.
+    pub memo_contended: u64,
+    /// Subsequence-shard acquisitions that found the shard held and had to
+    /// block (direct path only, as with `memo_contended`).
+    pub subseq_contended: u64,
     /// Wall nanoseconds spent inside evaluation calls (batch timings are
     /// wall time, so parallel fan-out shows up as higher throughput).
     pub eval_nanos: u64,
@@ -446,13 +527,26 @@ pub struct FitnessEngine<'a> {
     accessed: Vec<VarId>,
     mode: EvalMode,
     pool: WorkerPool,
-    memo: Option<Mutex<Memo>>,
-    subseq: Option<Mutex<SubseqCache>>,
+    /// Whether the caches are enabled at all (memoization can be turned
+    /// off for pure random sampling via [`with_memo`](Self::with_memo)).
+    caching: bool,
+    /// Explicit shard-count override (`0` = auto: scales with the worker
+    /// count; see [`shard_count`](Self::shard_count)).
+    shards: usize,
+    memo: Option<Sharded<Memo>>,
+    subseq: Option<Sharded<SubseqCache>>,
+    /// Per-shard memoized-list bound (total capacity split across shards).
+    memo_shard_cap: usize,
+    /// Per-shard stored-element bound for the subsequence cache.
+    subseq_shard_cap: usize,
     evaluations: AtomicU64,
     dbc_recomputations: AtomicU64,
     dbc_cache_hits: AtomicU64,
     subseq_cache_hits: AtomicU64,
     dbc_inherited: AtomicU64,
+    memo_merged: AtomicU64,
+    memo_contended: AtomicU64,
+    subseq_contended: AtomicU64,
     eval_nanos: AtomicU64,
 }
 
@@ -534,36 +628,84 @@ impl<'a> FitnessEngine<'a> {
         cost: CostModel,
         mode: EvalMode,
     ) -> Self {
-        let caching = mode == EvalMode::Incremental;
-        // The subsequence cache stores O(subsequence)-sized summaries;
-        // streaming engines exist to avoid exactly that flavor of resident
-        // growth, so only materialized sources enable it.
-        let subseq = caching && matches!(source, TraceSource::Materialized { .. });
-        Self {
+        let mut engine = Self {
             source,
             cost,
             coster: cost.coster(),
             accessed,
             mode,
             pool: WorkerPool::new(0),
-            memo: caching.then(|| Mutex::new(Memo::default())),
-            subseq: subseq.then(|| Mutex::new(SubseqCache::default())),
+            caching: mode == EvalMode::Incremental,
+            shards: 0,
+            memo: None,
+            subseq: None,
+            memo_shard_cap: MEMO_CAPACITY,
+            subseq_shard_cap: SUBSEQ_ELEM_CAPACITY,
             evaluations: AtomicU64::new(0),
             dbc_recomputations: AtomicU64::new(0),
             dbc_cache_hits: AtomicU64::new(0),
             subseq_cache_hits: AtomicU64::new(0),
             dbc_inherited: AtomicU64::new(0),
+            memo_merged: AtomicU64::new(0),
+            memo_contended: AtomicU64::new(0),
+            subseq_contended: AtomicU64::new(0),
             eval_nanos: AtomicU64::new(0),
+        };
+        engine.rebuild_caches();
+        engine
+    }
+
+    /// (Re)builds the sharded caches for the current mode, source, worker
+    /// count and shard override. Only called from the builder methods,
+    /// before any costing — caches start empty either way. The
+    /// subsequence cache stores O(subsequence)-sized summaries; streaming
+    /// engines exist to avoid exactly that flavor of resident growth, so
+    /// only materialized sources enable it.
+    fn rebuild_caches(&mut self) {
+        let n = self.shard_count();
+        self.memo_shard_cap = (MEMO_CAPACITY / n).max(1 << 10);
+        self.subseq_shard_cap = (SUBSEQ_ELEM_CAPACITY / n).max(1 << 16);
+        let subseq = self.caching && matches!(self.source, TraceSource::Materialized { .. });
+        self.memo = self.caching.then(|| Sharded::new(n));
+        self.subseq = subseq.then(|| Sharded::new(n));
+    }
+
+    /// Resolved cache shard count: the explicit
+    /// [`with_shards`](Self::with_shards) override rounded up to a power
+    /// of two, or 4× the worker count (clamped to `[1, 64]`) — enough
+    /// shards that workers rarely collide even under skewed key
+    /// distributions.
+    pub fn shard_count(&self) -> usize {
+        if self.shards > 0 {
+            self.shards.next_power_of_two().min(MAX_SHARDS)
+        } else {
+            (self.pool.workers() * 4)
+                .next_power_of_two()
+                .clamp(1, MAX_SHARDS)
         }
     }
 
     /// Sets the worker limit of the engine's [`WorkerPool`] (`0` =
-    /// auto-detect).
+    /// auto-detect). The auto shard count tracks the worker count, so the
+    /// caches are rebuilt (empty either way at builder time).
     ///
     /// Worker count never affects results — only wall time (see the
     /// determinism argument in the module docs and in [`crate::pool`]).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.pool = WorkerPool::new(threads);
+        self.rebuild_caches();
+        self
+    }
+
+    /// Sets the cache shard count (`0` = auto: scales with the worker
+    /// count; values round up to a power of two, capped at 64). `1` is the
+    /// runtime single-shard fallback — one global mutex per cache, the
+    /// pre-sharding layout. Shard count never affects results — every
+    /// cached value is a pure function of its key (`DESIGN.md` §7) — only
+    /// lock contention.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self.rebuild_caches();
         self
     }
 
@@ -579,10 +721,8 @@ impl<'a> FitnessEngine<'a> {
     /// membership-keyed subsequence cache. Useful for pure random sampling,
     /// where neither lists nor memberships recur.
     pub fn with_memo(mut self, enabled: bool) -> Self {
-        let caching = enabled && self.mode == EvalMode::Incremental;
-        let subseq = caching && matches!(self.source, TraceSource::Materialized { .. });
-        self.memo = caching.then(|| Mutex::new(Memo::default()));
-        self.subseq = subseq.then(|| Mutex::new(SubseqCache::default()));
+        self.caching = enabled && self.mode == EvalMode::Incremental;
+        self.rebuild_caches();
         self
     }
 
@@ -663,10 +803,11 @@ impl<'a> FitnessEngine<'a> {
         EvalScratch::default()
     }
 
-    /// Deliberately poisons the engine's memo and subsequence cache
-    /// mutexes by panicking while each lock is held (fault injection —
-    /// `--features faults` only). The next evaluation recovers via
-    /// [`lock_cache`]'s clear-and-rebuild, so results are unchanged.
+    /// Deliberately poisons **every shard** of the engine's memo and
+    /// subsequence caches by panicking while each lock is held (fault
+    /// injection — `--features faults` only). The next evaluation recovers
+    /// shard by shard via [`lock_cache`] / [`try_lock_cache`]'s
+    /// clear-and-rebuild, so results are unchanged.
     #[cfg(feature = "faults")]
     pub fn poison_caches(&self) {
         fn poison<T>(m: &Mutex<T>) {
@@ -676,10 +817,10 @@ impl<'a> FitnessEngine<'a> {
             }));
         }
         if let Some(m) = &self.memo {
-            poison(m);
+            m.iter().for_each(poison::<Memo>);
         }
         if let Some(c) = &self.subseq {
-            poison(c);
+            c.iter().for_each(poison::<SubseqCache>);
         }
     }
 
@@ -691,6 +832,9 @@ impl<'a> FitnessEngine<'a> {
             dbc_cache_hits: self.dbc_cache_hits.load(Ordering::Relaxed),
             subseq_cache_hits: self.subseq_cache_hits.load(Ordering::Relaxed),
             dbc_inherited: self.dbc_inherited.load(Ordering::Relaxed),
+            memo_merged: self.memo_merged.load(Ordering::Relaxed),
+            memo_contended: self.memo_contended.load(Ordering::Relaxed),
+            subseq_contended: self.subseq_contended.load(Ordering::Relaxed),
             eval_nanos: self.eval_nanos.load(Ordering::Relaxed),
         }
     }
@@ -710,32 +854,90 @@ impl<'a> FitnessEngine<'a> {
     /// [`dbc_cost`](Self::dbc_cost) with an explicit scratch buffer
     /// (allocation-free once the buffer has grown to the working set).
     pub fn dbc_cost_with(&self, list: &[VarId], scratch: &mut EvalScratch) -> u64 {
-        if let Some(memo) = &self.memo {
-            if let Some(&c) = lock_cache(memo).map.get(list) {
-                self.dbc_cache_hits.fetch_add(1, Ordering::Relaxed);
-                return c;
-            }
-            let c = self.dbc_cost_uncached(list, scratch);
-            let mut hasher = ListHasher::default();
-            std::hash::Hash::hash(list, &mut hasher);
-            let key = hasher.finish();
-            let slot = (key as usize) & (FILTER_SLOTS - 1);
-            let mut m = lock_cache(memo);
-            if m.filter[slot] == key {
-                if m.map.len() >= MEMO_CAPACITY {
-                    m.map.clear();
+        self.dbc_cost_cached(list, scratch, None)
+    }
+
+    /// The memo key of a list — the exact hash the memo map computes
+    /// internally; the shard index (top bits) and filter slot (low bits)
+    /// both derive from it.
+    fn list_key(list: &[VarId]) -> u64 {
+        let mut hasher = ListHasher::default();
+        std::hash::Hash::hash(list, &mut hasher);
+        hasher.finish()
+    }
+
+    /// The cached costing core. `overlay` is the batch path's per-worker
+    /// private memo ([`BatchCtx`]): when present, the shared shards are
+    /// only ever try-locked (contention = recompute, never block) and all
+    /// writes go to the overlay — the hot loop takes **zero** contended
+    /// locks. The direct path (`overlay == None`: SA/tabu re-costing,
+    /// [`per_dbc_costs`](Self::per_dbc_costs)) blocks on the shard as
+    /// before, counting contended acquisitions. Either way the returned
+    /// cost is the same pure function of the list's content.
+    fn dbc_cost_cached(
+        &self,
+        list: &[VarId],
+        scratch: &mut EvalScratch,
+        overlay: Option<&mut Memo>,
+    ) -> u64 {
+        let Some(memo) = &self.memo else {
+            return self.dbc_cost_uncached(list, scratch, overlay.is_some());
+        };
+        let key = Self::list_key(list);
+        let shard = memo.shard(key);
+        let slot = (key as usize) & (FILTER_SLOTS - 1);
+        match overlay {
+            Some(worker) => {
+                if let Some(&c) = worker.map.get(list) {
+                    self.dbc_cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return c;
                 }
-                m.map.insert(list.into(), c);
-            } else {
-                m.filter[slot] = key;
+                if let Some(shared) = try_lock_cache(shard) {
+                    if let Some(&c) = shared.map.get(list) {
+                        self.dbc_cache_hits.fetch_add(1, Ordering::Relaxed);
+                        return c;
+                    }
+                }
+                let c = self.dbc_cost_uncached(list, scratch, true);
+                // Second-touch promotion against the worker's private
+                // filter; the entry reaches the shared shard at the batch
+                // boundary merge.
+                if worker.filter[slot] == key {
+                    if worker.map.len() >= self.memo_shard_cap {
+                        worker.map.clear();
+                    }
+                    worker.map.insert(list.into(), c);
+                } else {
+                    worker.filter[slot] = key;
+                }
+                c
             }
-            c
-        } else {
-            self.dbc_cost_uncached(list, scratch)
+            None => {
+                if let Some(&c) = lock_counted(shard, &self.memo_contended).map.get(list) {
+                    self.dbc_cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return c;
+                }
+                let c = self.dbc_cost_uncached(list, scratch, false);
+                let mut m = lock_counted(shard, &self.memo_contended);
+                if m.filter[slot] == key {
+                    if m.map.len() >= self.memo_shard_cap {
+                        m.map.clear();
+                    }
+                    m.map.insert(list.into(), c);
+                } else {
+                    m.filter[slot] = key;
+                }
+                c
+            }
         }
     }
 
-    fn dbc_cost_uncached(&self, list: &[VarId], scratch: &mut EvalScratch) -> u64 {
+    fn dbc_cost_uncached(
+        &self,
+        list: &[VarId],
+        scratch: &mut EvalScratch,
+        nonblocking: bool,
+    ) -> u64 {
         self.dbc_recomputations.fetch_add(1, Ordering::Relaxed);
         // Populate the var -> offset table and find the accessed members.
         let table_len = self.var_table_len();
@@ -766,15 +968,25 @@ impl<'a> FitnessEngine<'a> {
                     // and skip the merge entirely. The hash is only a key —
                     // the entry's stored membership is verified against the
                     // offsets table (same size + every stored member present
-                    // ⇒ identical sets), so a collision is just a miss.
+                    // ⇒ identical sets), so a collision is just a miss. On
+                    // the nonblocking (batch) path a contended shard is a
+                    // miss too: recomputing the same pure value costs wall
+                    // time, never correctness.
+                    let shard = cache.shard(set_key);
                     let cached = {
-                        let c = lock_cache(cache);
-                        c.map.get(&set_key).and_then(|e| {
-                            let verified = e.members.len() == members
-                                && e.members
-                                    .iter()
-                                    .all(|v| scratch.offsets[v.index()] != u32::MAX);
-                            verified.then(|| e.summary.clone())
+                        let guard = if nonblocking {
+                            try_lock_cache(shard)
+                        } else {
+                            Some(lock_counted(shard, &self.subseq_contended))
+                        };
+                        guard.and_then(|c| {
+                            c.map.get(&set_key).and_then(|e| {
+                                let verified = e.members.len() == members
+                                    && e.members
+                                        .iter()
+                                        .all(|v| scratch.offsets[v.index()] != u32::MAX);
+                                verified.then(|| e.summary.clone())
+                            })
                         })
                     };
                     match cached {
@@ -787,27 +999,35 @@ impl<'a> FitnessEngine<'a> {
                             let total = self.walk_seq_buf(scratch);
                             // Promote only memberships seen twice — the
                             // first sighting costs nothing but a filter
-                            // write, so crossover churn never allocates.
-                            let mut c = lock_cache(cache);
-                            let slot = (set_key as usize) & (FILTER_SLOTS - 1);
-                            if c.filter[slot] == set_key {
-                                let s = std::sync::Arc::new(self.summary_of_seq_buf(scratch));
-                                let entry = SubseqEntry {
-                                    members: list
-                                        .iter()
-                                        .copied()
-                                        .filter(|&v| self.var_frequency(v) > 0)
-                                        .collect(),
-                                    summary: s.clone(),
-                                };
-                                c.stored += s.weight();
-                                if c.stored > SUBSEQ_ELEM_CAPACITY {
-                                    c.map.clear();
-                                    c.stored = s.weight();
-                                }
-                                c.map.insert(set_key, entry);
+                            // write, so crossover churn never allocates. A
+                            // contended shard skips the promotion entirely
+                            // on the nonblocking path.
+                            let guard = if nonblocking {
+                                try_lock_cache(shard)
                             } else {
-                                c.filter[slot] = set_key;
+                                Some(lock_counted(shard, &self.subseq_contended))
+                            };
+                            if let Some(mut c) = guard {
+                                let slot = (set_key as usize) & (FILTER_SLOTS - 1);
+                                if c.filter[slot] == set_key {
+                                    let s = std::sync::Arc::new(self.summary_of_seq_buf(scratch));
+                                    let entry = SubseqEntry {
+                                        members: list
+                                            .iter()
+                                            .copied()
+                                            .filter(|&v| self.var_frequency(v) > 0)
+                                            .collect(),
+                                        summary: s.clone(),
+                                    };
+                                    c.stored += s.weight();
+                                    if c.stored > self.subseq_shard_cap {
+                                        c.map.clear();
+                                        c.stored = s.weight();
+                                    }
+                                    c.map.insert(set_key, entry);
+                                } else {
+                                    c.filter[slot] = set_key;
+                                }
                             }
                             total
                         }
@@ -1124,26 +1344,60 @@ impl<'a> FitnessEngine<'a> {
     /// exactly once and writes only its own slot, and each per-DBC cost is
     /// a pure function of the list's content, so the result is independent
     /// of worker count and steal schedule — identical to a sequential
-    /// pass.
+    /// pass. Each worker costs through a private memo overlay (see
+    /// [`BatchCtx`]), so the per-DBC hot loop takes zero contended locks;
+    /// overlays merge into the shared sharded memo when the batch ends.
     pub fn evaluate_batch(&self, jobs: &mut [EvalJob]) {
         self.evaluations
             .fetch_add(jobs.len() as u64, Ordering::Relaxed);
         let start = Instant::now();
         self.pool.run(
             jobs,
-            || self.scratch(),
-            |scratch, _, job| self.finish_job(job, scratch),
+            || self.batch_ctx(),
+            |ctx, _, job| self.finish_job(job, ctx),
         );
         self.add_eval_time(start);
     }
 
-    fn finish_job(&self, job: &mut EvalJob, scratch: &mut EvalScratch) {
+    /// One worker's batch context: scratch plus the private memo overlay
+    /// (when the memo is enabled at all).
+    fn batch_ctx(&self) -> BatchCtx<'_, 'a> {
+        BatchCtx {
+            engine: self,
+            scratch: self.scratch(),
+            overlay: self.memo.is_some().then(Memo::default),
+        }
+    }
+
+    /// Merges a worker's private memo overlay into the shared sharded memo
+    /// at a batch boundary. Plain blocking locks are fine here — this runs
+    /// once per worker per batch, not per DBC, so it never shows up in the
+    /// hot-path contention counters.
+    fn merge_overlay(&self, overlay: Memo) {
+        let Some(memo) = &self.memo else { return };
+        let mut merged = 0u64;
+        for (list, c) in overlay.map {
+            let mut m = lock_cache(memo.shard(Self::list_key(&list)));
+            if m.map.len() >= self.memo_shard_cap {
+                m.map.clear();
+            }
+            m.map.insert(list, c);
+            merged += 1;
+        }
+        self.memo_merged.fetch_add(merged, Ordering::Relaxed);
+    }
+
+    fn finish_job(&self, job: &mut EvalJob, ctx: &mut BatchCtx<'_, 'a>) {
         match self.mode {
             EvalMode::Incremental => {
                 let mut inherited = 0u64;
                 for d in 0..job.lists.len() {
                     if job.dirty.is_dirty(d) {
-                        job.dbc_costs[d] = self.dbc_cost_with(&job.lists[d], scratch);
+                        job.dbc_costs[d] = self.dbc_cost_cached(
+                            &job.lists[d],
+                            &mut ctx.scratch,
+                            ctx.overlay.as_mut(),
+                        );
                     } else {
                         inherited += 1;
                     }
@@ -1185,9 +1439,36 @@ impl<'a> FitnessEngine<'a> {
             // (and the same recomputation count).
             (EvalMode::Incremental, TraceSource::Streamed { .. }) => lists
                 .iter()
-                .map(|l| self.dbc_cost_uncached(l, scratch))
+                .map(|l| self.dbc_cost_uncached(l, scratch, true))
                 .sum(),
             (EvalMode::Naive, _) => self.naive_per_dbc_costs(lists).into_iter().sum(),
+        }
+    }
+}
+
+/// One worker's context for [`FitnessEngine::evaluate_batch`]: scratch
+/// buffers plus a private memo overlay. During the batch the worker reads
+/// the overlay first, then try-locks the shared shard, and writes **only**
+/// the overlay — so the per-DBC hot loop never blocks on a lock. The
+/// overlay merges into the shared sharded memo when the context drops at
+/// the end of the batch.
+struct BatchCtx<'e, 'a> {
+    engine: &'e FitnessEngine<'a>,
+    scratch: EvalScratch,
+    /// Private memo overlay; `None` when the engine's memo is disabled.
+    overlay: Option<Memo>,
+}
+
+impl Drop for BatchCtx<'_, '_> {
+    fn drop(&mut self) {
+        // Merging is purely an optimization — every value is a pure
+        // function of its key — so the unwind path skips it: a panicking
+        // job must never risk a second panic inside a drop.
+        if std::thread::panicking() {
+            return;
+        }
+        if let Some(overlay) = self.overlay.take() {
+            self.engine.merge_overlay(overlay);
         }
     }
 }
@@ -1232,35 +1513,110 @@ mod tests {
         }
     }
 
+    /// Poisons every shard of both caches by panicking under each lock.
+    fn poison_all_shards(engine: &FitnessEngine<'_>) {
+        fn poison<T>(m: &Mutex<T>) {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _guard = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                panic!("poison shard");
+            }));
+        }
+        for shard in engine.memo.as_ref().unwrap().iter() {
+            poison(shard);
+        }
+        for shard in engine.subseq.as_ref().unwrap().iter() {
+            poison(shard);
+        }
+    }
+
     #[test]
     fn poisoned_caches_recover_by_clear_and_rebuild() {
         let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
         let lists = paper_placement(&seq);
-        let engine = FitnessEngine::new(&seq, CostModel::single_port());
-        let want = engine.per_dbc_costs(&lists);
-        // Poison both cache mutexes by panicking while each lock is held.
-        for _ in 0..2 {
-            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                let memo = engine.memo.as_ref().unwrap();
-                let _guard = memo
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
-                panic!("poison memo");
-            }));
-            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                let cache = engine.subseq.as_ref().unwrap();
-                let _guard = cache
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
-                panic!("poison subseq");
-            }));
-            // Costs are pure functions of the lists: recovery rebuilds the
-            // caches and every result is bit-identical.
-            assert_eq!(engine.per_dbc_costs(&lists), want);
-            assert_eq!(engine.per_dbc_costs(&lists), want);
+        for shards in [1usize, 8] {
+            let engine = FitnessEngine::new(&seq, CostModel::single_port()).with_shards(shards);
+            let want = engine.per_dbc_costs(&lists);
+            for _ in 0..2 {
+                poison_all_shards(&engine);
+                // Costs are pure functions of the lists: recovery rebuilds
+                // each shard and every result is bit-identical.
+                assert_eq!(engine.per_dbc_costs(&lists), want);
+                assert_eq!(engine.per_dbc_costs(&lists), want);
+            }
+            // Recovery is lazy and per shard: every shard clears its poison
+            // on its next acquisition, whichever key drives it there.
+            for shard in engine.memo.as_ref().unwrap().iter() {
+                drop(lock_cache(shard));
+            }
+            for shard in engine.subseq.as_ref().unwrap().iter() {
+                drop(lock_cache(shard));
+            }
+            assert!(engine
+                .memo
+                .as_ref()
+                .unwrap()
+                .iter()
+                .all(|s| !s.is_poisoned()));
+            assert!(engine
+                .subseq
+                .as_ref()
+                .unwrap()
+                .iter()
+                .all(|s| !s.is_poisoned()));
         }
-        assert!(!engine.memo.as_ref().unwrap().is_poisoned());
-        assert!(!engine.subseq.as_ref().unwrap().is_poisoned());
+    }
+
+    #[test]
+    fn sharded_costs_are_shard_count_invariant() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let base = paper_placement(&seq);
+        let candidates: Vec<Vec<Vec<VarId>>> = (0..12)
+            .map(|i| {
+                let mut l = base.clone();
+                l[1].rotate_left(i % 4);
+                l
+            })
+            .collect();
+        let baseline = FitnessEngine::new(&seq, CostModel::single_port())
+            .with_threads(1)
+            .with_shards(1);
+        let want_batch = baseline.batch_costs(&candidates);
+        let want_dbc = baseline.per_dbc_costs(&base);
+        for shards in [1usize, 2, 8, 64] {
+            for threads in [1usize, 4] {
+                let engine = FitnessEngine::new(&seq, CostModel::single_port())
+                    .with_threads(threads)
+                    .with_shards(shards);
+                assert_eq!(engine.batch_costs(&candidates), want_batch);
+                // Repeat to exercise the memo-hit path through the shards.
+                assert_eq!(engine.per_dbc_costs(&base), want_dbc);
+                assert_eq!(engine.per_dbc_costs(&base), want_dbc);
+                assert_eq!(engine.per_dbc_costs(&base), want_dbc);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_overlays_merge_into_the_shared_memo() {
+        let seq = AccessSequence::parse(PAPER_SEQ).unwrap();
+        let base = paper_placement(&seq);
+        let engine = FitnessEngine::new(&seq, CostModel::single_port()).with_threads(1);
+        // The same lists recur within one batch: the worker's private
+        // filter promotes them on second touch, and the batch-boundary
+        // merge lands them in the shared sharded memo.
+        let mut jobs: Vec<EvalJob> = (0..4).map(|_| EvalJob::fresh(base.clone())).collect();
+        engine.evaluate_batch(&mut jobs);
+        let reference = FitnessEngine::new(&seq, CostModel::single_port());
+        let want = reference.per_dbc_costs(&base);
+        for job in &jobs {
+            assert_eq!(job.dbc_costs, want);
+        }
+        let stats = engine.stats();
+        assert!(stats.memo_merged > 0, "overlay never merged: {stats:?}");
+        // A later *direct* costing is served from the merged shared memo.
+        let before = stats.dbc_cache_hits;
+        assert_eq!(engine.per_dbc_costs(&base), want);
+        assert!(engine.stats().dbc_cache_hits > before);
     }
 
     #[test]

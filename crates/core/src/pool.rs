@@ -56,7 +56,7 @@ use crate::cancel::CancelToken;
 use std::collections::VecDeque;
 use std::panic::resume_unwind;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Mutex, PoisonError, TryLockError};
 
 /// A work-stealing pool bounded by a shared worker-token budget.
 ///
@@ -71,6 +71,10 @@ pub struct WorkerPool {
     /// `run` calls. The caller's own thread is never counted.
     active: AtomicUsize,
     steals: AtomicU64,
+    /// Deque claim attempts that found the lock already held (the steal
+    /// scan itself is lock-free — it reads per-deque length hints — so
+    /// only actual pops can contend).
+    contended: AtomicU64,
 }
 
 impl WorkerPool {
@@ -86,6 +90,7 @@ impl WorkerPool {
             limit,
             active: AtomicUsize::new(0),
             steals: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
         }
     }
 
@@ -103,6 +108,13 @@ impl WorkerPool {
     /// worker's deque (telemetry for tests and tuning).
     pub fn steals(&self) -> u64 {
         self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative deque claim attempts that found the lock already held
+    /// (telemetry: `rtm-bench smp` reports it next to the cache contention
+    /// counters to bound hand-off cost on the parallel path).
+    pub fn contended(&self) -> u64 {
+        self.contended.load(Ordering::Relaxed)
     }
 
     /// Runs `work(ctx, index, item)` once for every item, fanning out over
@@ -166,12 +178,15 @@ impl WorkerPool {
         for _ in 0..workers {
             let take = chunk.min(rest.len());
             let (head, tail) = rest.split_at_mut(take);
-            deques.push(Mutex::new(
-                head.iter_mut()
-                    .enumerate()
-                    .map(|(i, item)| (base + i, item))
-                    .collect(),
-            ));
+            deques.push(Deque {
+                items: Mutex::new(
+                    head.iter_mut()
+                        .enumerate()
+                        .map(|(i, item)| (base + i, item))
+                        .collect(),
+                ),
+                len: AtomicUsize::new(take),
+            });
             base += take;
             rest = tail;
         }
@@ -215,24 +230,28 @@ impl WorkerPool {
             if cancel.is_some_and(CancelToken::is_cancelled) {
                 return;
             }
-            let own = lock_deque(&deques[me]).pop_front();
+            let own = deques[me].pop(false, &self.contended);
             if let Some((i, item)) = own {
                 work(&mut ctx, i, item);
                 continue;
             }
-            // Steal: scan for the longest deque. An empty scan means every
-            // item is claimed (finished or in flight) — nothing left to do.
+            // Steal: scan for the longest deque over the lock-free length
+            // hints (no deque lock is taken until a victim is chosen). A
+            // hint can only overstate the true length — it is stored under
+            // the lock after every pop and items are never re-added — so an
+            // all-zero scan means every item is claimed (finished or in
+            // flight) and an overstated hint just costs a rescan.
             let victim = deques
                 .iter()
                 .enumerate()
                 .filter(|&(v, _)| v != me)
-                .map(|(v, d)| (lock_deque(d).len(), v))
+                .map(|(v, d)| (d.len.load(Ordering::Acquire), v))
                 .max()
                 .filter(|&(len, _)| len > 0);
             let Some((_, v)) = victim else {
                 return;
             };
-            let stolen = lock_deque(&deques[v]).pop_back();
+            let stolen = deques[v].pop(true, &self.contended);
             if let Some((i, item)) = stolen {
                 self.steals.fetch_add(1, Ordering::Relaxed);
                 work(&mut ctx, i, item);
@@ -261,15 +280,40 @@ impl WorkerPool {
     }
 }
 
-/// A deque of pending `(index, item)` slots for one worker.
-type Deque<'a, T> = Mutex<VecDeque<(usize, &'a mut T)>>;
+/// A deque of pending `(index, item)` slots for one worker, with a
+/// lock-free length hint so steal scans never take a lock.
+struct Deque<'a, T> {
+    items: Mutex<VecDeque<(usize, &'a mut T)>>,
+    /// Length hint, stored under the lock after every pop and read without
+    /// it by the steal scan. Items are only ever removed after dealing, so
+    /// the hint can only overstate the true length — a stale read costs a
+    /// rescan, never a missed item.
+    len: AtomicUsize,
+}
 
-/// Locks a deque, recovering from poison: a panic inside `pop_front` /
-/// `pop_back` / `len` cannot leave the deque half-mutated (pending claims
-/// stay valid either way), so the poisoned data is simply taken as-is and
-/// the surviving workers keep draining it.
-fn lock_deque<'a, 'b, T>(d: &'a Deque<'b, T>) -> MutexGuard<'a, VecDeque<(usize, &'b mut T)>> {
-    d.lock().unwrap_or_else(PoisonError::into_inner)
+impl<'a, T> Deque<'a, T> {
+    /// Pops one claim (front = own drain order, back = steal order),
+    /// counting the acquisition as contended if the lock was held. Poison
+    /// recovery takes the data as-is: a panic inside a pop cannot leave
+    /// the deque half-mutated (pending claims stay valid either way), so
+    /// the surviving workers keep draining it.
+    fn pop(&self, back: bool, contended: &AtomicU64) -> Option<(usize, &'a mut T)> {
+        let mut items = match self.items.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                contended.fetch_add(1, Ordering::Relaxed);
+                self.items.lock().unwrap_or_else(PoisonError::into_inner)
+            }
+        };
+        let claim = if back {
+            items.pop_back()
+        } else {
+            items.pop_front()
+        };
+        self.len.store(items.len(), Ordering::Release);
+        claim
+    }
 }
 
 /// Reserved worker tokens; released on drop (also on the panic path, so a

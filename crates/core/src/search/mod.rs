@@ -52,7 +52,7 @@ use crate::placement::Placement;
 use rand::Rng;
 use rtm_trace::VarId;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Mutex, MutexGuard, PoisonError, TryLockError};
 use std::time::{Duration, Instant};
 
 /// Result of one anytime solver run: the best placement found, its cost,
@@ -110,6 +110,10 @@ pub struct RaceControl {
     best_cost: AtomicU64,
     best: Mutex<Option<Incumbent>>,
     events: Mutex<Vec<RaceEvent>>,
+    /// Publish attempts that found the incumbent lock held (telemetry;
+    /// the critical section is two pointer writes plus the event push, so
+    /// this should stay near zero even with many lanes).
+    publish_contended: AtomicU64,
     #[cfg(feature = "faults")]
     faults: Option<faults::FaultPlan>,
 }
@@ -134,6 +138,7 @@ impl RaceControl {
             best_cost: AtomicU64::new(u64::MAX),
             best: Mutex::new(None),
             events: Mutex::new(Vec::new()),
+            publish_contended: AtomicU64::new(0),
             #[cfg(feature = "faults")]
             faults: None,
         }
@@ -178,16 +183,30 @@ impl RaceControl {
 
     /// Publishes a candidate incumbent from `lane`; records an event and
     /// returns `true` if it strictly improves the shared best.
+    ///
+    /// The incumbent record (including the `lists` clone — the expensive
+    /// part of a publish) is built **before** the lock is taken, so the
+    /// critical section is the re-check, two writes and the event push.
+    /// The event push stays under the incumbent lock on purpose: it is
+    /// what keeps the improvement log strictly decreasing in cost.
     pub fn publish(&self, lane: usize, cost: u64, lists: &[Vec<VarId>], lane_evals: u64) -> bool {
         if cost >= self.best_cost.load(Ordering::Acquire) {
             return false;
         }
-        let mut best = lock_recover(&self.best);
+        let record = (cost, lists.to_vec(), lane);
+        let mut best = match self.best.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                self.publish_contended.fetch_add(1, Ordering::Relaxed);
+                lock_recover(&self.best)
+            }
+        };
         // Re-check under the lock: another lane may have won the race here.
         if best.as_ref().is_some_and(|(c, _, _)| cost >= *c) {
             return false;
         }
-        *best = Some((cost, lists.to_vec(), lane));
+        *best = Some(record);
         self.best_cost.store(cost, Ordering::Release);
         lock_recover(&self.events).push(RaceEvent {
             lane,
@@ -196,6 +215,11 @@ impl RaceControl {
             elapsed: self.started.elapsed(),
         });
         true
+    }
+
+    /// Publish attempts that found the incumbent lock held (telemetry).
+    pub fn publish_contended(&self) -> u64 {
+        self.publish_contended.load(Ordering::Relaxed)
     }
 
     /// The incumbent's cost, if any lane has published yet.

@@ -1,6 +1,6 @@
 use crate::cost::CostModel;
 use crate::error::PlacementError;
-use crate::eval::FitnessEngine;
+use crate::eval::{EngineStats, FitnessEngine};
 use crate::ga::{GaConfig, GeneticPlacer};
 use crate::inter::{Afd, Dma, InterHeuristic};
 use crate::intra::{Chen, IntraHeuristic, Ofu, ShiftsReduce};
@@ -261,6 +261,10 @@ pub struct Solution {
     /// Per-lane telemetry, non-empty only for `Portfolio` (name, status,
     /// cost, evals of every raced lane).
     pub lanes: Vec<LaneReport>,
+    /// Cache/contention counters of the fitness engine that solved the
+    /// problem (all-zero for the deterministic heuristics, which build no
+    /// engine).
+    pub engine_stats: EngineStats,
 }
 
 impl Solution {
@@ -298,6 +302,8 @@ pub struct PlacementProblem {
     capacity: usize,
     cost: CostModel,
     threads: usize,
+    /// Cache shard-count override for the engine (`0` = auto).
+    shards: usize,
     /// Subarray count of the hierarchical form; `1` = today's flat problem.
     subarrays: usize,
 }
@@ -312,6 +318,7 @@ impl PlacementProblem {
             capacity,
             cost: CostModel::single_port(),
             threads: 0,
+            shards: 0,
             subarrays: 1,
         }
     }
@@ -335,6 +342,7 @@ impl PlacementProblem {
             capacity: array.locations_per_dbc(),
             cost: CostModel::for_array(array),
             threads: 0,
+            shards: 0,
             subarrays: array.subarrays(),
         }
     }
@@ -370,9 +378,19 @@ impl PlacementProblem {
         self
     }
 
+    /// Sets the engine's cache shard count (`0` = auto: scales with the
+    /// worker count). Results are bit-identical for any value — shards
+    /// only bound lock contention (`DESIGN.md` §7).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// The fitness engine for this problem's trace and cost model.
     pub fn engine(&self) -> FitnessEngine<'_> {
-        FitnessEngine::new(&self.seq, self.cost).with_threads(self.threads)
+        FitnessEngine::new(&self.seq, self.cost)
+            .with_threads(self.threads)
+            .with_shards(self.shards)
     }
 
     /// The trace.
@@ -429,6 +447,7 @@ impl PlacementProblem {
         let mut elapsed = Duration::ZERO;
         let mut stop = StopCause::Finished;
         let mut lanes = Vec::new();
+        let mut engine_stats = EngineStats::default();
         let placement = match strategy {
             Strategy::AfdNative => {
                 Placement::from_dbc_lists(Afd.distribute(&self.seq, self.dbcs, self.capacity)?)
@@ -451,6 +470,7 @@ impl PlacementProblem {
                 time_to_best = out.time_to_best;
                 elapsed = out.elapsed;
                 stop = out.stop;
+                engine_stats = engine.stats();
                 out.best
             }
             Strategy::RandomWalk(cfg) => {
@@ -469,6 +489,7 @@ impl PlacementProblem {
                 time_to_best = out.time_to_best;
                 elapsed = out.elapsed;
                 stop = out.stop;
+                engine_stats = engine.stats();
                 out.placement
             }
             Strategy::Sa(cfg) => {
@@ -481,6 +502,7 @@ impl PlacementProblem {
                 time_to_best = out.time_to_best;
                 elapsed = out.elapsed;
                 stop = out.stop;
+                engine_stats = engine.stats();
                 out.placement
             }
             Strategy::Tabu(cfg) => {
@@ -493,6 +515,7 @@ impl PlacementProblem {
                 time_to_best = out.time_to_best;
                 elapsed = out.elapsed;
                 stop = out.stop;
+                engine_stats = engine.stats();
                 out.placement
             }
             Strategy::Portfolio(cfg) => {
@@ -506,6 +529,7 @@ impl PlacementProblem {
                 elapsed = out.elapsed;
                 stop = out.best().stop;
                 lanes = out.lane_reports();
+                engine_stats = engine.stats();
                 out.best().placement.clone()
             }
         };
@@ -522,6 +546,7 @@ impl PlacementProblem {
             elapsed,
             stop,
             lanes,
+            engine_stats,
         })
     }
 

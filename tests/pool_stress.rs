@@ -203,3 +203,111 @@ fn per_worker_contexts_are_isolated() {
     });
     assert!(items.iter().enumerate().all(|(i, &v)| v == crunch(i)));
 }
+
+/// Sharded-cache poison storm (`--features faults`): every shard of the
+/// engine's memo and subsequence caches is repeatedly poisoned — between
+/// batches and concurrently with them — and each acquisition must recover
+/// its own shard via `clear_poison` without changing a single result bit.
+#[cfg(feature = "faults")]
+mod sharded_cache_poison_storm {
+    use rtm::placement::eval::{EvalJob, FitnessEngine};
+    use rtm::{AccessSequence, CostModel, VarId};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// A deterministic synthetic trace (no RNG: the storm must be exactly
+    /// reproducible).
+    fn trace() -> AccessSequence {
+        let mut text = String::new();
+        for i in 0..800usize {
+            let v = (i * 11 + (i / 9) * 5) % 23;
+            text.push_str(&format!("v{v} "));
+        }
+        AccessSequence::parse(&text).unwrap()
+    }
+
+    /// Round-robin base placement plus deterministic reorder variants.
+    fn variants(seq: &AccessSequence, dbcs: usize) -> Vec<Vec<Vec<VarId>>> {
+        let mut base: Vec<Vec<VarId>> = vec![Vec::new(); dbcs];
+        for (i, v) in seq.liveness().by_first_occurrence().into_iter().enumerate() {
+            base[i % dbcs].push(v);
+        }
+        (0..8)
+            .map(|r| {
+                let mut lists = base.clone();
+                for list in &mut lists {
+                    let n = list.len().max(1);
+                    list.rotate_left(r % n);
+                }
+                lists
+            })
+            .collect()
+    }
+
+    #[test]
+    fn poison_storms_recover_every_shard_without_changing_results() {
+        let seq = trace();
+        let cost = CostModel::single_port();
+        let dbcs = 4;
+        let variants = variants(&seq, dbcs);
+
+        // Golden totals from a serial, single-shard, never-poisoned engine.
+        let clean = FitnessEngine::new(&seq, cost)
+            .with_threads(1)
+            .with_shards(1);
+        let mut jobs: Vec<EvalJob> = variants.iter().map(|v| EvalJob::fresh(v.clone())).collect();
+        clean.evaluate_batch(&mut jobs);
+        let want: Vec<u64> = jobs.iter().map(EvalJob::total).collect();
+        let want_direct = clean.per_dbc_costs(&variants[0]);
+
+        let engine = FitnessEngine::new(&seq, cost)
+            .with_threads(4)
+            .with_shards(8);
+        assert_eq!(engine.shard_count(), 8);
+
+        // Phase 1: storm between batches — every shard poisoned, then the
+        // batch path (overlay + try-lock recovery) and the direct path
+        // (blocking lock recovery) must both come back bit-identical.
+        for round in 0..20 {
+            engine.poison_caches();
+            let mut jobs: Vec<EvalJob> =
+                variants.iter().map(|v| EvalJob::fresh(v.clone())).collect();
+            engine.evaluate_batch(&mut jobs);
+            let got: Vec<u64> = jobs.iter().map(EvalJob::total).collect();
+            assert_eq!(got, want, "batch diverged after storm round {round}");
+            assert_eq!(
+                engine.per_dbc_costs(&variants[0]),
+                want_direct,
+                "direct path diverged after storm round {round}"
+            );
+        }
+
+        // Phase 2: storm *concurrent* with the batches — a poisoner thread
+        // hammers every shard while the pool evaluates; recovery is then
+        // genuinely per-shard and mid-flight.
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    engine.poison_caches();
+                    std::thread::yield_now();
+                }
+            });
+            for round in 0..20 {
+                let mut jobs: Vec<EvalJob> =
+                    variants.iter().map(|v| EvalJob::fresh(v.clone())).collect();
+                engine.evaluate_batch(&mut jobs);
+                let got: Vec<u64> = jobs.iter().map(EvalJob::total).collect();
+                assert_eq!(got, want, "batch diverged under live storm round {round}");
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+
+        // The storm must leave nothing durably broken: a final quiet pass
+        // over both paths still matches the golden outputs.
+        assert_eq!(engine.per_dbc_costs(&variants[0]), want_direct);
+        let mut jobs: Vec<EvalJob> = variants.iter().map(|v| EvalJob::fresh(v.clone())).collect();
+        engine.evaluate_batch(&mut jobs);
+        let got: Vec<u64> = jobs.iter().map(EvalJob::total).collect();
+        assert_eq!(got, want);
+    }
+}

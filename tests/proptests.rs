@@ -219,6 +219,134 @@ proptest! {
     }
 }
 
+/// Deals the accessed variables round-robin into `dbcs` lists of at most
+/// `capacity` — the fixed base placement the sharding tests mutate.
+fn deal(seq: &AccessSequence, dbcs: usize, capacity: usize) -> Vec<Vec<rtm::VarId>> {
+    let mut lists: Vec<Vec<rtm::VarId>> = vec![Vec::new(); dbcs];
+    let mut d = 0usize;
+    for v in seq.liveness().by_first_occurrence() {
+        while lists[d].len() >= capacity {
+            d = (d + 1) % dbcs;
+        }
+        lists[d].push(v);
+        d = (d + 1) % dbcs;
+    }
+    lists
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Sharded ≡ unsharded bit-equality (DESIGN.md §7): for any trace, the
+    /// per-DBC costs and batch totals are identical across cache shard
+    /// counts {1,2,8} × worker counts {1,2,8} × port counts {1,2,4} —
+    /// both on the cold pass and on the cache-hitting repeat pass.
+    #[test]
+    fn sharded_engines_are_bit_identical_to_unsharded(
+        seq in arb_trace(12, 60),
+        dbcs in 1usize..4,
+        port_sel in 0usize..3,
+    ) {
+        use rtm::placement::eval::{EvalJob, FitnessEngine};
+        let ports = [1usize, 2, 4][port_sel];
+        let capacity = seq.vars().len().div_ceil(dbcs).max(2).max(ports);
+        let cost = if ports == 1 {
+            CostModel::single_port()
+        } else {
+            CostModel::multi_port(ports.min(capacity), capacity)
+        };
+
+        // Base placement plus a few deterministic mutations of it.
+        let base = deal(&seq, dbcs, capacity);
+        let mut variants = vec![base.clone()];
+        let mut reversed = base.clone();
+        for list in &mut reversed {
+            list.reverse();
+        }
+        variants.push(reversed);
+        let mut rotated = base.clone();
+        rotated.rotate_left(dbcs / 2);
+        variants.push(rotated);
+
+        // Serial baseline: direct costs (cold + cached repeat) and batch.
+        let baseline = FitnessEngine::new(&seq, cost).with_threads(1).with_shards(1);
+        let want: Vec<Vec<u64>> = variants.iter().map(|v| baseline.per_dbc_costs(v)).collect();
+        let again: Vec<Vec<u64>> = variants.iter().map(|v| baseline.per_dbc_costs(v)).collect();
+        prop_assert_eq!(&want, &again, "baseline cache changed a cost");
+        let mut jobs: Vec<EvalJob> =
+            variants.iter().map(|v| EvalJob::fresh(v.clone())).collect();
+        baseline.evaluate_batch(&mut jobs);
+        let want_totals: Vec<u64> = jobs.iter().map(EvalJob::total).collect();
+
+        for &shards in &[1usize, 2, 8] {
+            for &workers in &[1usize, 2, 8] {
+                let engine = FitnessEngine::new(&seq, cost)
+                    .with_threads(workers)
+                    .with_shards(shards);
+                let mut jobs: Vec<EvalJob> =
+                    variants.iter().map(|v| EvalJob::fresh(v.clone())).collect();
+                engine.evaluate_batch(&mut jobs);
+                let totals: Vec<u64> = jobs.iter().map(EvalJob::total).collect();
+                prop_assert_eq!(
+                    &totals, &want_totals,
+                    "batch diverged at workers={} shards={}", workers, shards
+                );
+                for (v, w) in variants.iter().zip(&want) {
+                    // Twice: the second pass reads the now-warm caches.
+                    prop_assert_eq!(&engine.per_dbc_costs(v), w);
+                    prop_assert_eq!(&engine.per_dbc_costs(v), w);
+                }
+            }
+        }
+    }
+}
+
+/// Nested-search golden (DESIGN.md §7): a seed-fixed GA and a seed-fixed,
+/// evals-budgeted portfolio race (which runs a GA lane *inside* concurrent
+/// lanes sharing one engine) return bit-identical outcomes at every
+/// worker × shard configuration.
+#[test]
+fn nested_ga_and_portfolio_goldens_are_worker_and_shard_invariant() {
+    use rtm::placement::search::{Budget, PortfolioConfig};
+    // A deterministic synthetic trace with enough structure for the
+    // searches to have a non-trivial landscape.
+    let mut text = String::new();
+    for i in 0..600usize {
+        let v = (i * 7 + (i / 13) * 3) % 17;
+        text.push_str(&format!("v{v} "));
+    }
+    let seq = AccessSequence::parse(&text).unwrap();
+    let (dbcs, capacity) = (4, seq.vars().len().div_ceil(4).max(2));
+
+    let mut ga_cfg = GaConfig::quick().with_seed(0xD1CE);
+    ga_cfg.mu = 8;
+    ga_cfg.lambda = 8;
+    ga_cfg.generations = 6;
+    let race_cfg = PortfolioConfig::new(Budget::evals(600)).with_seed(0xD1CE);
+
+    let mut golden: Option<(u64, Vec<u64>, u64, Placement)> = None;
+    for (workers, shards) in [(1, 1), (2, 2), (8, 8)] {
+        let problem = PlacementProblem::new(seq.clone(), dbcs, capacity)
+            .with_threads(workers)
+            .with_shards(shards);
+        let ga = problem.solve(&Strat::Ga(ga_cfg)).unwrap();
+        let race = problem.solve(&Strat::Portfolio(race_cfg.clone())).unwrap();
+        let outcome = (
+            ga.shifts,
+            ga.per_dbc_shifts.clone(),
+            race.shifts,
+            race.placement.clone(),
+        );
+        match &golden {
+            None => golden = Some(outcome),
+            Some(g) => assert_eq!(
+                g, &outcome,
+                "nested search diverged at workers={workers} shards={shards}"
+            ),
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
