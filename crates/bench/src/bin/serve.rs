@@ -1,0 +1,12 @@
+//! End-to-end load measurement of the placement daemon; writes
+//! `BENCH_serve.json`. See `DESIGN.md` §11.
+//!
+//! Every response is verified bit-identical to a cold in-process
+//! single-shot solve before it is counted; CI greps the JSON for
+//! `"identical": false` (must be absent) and for the `deadline_gate`
+//! verdict (server-side p99 within `deadline + grace`).
+
+fn main() -> std::io::Result<()> {
+    let opts = rtm_bench::ExperimentOpts::from_args();
+    rtm_bench::experiments::serve::run(&opts).emit(&opts)
+}

@@ -11,6 +11,7 @@ pub mod perf;
 pub mod portfolio;
 pub mod ports;
 pub mod scale;
+pub mod serve;
 pub mod smp;
 pub mod table1;
 

@@ -8,6 +8,8 @@ use rtm_placement::{
     random_walk, CostModel, GeneticPlacer, Portfolio, SimulatedAnnealing, Solution, Strategy,
     StrategyKind, TabuSearch,
 };
+use rtm_serve::report::{json_escape, solution_fields, Geometry};
+use rtm_serve::server::{ServeConfig, Server};
 use rtm_sim::SimStats;
 use rtm_trace::{AccessSequence, AccessStream};
 use std::fmt::Write as _;
@@ -283,28 +285,11 @@ fn stream_solve(
     ))
 }
 
-/// Escapes a string for a JSON literal.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 /// The stable machine-readable schema shared by `place` and `simulate`:
-/// geometry, per-DBC and per-subarray costs, totals — plus a `simulation`
-/// object when simulator statistics are available.
+/// the workspace-wide [`solution_fields`] payload (also what the serve
+/// protocol emits, so the two can never drift) wrapped in the CLI's
+/// `{"command":…}` envelope — plus a `simulation` object when simulator
+/// statistics are available.
 fn json_report(
     command: &str,
     strategy: &Strategy,
@@ -313,91 +298,17 @@ fn json_report(
     sol: &Solution,
     stats: Option<&SimStats>,
 ) -> String {
-    let mut out = String::new();
-    let _ = write!(
-        out,
-        "{{\"command\":\"{}\",\"strategy\":\"{}\",\"geometry\":{{\"subarrays\":{},\
-         \"dbcs_per_subarray\":{},\"locations_per_dbc\":{},\"ports_per_track\":{},\
-         \"total_dbcs\":{}}},\"total_shifts\":{}",
+    let geom = Geometry {
+        subarrays: spec.subarrays(),
+        dbcs_per_subarray: spec.dbcs(),
+        locations_per_dbc: spec.capacity(),
+        ports_per_track: spec.ports(),
+    };
+    let mut out = format!(
+        "{{\"command\":\"{}\",{}",
         json_escape(command),
-        json_escape(strategy.name()),
-        spec.subarrays(),
-        spec.dbcs(),
-        spec.capacity(),
-        spec.ports(),
-        spec.subarrays() * spec.dbcs(),
-        sol.shifts
+        solution_fields(strategy, &geom, seq, sol)
     );
-    let per_subarray = sol.per_subarray_shifts(spec.dbcs());
-    let _ = write!(
-        out,
-        ",\"per_subarray_shifts\":[{}]",
-        per_subarray
-            .iter()
-            .map(u64::to_string)
-            .collect::<Vec<_>>()
-            .join(",")
-    );
-    out.push_str(",\"dbcs\":[");
-    for (d, list) in sol.placement.dbc_lists().iter().enumerate() {
-        if d > 0 {
-            out.push(',');
-        }
-        let vars: Vec<String> = list
-            .iter()
-            .map(|&v| format!("\"{}\"", json_escape(seq.vars().name(v))))
-            .collect();
-        let _ = write!(
-            out,
-            "{{\"subarray\":{},\"dbc\":{},\"shifts\":{},\"vars\":[{}]}}",
-            d / spec.dbcs(),
-            d % spec.dbcs(),
-            sol.per_dbc_shifts[d],
-            vars.join(",")
-        );
-    }
-    out.push(']');
-    let _ = write!(
-        out,
-        ",\"search\":{{\"evals_consumed\":{},\"time_to_best_ms\":{:.3},\
-         \"elapsed_ms\":{:.3},\"stop\":\"{}\"",
-        sol.evals_consumed,
-        sol.time_to_best.as_secs_f64() * 1e3,
-        sol.elapsed.as_secs_f64() * 1e3,
-        sol.stop.name()
-    );
-    let es = &sol.engine_stats;
-    let _ = write!(
-        out,
-        ",\"cache\":{{\"dbc_recomputations\":{},\"dbc_cache_hits\":{},\
-         \"subseq_cache_hits\":{},\"dbc_inherited\":{},\"memo_merged\":{},\
-         \"memo_contended\":{},\"subseq_contended\":{}}}",
-        es.dbc_recomputations,
-        es.dbc_cache_hits,
-        es.subseq_cache_hits,
-        es.dbc_inherited,
-        es.memo_merged,
-        es.memo_contended,
-        es.subseq_contended
-    );
-    if !sol.lanes.is_empty() {
-        out.push_str(",\"lanes\":[");
-        for (i, lane) in sol.lanes.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            let _ = write!(
-                out,
-                "{{\"name\":\"{}\",\"status\":\"{}\",\"cost\":{},\"evals\":{}}}",
-                lane.name,
-                lane.status.name(),
-                lane.cost.map_or("null".to_string(), |c| c.to_string()),
-                lane.evals
-            );
-        }
-        out.push(']');
-    }
-    out.push('}');
     if let Some(s) = stats {
         let _ = write!(
             out,
@@ -496,6 +407,35 @@ pub fn strategies() -> CmdResult {
     Ok(())
 }
 
+/// `rtm serve` — run the placement daemon until a `shutdown` request.
+/// Prints one `listening on ADDR` line (so scripts and tests can read the
+/// resolved port when binding port 0), then serves the line protocol.
+pub fn serve(args: &CliArgs) -> CmdResult {
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        addr: args
+            .get("addr")
+            .map_or(defaults.addr, std::string::ToString::to_string),
+        threads: args.get_parsed("threads")?.unwrap_or(defaults.threads),
+        max_inflight: args
+            .get_parsed("max-inflight")?
+            .unwrap_or(defaults.max_inflight),
+        max_cached_traces: args
+            .get_parsed("max-traces")?
+            .unwrap_or(defaults.max_cached_traces),
+        default_deadline_ms: args
+            .get_parsed("deadline-ms")?
+            .unwrap_or(defaults.default_deadline_ms),
+    };
+    let server = Server::bind(config)?;
+    println!("listening on {}", server.local_addr()?);
+    // The address line must reach a pipe-connected parent before the
+    // accept loop blocks.
+    std::io::Write::flush(&mut std::io::stdout())?;
+    server.run();
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -545,133 +485,11 @@ mod tests {
         let _ = std::fs::remove_file(f);
     }
 
-    /// Minimal recursive-descent JSON parser (objects, arrays, strings,
-    /// numbers, booleans, null): the `--json` outputs must be *valid* JSON,
-    /// not just JSON-looking text.
+    /// The workspace-shared strict JSON validator (`rtm_serve::json`):
+    /// the `--json` outputs must be *valid* JSON, not just JSON-looking
+    /// text.
     mod json {
-        pub fn parse(s: &str) -> Result<(), String> {
-            let b = s.as_bytes();
-            let mut i = 0usize;
-            value(b, &mut i)?;
-            skip_ws(b, &mut i);
-            if i != b.len() {
-                return Err(format!("trailing data at byte {i}"));
-            }
-            Ok(())
-        }
-
-        fn skip_ws(b: &[u8], i: &mut usize) {
-            while *i < b.len() && (b[*i] as char).is_ascii_whitespace() {
-                *i += 1;
-            }
-        }
-
-        fn expect(b: &[u8], i: &mut usize, c: u8) -> Result<(), String> {
-            if b.get(*i) == Some(&c) {
-                *i += 1;
-                Ok(())
-            } else {
-                Err(format!("expected `{}` at byte {}", c as char, i))
-            }
-        }
-
-        fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
-            skip_ws(b, i);
-            match b.get(*i) {
-                Some(b'{') => object(b, i),
-                Some(b'[') => array(b, i),
-                Some(b'"') => string(b, i),
-                Some(b't') => literal(b, i, "true"),
-                Some(b'f') => literal(b, i, "false"),
-                Some(b'n') => literal(b, i, "null"),
-                Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
-                other => Err(format!("unexpected {other:?} at byte {i}")),
-            }
-        }
-
-        fn object(b: &[u8], i: &mut usize) -> Result<(), String> {
-            expect(b, i, b'{')?;
-            skip_ws(b, i);
-            if b.get(*i) == Some(&b'}') {
-                *i += 1;
-                return Ok(());
-            }
-            loop {
-                skip_ws(b, i);
-                string(b, i)?;
-                skip_ws(b, i);
-                expect(b, i, b':')?;
-                value(b, i)?;
-                skip_ws(b, i);
-                match b.get(*i) {
-                    Some(b',') => *i += 1,
-                    Some(b'}') => {
-                        *i += 1;
-                        return Ok(());
-                    }
-                    other => return Err(format!("bad object separator {other:?} at {i}")),
-                }
-            }
-        }
-
-        fn array(b: &[u8], i: &mut usize) -> Result<(), String> {
-            expect(b, i, b'[')?;
-            skip_ws(b, i);
-            if b.get(*i) == Some(&b']') {
-                *i += 1;
-                return Ok(());
-            }
-            loop {
-                value(b, i)?;
-                skip_ws(b, i);
-                match b.get(*i) {
-                    Some(b',') => *i += 1,
-                    Some(b']') => {
-                        *i += 1;
-                        return Ok(());
-                    }
-                    other => return Err(format!("bad array separator {other:?} at {i}")),
-                }
-            }
-        }
-
-        fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
-            expect(b, i, b'"')?;
-            while let Some(&c) = b.get(*i) {
-                *i += 1;
-                match c {
-                    b'"' => return Ok(()),
-                    b'\\' => *i += 1, // skip the escaped byte
-                    _ => {}
-                }
-            }
-            Err("unterminated string".into())
-        }
-
-        fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
-            let start = *i;
-            while let Some(&c) = b.get(*i) {
-                if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
-                    *i += 1;
-                } else {
-                    break;
-                }
-            }
-            std::str::from_utf8(&b[start..*i])
-                .ok()
-                .and_then(|s| s.parse::<f64>().ok())
-                .map(|_| ())
-                .ok_or_else(|| format!("bad number at byte {start}"))
-        }
-
-        fn literal(b: &[u8], i: &mut usize, lit: &str) -> Result<(), String> {
-            if b[*i..].starts_with(lit.as_bytes()) {
-                *i += lit.len();
-                Ok(())
-            } else {
-                Err(format!("bad literal at byte {i}"))
-            }
-        }
+        pub use rtm_serve::json::validate as parse;
     }
 
     #[test]

@@ -50,6 +50,7 @@ fn main() -> ExitCode {
         "stats" => commands::stats(&args),
         "suite" => commands::suite(&args),
         "strategies" => commands::strategies(),
+        "serve" => commands::serve(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -73,6 +74,7 @@ USAGE:
     rtm stats     --trace FILE
     rtm suite     [--benchmark NAME]
     rtm strategies
+    rtm serve     [--addr HOST:PORT] [--threads N] [--max-inflight N] [--max-traces N] [--deadline-ms N]
 
 OPTIONS:
     --trace FILE      trace file (`-` for stdin)
@@ -105,7 +107,16 @@ OPTIONS:
     --shards N        cache shards of the fitness engine (default: auto,
                       4 x workers; results are identical for any value)
     --json            machine-readable output for place/simulate
-    --benchmark NAME  one benchmark of the OffsetStone-style suite";
+    --benchmark NAME  one benchmark of the OffsetStone-style suite
+
+SERVE OPTIONS (see README `Serving` for the line protocol):
+    --addr HOST:PORT  bind address (default 127.0.0.1:0; the resolved
+                      address is printed as `listening on ADDR`)
+    --max-inflight N  admission-control bound on concurrent place solves
+                      (default 32; beyond it requests get `error: overloaded`)
+    --max-traces N    cross-request cache capacity in traces (default 64, LRU)
+    --deadline-ms N   default wall-clock deadline per request (default 10000;
+                      requests may tighten it with deadline-ms=N)";
 
 /// Resolves `--profile NAME` (with `--scale S`) to a tier workload, if
 /// given.

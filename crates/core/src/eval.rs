@@ -61,7 +61,7 @@ use rtm_trace::{AccessSequence, AccessStream, CompactPositionIndex, PositionInde
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, TryLockError};
+use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
 use std::time::Instant;
 
 /// Locks a cache mutex, recovering from poison by **clearing and
@@ -291,6 +291,30 @@ const SUBSEQ_ELEM_CAPACITY: usize = 1 << 22;
 /// few generations, not a whole run).
 const MEMO_CAPACITY: usize = 1 << 16;
 
+/// How a materialized engine holds its trace: borrowed from the caller
+/// (the historical transient-engine path) or shared via [`Arc`] (the
+/// [`Session`](crate::Session) path, where the engine must outlive any one
+/// solve call). Costing never cares which — both deref to the same
+/// [`AccessSequence`].
+#[derive(Debug)]
+enum SeqRef<'a> {
+    /// Borrowed for the engine's lifetime.
+    Borrowed(&'a AccessSequence),
+    /// Shared ownership — the engine can be `'static`.
+    Shared(Arc<AccessSequence>),
+}
+
+impl std::ops::Deref for SeqRef<'_> {
+    type Target = AccessSequence;
+
+    fn deref(&self) -> &AccessSequence {
+        match self {
+            SeqRef::Borrowed(seq) => seq,
+            SeqRef::Shared(seq) => seq,
+        }
+    }
+}
+
 /// Where the engine's trace comes from.
 ///
 /// Both variants index the **consecutive-deduplicated** stream (a
@@ -300,11 +324,11 @@ const MEMO_CAPACITY: usize = 1 << 16;
 /// construction, and the equivalence tests pin it.
 #[derive(Debug)]
 enum TraceSource<'a> {
-    /// A borrowed in-memory [`AccessSequence`] with the uncompressed
+    /// An in-memory [`AccessSequence`] with the uncompressed
     /// [`PositionIndex`] of its dedup stream — the historical path, and
     /// the only one that can serve naive-mode replays.
     Materialized {
-        seq: &'a AccessSequence,
+        seq: SeqRef<'a>,
         /// The trace with consecutive same-variable accesses collapsed.
         /// All engine costing runs against this stream; only the naive
         /// reference path replays `seq` verbatim.
@@ -375,6 +399,33 @@ impl EngineStats {
             self.evaluations as f64 / self.eval_seconds()
         } else {
             0.0
+        }
+    }
+
+    /// The work accrued since `earlier` (an older snapshot of the same
+    /// engine's counters). Every field is a monotonic counter, so the
+    /// difference is exactly the work of the interval; subtraction
+    /// saturates so a mismatched snapshot can never underflow. This is how
+    /// a [`Session`](crate::Session) reports **per-solve** engine stats
+    /// while its warm caches keep accumulating across solves.
+    #[must_use]
+    pub fn since(&self, earlier: &EngineStats) -> EngineStats {
+        EngineStats {
+            evaluations: self.evaluations.saturating_sub(earlier.evaluations),
+            dbc_recomputations: self
+                .dbc_recomputations
+                .saturating_sub(earlier.dbc_recomputations),
+            dbc_cache_hits: self.dbc_cache_hits.saturating_sub(earlier.dbc_cache_hits),
+            subseq_cache_hits: self
+                .subseq_cache_hits
+                .saturating_sub(earlier.subseq_cache_hits),
+            dbc_inherited: self.dbc_inherited.saturating_sub(earlier.dbc_inherited),
+            memo_merged: self.memo_merged.saturating_sub(earlier.memo_merged),
+            memo_contended: self.memo_contended.saturating_sub(earlier.memo_contended),
+            subseq_contended: self
+                .subseq_contended
+                .saturating_sub(earlier.subseq_contended),
+            eval_nanos: self.eval_nanos.saturating_sub(earlier.eval_nanos),
         }
     }
 }
@@ -526,7 +577,7 @@ pub struct FitnessEngine<'a> {
     /// when no sequence exists (streamed sources).
     accessed: Vec<VarId>,
     mode: EvalMode,
-    pool: WorkerPool,
+    pool: Arc<WorkerPool>,
     /// Whether the caches are enabled at all (memoization can be turned
     /// off for pure random sampling via [`with_memo`](Self::with_memo)).
     caching: bool,
@@ -554,7 +605,7 @@ impl<'a> FitnessEngine<'a> {
     /// Creates the production engine: subsequence costing, memoization on,
     /// thread count auto-detected.
     pub fn new(seq: &'a AccessSequence, cost: CostModel) -> Self {
-        Self::with_mode(seq, cost, EvalMode::Incremental)
+        Self::with_mode(SeqRef::Borrowed(seq), cost, EvalMode::Incremental)
     }
 
     /// Creates the reference engine replicating the pre-engine evaluation
@@ -562,7 +613,17 @@ impl<'a> FitnessEngine<'a> {
     /// list clone per evaluation). Used by the equivalence tests and as the
     /// baseline side of the `rtm-bench perf` experiment.
     pub fn naive(seq: &'a AccessSequence, cost: CostModel) -> Self {
-        Self::with_mode(seq, cost, EvalMode::Naive)
+        Self::with_mode(SeqRef::Borrowed(seq), cost, EvalMode::Naive)
+    }
+
+    /// Creates a production engine that **shares ownership** of its trace:
+    /// the returned engine is `'static`, so it can be stored in a
+    /// long-lived [`Session`](crate::Session) (or a server-side cache) and
+    /// reused across solves instead of being rebuilt per call. Costing is
+    /// bit-identical to [`new`](Self::new) over the same sequence — only
+    /// the ownership of the trace differs.
+    pub fn shared(seq: Arc<AccessSequence>, cost: CostModel) -> FitnessEngine<'static> {
+        FitnessEngine::with_mode(SeqRef::Shared(seq), cost, EvalMode::Incremental)
     }
 
     /// Creates a **streaming** engine over any [`AccessStream`]: the trace
@@ -600,7 +661,7 @@ impl<'a> FitnessEngine<'a> {
         )
     }
 
-    fn with_mode(seq: &'a AccessSequence, cost: CostModel, mode: EvalMode) -> Self {
+    fn with_mode(seq: SeqRef<'a>, cost: CostModel, mode: EvalMode) -> Self {
         let mut dedup: Vec<VarId> = Vec::with_capacity(seq.len());
         let mut seen = vec![false; seq.vars().len()];
         let mut accessed: Vec<VarId> = Vec::new();
@@ -634,7 +695,7 @@ impl<'a> FitnessEngine<'a> {
             coster: cost.coster(),
             accessed,
             mode,
-            pool: WorkerPool::new(0),
+            pool: Arc::new(WorkerPool::new(0)),
             caching: mode == EvalMode::Incremental,
             shards: 0,
             memo: None,
@@ -692,7 +753,18 @@ impl<'a> FitnessEngine<'a> {
     /// Worker count never affects results — only wall time (see the
     /// determinism argument in the module docs and in [`crate::pool`]).
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.pool = WorkerPool::new(threads);
+        self.pool = Arc::new(WorkerPool::new(threads));
+        self.rebuild_caches();
+        self
+    }
+
+    /// Runs this engine on an existing **shared** [`WorkerPool`] instead of
+    /// a private one, so several engines (a server's warm sessions) draw
+    /// worker threads from one global token budget — concurrent requests
+    /// can never oversubscribe the host. Scheduling never affects results
+    /// (`DESIGN.md` §7), so this is purely a resource-control knob.
+    pub fn with_worker_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = pool;
         self.rebuild_caches();
         self
     }
@@ -729,9 +801,9 @@ impl<'a> FitnessEngine<'a> {
     /// The materialized trace this engine evaluates against, or `None` for
     /// a [`streaming`](Self::streaming) engine (whose trace only ever
     /// existed as chunks).
-    pub fn seq(&self) -> Option<&'a AccessSequence> {
+    pub fn seq(&self) -> Option<&AccessSequence> {
         match &self.source {
-            TraceSource::Materialized { seq, .. } => Some(seq),
+            TraceSource::Materialized { seq, .. } => Some(&**seq),
             TraceSource::Streamed { .. } => None,
         }
     }

@@ -75,6 +75,7 @@ mod placement;
 pub mod pool;
 pub mod random_walk;
 pub mod search;
+mod session;
 mod strategy;
 
 pub use cancel::CancelToken;
@@ -90,4 +91,5 @@ pub use search::{
     PortfolioOutcome, SaConfig, SearchOutcome, SimulatedAnnealing, StopCause, TabuConfig,
     TabuSearch,
 };
+pub use session::Session;
 pub use strategy::{PlacementProblem, Solution, Strategy, StrategyKind};

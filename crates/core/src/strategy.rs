@@ -1,16 +1,16 @@
 use crate::cost::CostModel;
 use crate::error::PlacementError;
 use crate::eval::{EngineStats, FitnessEngine};
-use crate::ga::{GaConfig, GeneticPlacer};
+use crate::ga::GaConfig;
 use crate::inter::{Afd, Dma, InterHeuristic};
 use crate::intra::{Chen, IntraHeuristic, Ofu, ShiftsReduce};
 use crate::placement::Placement;
-use crate::random_walk::{self, RandomWalkConfig};
-use crate::search::{LaneReport, Portfolio, PortfolioConfig, SaConfig, SimulatedAnnealing};
-use crate::search::{StopCause, TabuConfig, TabuSearch};
+use crate::random_walk::RandomWalkConfig;
+use crate::search::{LaneReport, PortfolioConfig, SaConfig, StopCause, TabuConfig};
 use rtm_arch::ArrayGeometry;
 use rtm_trace::{AccessSequence, VarId};
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The single exhaustive strategy registry: every [`StrategyKind`], its
@@ -297,7 +297,9 @@ impl Solution {
 /// ```
 #[derive(Debug, Clone)]
 pub struct PlacementProblem {
-    seq: AccessSequence,
+    /// The trace, shared: cloning a problem (or handing it to a
+    /// [`Session`](crate::Session)) never copies the access sequence.
+    seq: Arc<AccessSequence>,
     dbcs: usize,
     capacity: usize,
     cost: CostModel,
@@ -312,6 +314,13 @@ impl PlacementProblem {
     /// Creates a problem over `dbcs` DBCs of `capacity` locations with the
     /// default single-port cost model.
     pub fn new(seq: AccessSequence, dbcs: usize, capacity: usize) -> Self {
+        Self::shared(Arc::new(seq), dbcs, capacity)
+    }
+
+    /// Like [`new`](Self::new), but over an already-shared trace: several
+    /// problems (e.g. one per requested geometry in a server) can reference
+    /// one parsed [`AccessSequence`] without copying it.
+    pub fn shared(seq: Arc<AccessSequence>, dbcs: usize, capacity: usize) -> Self {
         Self {
             seq,
             dbcs,
@@ -336,6 +345,11 @@ impl PlacementProblem {
     /// to the searchers (the GA's subarray-migrate operator) and to
     /// per-subarray reporting.
     pub fn for_array(seq: AccessSequence, array: &ArrayGeometry) -> Self {
+        Self::for_array_shared(Arc::new(seq), array)
+    }
+
+    /// [`for_array`](Self::for_array) over an already-shared trace.
+    pub fn for_array_shared(seq: Arc<AccessSequence>, array: &ArrayGeometry) -> Self {
         Self {
             seq,
             dbcs: array.total_dbcs(),
@@ -398,6 +412,23 @@ impl PlacementProblem {
         &self.seq
     }
 
+    /// The trace's shared handle (cheap clone; no sequence copy). This is
+    /// what lets a [`Session`](crate::Session) build an engine that *owns*
+    /// its trace and therefore outlives any particular borrow.
+    pub fn seq_shared(&self) -> Arc<AccessSequence> {
+        Arc::clone(&self.seq)
+    }
+
+    /// The configured engine worker count (`0` = auto-detect).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The configured engine cache shard count (`0` = auto).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
     /// Number of DBCs `q`.
     pub fn dbcs(&self) -> usize {
         self.dbcs
@@ -442,112 +473,44 @@ impl PlacementProblem {
     /// Returns [`PlacementError`] when the variables cannot fit the
     /// geometry (`vars > q × N`).
     pub fn solve(&self, strategy: &Strategy) -> Result<Solution, PlacementError> {
-        let mut evals_consumed = 0u64;
-        let mut time_to_best = Duration::ZERO;
-        let mut elapsed = Duration::ZERO;
-        let mut stop = StopCause::Finished;
-        let mut lanes = Vec::new();
-        let mut engine_stats = EngineStats::default();
-        let placement = match strategy {
-            Strategy::AfdNative => {
-                Placement::from_dbc_lists(Afd.distribute(&self.seq, self.dbcs, self.capacity)?)
+        // One solve path in the crate: a one-shot solve is a warm solve on
+        // a session nobody kept. Cloning the problem is cheap (the trace is
+        // behind an `Arc`), and a search strategy builds its engine inside
+        // the transient session exactly as the old inline code did.
+        crate::session::Session::new(self.clone()).solve(strategy)
+    }
+
+    /// Solves one of the deterministic heuristic strategies — the arms of
+    /// the solve match that never evaluate fitness and so must not force a
+    /// [`Session`](crate::Session) to build its engine.
+    ///
+    /// Calling it with a search strategy is a caller bug (the session's
+    /// solve match is the only caller and routes those to the engine path).
+    pub(crate) fn solve_heuristic(&self, strategy: &Strategy) -> Result<Placement, PlacementError> {
+        match strategy {
+            Strategy::AfdNative => Ok(Placement::from_dbc_lists(Afd.distribute(
+                &self.seq,
+                self.dbcs,
+                self.capacity,
+            )?)),
+            Strategy::AfdOfu => self.afd_with_intra(&Ofu),
+            Strategy::DmaNative => Ok(Placement::from_dbc_lists(Dma.distribute(
+                &self.seq,
+                self.dbcs,
+                self.capacity,
+            )?)),
+            Strategy::DmaOfu => self.dma_with_intra(&Ofu),
+            Strategy::DmaChen => self.dma_with_intra(&Chen),
+            Strategy::DmaSr => self.dma_with_intra(&ShiftsReduce::new()),
+            Strategy::DmaMultiSr => self.dma_multi_with_intra(&ShiftsReduce::new()),
+            Strategy::Ga(_)
+            | Strategy::RandomWalk(_)
+            | Strategy::Sa(_)
+            | Strategy::Tabu(_)
+            | Strategy::Portfolio(_) => {
+                unreachable!("{strategy} is a search strategy, not a heuristic")
             }
-            Strategy::AfdOfu => self.afd_with_intra(&Ofu)?,
-            Strategy::DmaNative => {
-                Placement::from_dbc_lists(Dma.distribute(&self.seq, self.dbcs, self.capacity)?)
-            }
-            Strategy::DmaOfu => self.dma_with_intra(&Ofu)?,
-            Strategy::DmaChen => self.dma_with_intra(&Chen)?,
-            Strategy::DmaSr => self.dma_with_intra(&ShiftsReduce::new())?,
-            Strategy::DmaMultiSr => self.dma_multi_with_intra(&ShiftsReduce::new())?,
-            Strategy::Ga(cfg) => {
-                let seeds = self.heuristic_seeds();
-                let engine = self.engine();
-                let out = GeneticPlacer::new(*cfg)
-                    .with_subarrays(self.subarrays)
-                    .run_with_engine(&engine, self.dbcs, self.capacity, &seeds)?;
-                evals_consumed = out.evaluations as u64;
-                time_to_best = out.time_to_best;
-                elapsed = out.elapsed;
-                stop = out.stop;
-                engine_stats = engine.stats();
-                out.best
-            }
-            Strategy::RandomWalk(cfg) => {
-                // The random walk's batch path never consults the caches;
-                // disabling them just skips building unused maps.
-                let engine = self.engine().with_memo(false);
-                let out = random_walk::run_budgeted(
-                    &engine,
-                    self.dbcs,
-                    self.capacity,
-                    cfg.seed,
-                    crate::search::Budget::evals(cfg.iterations as u64),
-                    None,
-                )?;
-                evals_consumed = out.evals;
-                time_to_best = out.time_to_best;
-                elapsed = out.elapsed;
-                stop = out.stop;
-                engine_stats = engine.stats();
-                out.placement
-            }
-            Strategy::Sa(cfg) => {
-                let seeds = self.heuristic_seeds();
-                let engine = self.engine();
-                let out = SimulatedAnnealing::new(*cfg)
-                    .with_subarrays(self.subarrays)
-                    .run_with_engine(&engine, self.dbcs, self.capacity, &seeds)?;
-                evals_consumed = out.evals;
-                time_to_best = out.time_to_best;
-                elapsed = out.elapsed;
-                stop = out.stop;
-                engine_stats = engine.stats();
-                out.placement
-            }
-            Strategy::Tabu(cfg) => {
-                let seeds = self.heuristic_seeds();
-                let engine = self.engine();
-                let out = TabuSearch::new(*cfg)
-                    .with_subarrays(self.subarrays)
-                    .run_with_engine(&engine, self.dbcs, self.capacity, &seeds)?;
-                evals_consumed = out.evals;
-                time_to_best = out.time_to_best;
-                elapsed = out.elapsed;
-                stop = out.stop;
-                engine_stats = engine.stats();
-                out.placement
-            }
-            Strategy::Portfolio(cfg) => {
-                let seeds = self.heuristic_seeds();
-                let engine = self.engine();
-                let out = Portfolio::new(cfg.clone())
-                    .with_subarrays(self.subarrays)
-                    .run_with_engine(&engine, self.dbcs, self.capacity, &seeds)?;
-                evals_consumed = out.total_evals;
-                time_to_best = out.best().time_to_best;
-                elapsed = out.elapsed;
-                stop = out.best().stop;
-                lanes = out.lane_reports();
-                engine_stats = engine.stats();
-                out.best().placement.clone()
-            }
-        };
-        // One-shot final costing: the direct cost-model pass costs the same
-        // as one engine evaluation without the engine's O(|S|) index build.
-        let per_dbc_shifts = self.cost.per_dbc_costs(&placement, self.seq.accesses());
-        let shifts = per_dbc_shifts.iter().sum();
-        Ok(Solution {
-            placement,
-            shifts,
-            per_dbc_shifts,
-            evals_consumed,
-            time_to_best,
-            elapsed,
-            stop,
-            lanes,
-            engine_stats,
-        })
+        }
     }
 
     /// The four composite-heuristic solutions, used to seed every search

@@ -1,0 +1,207 @@
+//! A minimal JSON validator and field scanner — no external deps.
+//!
+//! [`validate`] is a strict recursive-descent pass (objects, arrays,
+//! strings, numbers, booleans, null) used by round-trip tests on every
+//! emitter in the workspace: the `--json` and serve outputs must be
+//! *valid* JSON, not just JSON-looking text. The `find_*` scanners pull
+//! single scalar fields out of a known-schema response line (the load
+//! generator reads `total_shifts`, `elapsed_ms`, `dbc_recomputations`, …)
+//! without materializing a DOM.
+
+/// Validates that `s` is one complete JSON value with no trailing data.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error, with
+/// its byte offset.
+pub fn validate(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing data at byte {i}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && (b[*i] as char).is_ascii_whitespace() {
+        *i += 1;
+    }
+}
+
+fn expect(b: &[u8], i: &mut usize, c: u8) -> Result<(), String> {
+    if b.get(*i) == Some(&c) {
+        *i += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", c as char, i))
+    }
+}
+
+fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+    skip_ws(b, i);
+    match b.get(*i) {
+        Some(b'{') => object(b, i),
+        Some(b'[') => array(b, i),
+        Some(b'"') => string(b, i),
+        Some(b't') => literal(b, i, "true"),
+        Some(b'f') => literal(b, i, "false"),
+        Some(b'n') => literal(b, i, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+        other => Err(format!("unexpected {other:?} at byte {i}")),
+    }
+}
+
+fn object(b: &[u8], i: &mut usize) -> Result<(), String> {
+    expect(b, i, b'{')?;
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b'}') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        string(b, i)?;
+        skip_ws(b, i);
+        expect(b, i, b':')?;
+        value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b'}') => {
+                *i += 1;
+                return Ok(());
+            }
+            other => return Err(format!("bad object separator {other:?} at {i}")),
+        }
+    }
+}
+
+fn array(b: &[u8], i: &mut usize) -> Result<(), String> {
+    expect(b, i, b'[')?;
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b']') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b']') => {
+                *i += 1;
+                return Ok(());
+            }
+            other => return Err(format!("bad array separator {other:?} at {i}")),
+        }
+    }
+}
+
+fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+    expect(b, i, b'"')?;
+    while let Some(&c) = b.get(*i) {
+        *i += 1;
+        match c {
+            b'"' => return Ok(()),
+            b'\\' => *i += 1, // skip the escaped byte
+            _ => {}
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
+    let start = *i;
+    while let Some(&c) = b.get(*i) {
+        if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+            *i += 1;
+        } else {
+            break;
+        }
+    }
+    std::str::from_utf8(&b[start..*i])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(|_| ())
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn literal(b: &[u8], i: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*i..].starts_with(lit.as_bytes()) {
+        *i += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {i}"))
+    }
+}
+
+/// The raw text of the first `"key":` scalar value in `s` (known-schema
+/// scanning — `key` must not occur inside string values before the wanted
+/// field).
+fn find_raw<'a>(s: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = s.find(&needle)? + needle.len();
+    let rest = &s[at..];
+    let end = rest
+        .char_indices()
+        .find(|&(i, c)| {
+            if rest.as_bytes().first() == Some(&b'"') {
+                i > 0 && c == '"' && rest.as_bytes()[i - 1] != b'\\'
+            } else {
+                matches!(c, ',' | '}' | ']')
+            }
+        })
+        .map(|(i, _)| i)?;
+    if rest.as_bytes().first() == Some(&b'"') {
+        Some(&rest[1..end])
+    } else {
+        Some(&rest[..end])
+    }
+}
+
+/// First `"key": <integer>` in `s`.
+pub fn find_u64(s: &str, key: &str) -> Option<u64> {
+    find_raw(s, key)?.trim().parse().ok()
+}
+
+/// First `"key": <number>` in `s`.
+pub fn find_f64(s: &str, key: &str) -> Option<f64> {
+    find_raw(s, key)?.trim().parse().ok()
+}
+
+/// First `"key": true|false` in `s`.
+pub fn find_bool(s: &str, key: &str) -> Option<bool> {
+    find_raw(s, key)?.trim().parse().ok()
+}
+
+/// First `"key": "<string>"` in `s` (raw, escapes not decoded).
+pub fn find_str<'a>(s: &'a str, key: &str) -> Option<&'a str> {
+    find_raw(s, key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_and_rejects() {
+        validate("{\"a\":[1,2.5,-3],\"b\":{\"c\":\"x\\\"y\"},\"d\":null,\"e\":true}").unwrap();
+        assert!(validate("{\"a\":}").is_err());
+        assert!(validate("[1,2,]").is_err());
+        assert!(validate("{\"a\":1} trailing").is_err());
+        assert!(validate("\"open").is_err());
+    }
+
+    #[test]
+    fn scanners_pull_scalars() {
+        let s = "{\"ok\":true,\"n\":42,\"f\":1.5,\"s\":\"hi\",\"nested\":{\"n\":7}}";
+        assert_eq!(find_u64(s, "n"), Some(42));
+        assert_eq!(find_f64(s, "f"), Some(1.5));
+        assert_eq!(find_bool(s, "ok"), Some(true));
+        assert_eq!(find_str(s, "s"), Some("hi"));
+        assert_eq!(find_u64(s, "missing"), None);
+    }
+}

@@ -1,0 +1,43 @@
+//! Placement-as-a-service: a long-running daemon over the placement
+//! engine.
+//!
+//! The CLI's one-shot model pays the full engine construction cost —
+//! trace parsing, access-index building, cache allocation — on every
+//! invocation, and throws the warmed memoization away at exit. This crate
+//! keeps [`Session`](rtm_placement::Session)s alive across requests:
+//!
+//! * [`protocol`] — the line protocol (`ping` / `stats` / `shutdown` /
+//!   `place …`), with option names and defaults mirroring the CLI.
+//! * [`fingerprint`] — structural trace fingerprints (length + token
+//!   count + 256-bit digest) for the cross-request cache; never trusted
+//!   as identity.
+//! * [`cache`] — the two-level [`SessionCache`](cache::SessionCache):
+//!   fingerprint → exact-text-verified trace entry → per-geometry
+//!   [`Session`](rtm_placement::Session), all sharing one global
+//!   [`WorkerPool`](rtm_placement::WorkerPool).
+//! * [`server`] — the TCP accept loop, admission control, per-request
+//!   deadlines, and fault containment (a bad request gets one `error:`
+//!   line; the daemon survives).
+//! * [`loadgen`] — a client that replays mixed tier-workload request
+//!   streams against a server and measures latency percentiles, cache hit
+//!   rates, and bit-identity against cold single-shot solves.
+//! * [`report`] / [`json`] — the JSON emitter shared with the CLI's
+//!   `--json` output, and the dependency-free validator/scanner used to
+//!   check it.
+//!
+//! The serving contract is the repo-wide determinism invariant extended
+//! across requests: a warm, concurrent answer is bit-identical to a cold
+//! single-shot solve of the same query whenever the budget is
+//! deterministic (deadlines are a liveness backstop, DESIGN.md §11).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod cache;
+pub mod fingerprint;
+pub mod json;
+pub mod loadgen;
+pub mod protocol;
+pub mod report;
+pub mod server;

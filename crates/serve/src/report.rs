@@ -1,0 +1,239 @@
+//! The one JSON emitter for solved placements.
+//!
+//! The CLI's `--json` output and the serve protocol's `place` responses
+//! share this module, so string escaping and the solution schema cannot
+//! drift between the two (they used to be two hand-rolled formatters; a
+//! field added to one silently missed the other). Each front end wraps
+//! [`solution_fields`] in its own envelope — `{"command":"place",…}` for
+//! the CLI, `{"ok":true,"served":{…},…}` for the daemon — but the
+//! placement payload itself is byte-identical.
+//!
+//! [`deterministic_slice`] exposes the machine-independent prefix of that
+//! payload (strategy, geometry, shift totals, the full per-DBC layout —
+//! everything up to the wall-clock telemetry), which is what the
+//! bit-identity checks in the server tests and the load generator compare.
+
+use rtm_placement::{Solution, Strategy};
+use rtm_trace::AccessSequence;
+use std::fmt::Write as _;
+
+/// Escapes a string for a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The geometry block of a report: per-subarray shape plus ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Subarray count (`1` for flat problems).
+    pub subarrays: usize,
+    /// DBCs per subarray.
+    pub dbcs_per_subarray: usize,
+    /// Locations per DBC (track length).
+    pub locations_per_dbc: usize,
+    /// Access ports per track.
+    pub ports_per_track: usize,
+}
+
+impl Geometry {
+    /// A flat (single-subarray) geometry.
+    pub fn flat(dbcs: usize, capacity: usize, ports: usize) -> Self {
+        Self {
+            subarrays: 1,
+            dbcs_per_subarray: dbcs,
+            locations_per_dbc: capacity,
+            ports_per_track: ports,
+        }
+    }
+
+    /// Global DBC count.
+    pub fn total_dbcs(&self) -> usize {
+        self.subarrays * self.dbcs_per_subarray
+    }
+}
+
+/// The stable machine-readable body shared by the CLI and the daemon:
+/// `"strategy":… ,"geometry":{…},"total_shifts":…,"per_subarray_shifts":[…],
+/// "dbcs":[…],"search":{…}` — comma-separated fields without an enclosing
+/// object, so callers can splice them into their own envelope.
+pub fn solution_fields(
+    strategy: &Strategy,
+    geom: &Geometry,
+    seq: &AccessSequence,
+    sol: &Solution,
+) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "\"strategy\":\"{}\",\"geometry\":{{\"subarrays\":{},\
+         \"dbcs_per_subarray\":{},\"locations_per_dbc\":{},\"ports_per_track\":{},\
+         \"total_dbcs\":{}}},\"total_shifts\":{}",
+        json_escape(strategy.name()),
+        geom.subarrays,
+        geom.dbcs_per_subarray,
+        geom.locations_per_dbc,
+        geom.ports_per_track,
+        geom.total_dbcs(),
+        sol.shifts
+    );
+    let per_subarray = sol.per_subarray_shifts(geom.dbcs_per_subarray);
+    let _ = write!(
+        out,
+        ",\"per_subarray_shifts\":[{}]",
+        per_subarray
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    out.push_str(",\"dbcs\":[");
+    for (d, list) in sol.placement.dbc_lists().iter().enumerate() {
+        if d > 0 {
+            out.push(',');
+        }
+        let vars: Vec<String> = list
+            .iter()
+            .map(|&v| format!("\"{}\"", json_escape(seq.vars().name(v))))
+            .collect();
+        let _ = write!(
+            out,
+            "{{\"subarray\":{},\"dbc\":{},\"shifts\":{},\"vars\":[{}]}}",
+            d / geom.dbcs_per_subarray,
+            d % geom.dbcs_per_subarray,
+            sol.per_dbc_shifts[d],
+            vars.join(",")
+        );
+    }
+    out.push(']');
+    let _ = write!(
+        out,
+        ",\"search\":{{\"evals_consumed\":{},\"time_to_best_ms\":{:.3},\
+         \"elapsed_ms\":{:.3},\"stop\":\"{}\"",
+        sol.evals_consumed,
+        sol.time_to_best.as_secs_f64() * 1e3,
+        sol.elapsed.as_secs_f64() * 1e3,
+        sol.stop.name()
+    );
+    let es = &sol.engine_stats;
+    let _ = write!(
+        out,
+        ",\"cache\":{{\"dbc_recomputations\":{},\"dbc_cache_hits\":{},\
+         \"subseq_cache_hits\":{},\"dbc_inherited\":{},\"memo_merged\":{},\
+         \"memo_contended\":{},\"subseq_contended\":{}}}",
+        es.dbc_recomputations,
+        es.dbc_cache_hits,
+        es.subseq_cache_hits,
+        es.dbc_inherited,
+        es.memo_merged,
+        es.memo_contended,
+        es.subseq_contended
+    );
+    if !sol.lanes.is_empty() {
+        out.push_str(",\"lanes\":[");
+        for (i, lane) in sol.lanes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"status\":\"{}\",\"cost\":{},\"evals\":{}}}",
+                json_escape(lane.name),
+                lane.status.name(),
+                lane.cost.map_or("null".to_string(), |c| c.to_string()),
+                lane.evals
+            );
+        }
+        out.push(']');
+    }
+    out.push('}');
+    out
+}
+
+/// The machine-independent slice of a report containing
+/// [`solution_fields`]: from `"strategy"` up to (excluding) `"search"` —
+/// i.e. strategy, geometry, `total_shifts`, `per_subarray_shifts` and the
+/// complete per-DBC layout, none of which may differ between a warm serve
+/// response and a cold single-shot solve of the same query. Returns `None`
+/// when the text carries no such payload (e.g. an `error:` line).
+pub fn deterministic_slice(json: &str) -> Option<&str> {
+    let start = json.find("\"strategy\":")?;
+    let end = json[start..].find(",\"search\":")?;
+    Some(&json[start..start + end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use rtm_placement::{PlacementProblem, Strategy};
+    use rtm_trace::{AccessKind, SequenceBuilder};
+
+    /// Round-trip satellite: the emitted fields wrapped in any envelope
+    /// must parse as valid JSON — including variable names that need every
+    /// escape class (quote, backslash, control characters).
+    #[test]
+    fn emitted_fields_round_trip_through_the_parser() {
+        let mut b = SequenceBuilder::new();
+        for name in ["plain", "qu\"ote", "back\\slash", "tab\there", "nl\nname"] {
+            b.var(name);
+        }
+        for name in [
+            "plain",
+            "qu\"ote",
+            "back\\slash",
+            "tab\there",
+            "nl\nname",
+            "plain",
+        ] {
+            b.access_named(name, AccessKind::Read);
+        }
+        let seq = b.finish();
+        let p = PlacementProblem::new(seq.clone(), 2, 16);
+        let sol = p.solve(&Strategy::DmaSr).unwrap();
+        let fields = solution_fields(
+            &Strategy::DmaSr,
+            &Geometry::flat(p.dbcs(), p.capacity(), 1),
+            &seq,
+            &sol,
+        );
+        let wrapped = format!("{{{fields}}}");
+        json::validate(&wrapped).unwrap_or_else(|e| panic!("invalid JSON: {e}\n{wrapped}"));
+        assert!(wrapped.contains("qu\\\"ote"));
+        assert!(wrapped.contains("back\\\\slash"));
+        assert!(wrapped.contains("nl\\nname"));
+    }
+
+    #[test]
+    fn deterministic_slice_drops_only_the_timing_tail() {
+        let seq = rtm_trace::AccessSequence::parse("a b a b c c a").unwrap();
+        let p = PlacementProblem::new(seq.clone(), 2, 8);
+        let sol = p.solve(&Strategy::DmaSr).unwrap();
+        let fields = solution_fields(&Strategy::DmaSr, &Geometry::flat(2, 8, 1), &seq, &sol);
+        let slice = deterministic_slice(&fields).unwrap();
+        assert!(slice.starts_with("\"strategy\":\"DMA-SR\""));
+        assert!(slice.contains("\"total_shifts\""));
+        assert!(slice.contains("\"dbcs\":["));
+        assert!(!slice.contains("elapsed_ms"));
+        assert!(deterministic_slice("error: nope").is_none());
+    }
+
+    #[test]
+    fn escape_covers_control_characters() {
+        assert_eq!(json_escape("a\u{1}b"), "a\\u0001b");
+        assert_eq!(json_escape("say \"hi\"\r\n"), "say \\\"hi\\\"\\r\\n");
+    }
+}

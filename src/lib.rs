@@ -42,6 +42,7 @@
 pub use rtm_arch as arch;
 pub use rtm_offsetstone as offsetstone;
 pub use rtm_placement as placement;
+pub use rtm_serve as serve;
 pub use rtm_sim as sim;
 pub use rtm_trace as trace;
 
@@ -51,7 +52,10 @@ pub use rtm_placement::{
     Budget, CancelToken, CostModel, FitnessEngine, GaConfig, GeneticPlacer, LaneOutcome,
     LaneReport, LaneSpec, LaneStatus, Placement, PlacementError, PlacementProblem, Portfolio,
     PortfolioConfig, PortfolioOutcome, RandomWalkConfig, RtmError, SaConfig, SearchOutcome,
-    SimulatedAnnealing, Solution, StopCause, Strategy, StrategyKind, TabuConfig, TabuSearch,
+    Session, SimulatedAnnealing, Solution, StopCause, Strategy, StrategyKind, TabuConfig,
+    TabuSearch, WorkerPool,
 };
+pub use rtm_serve::cache::SessionCache;
+pub use rtm_serve::server::{ServeConfig, Server};
 pub use rtm_sim::{SimStats, Simulator};
 pub use rtm_trace::{AccessSequence, SequenceBuilder, VarId, VarTable};
